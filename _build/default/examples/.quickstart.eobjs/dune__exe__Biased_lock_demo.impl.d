@@ -1,0 +1,1 @@
+examples/biased_lock_demo.ml: Bound Config Ffbl List Machine Printf Safepoint_lock Sim Tbtso_core Tsim

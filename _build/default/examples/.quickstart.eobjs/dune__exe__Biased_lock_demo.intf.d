@@ -1,0 +1,1 @@
+examples/biased_lock_demo.mli:

@@ -1,0 +1,1 @@
+examples/concurrent_set.ml: Array Bound Config Ffhp Hash_table Hazard Heap Hp Int64 Machine Memory Naive Printf Rng Sim Smr Tbtso_core Tbtso_structures Tsim

@@ -1,0 +1,1 @@
+examples/litmus_explorer.ml: Array List Litmus Printf Tsim

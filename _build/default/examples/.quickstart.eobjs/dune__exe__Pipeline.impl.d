@@ -1,0 +1,1 @@
+examples/pipeline.ml: Array Bound Config Ffhp Hazard Heap Hp List Machine Ms_queue Printf Rcu Sim Smr Tbtso_core Tbtso_structures Tsim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bound Config Flag Int64 Machine Printf Tbtso_core Tbtso_hwmodel Tsim

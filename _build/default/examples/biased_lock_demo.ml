@@ -1,0 +1,131 @@
+(* The fence-free biased lock in action.
+
+   Shows the three headline behaviours of Section 5:
+   1. the owner's fast path executes no fences and no atomics;
+   2. echoing lets a non-owner cut its Δ wait short when the owner is
+      active;
+   3. unlike safe-point biased locks, a stalled owner delays a non-owner
+      by at most Δ.
+
+   Run with: dune exec examples/biased_lock_demo.exe *)
+
+open Tsim
+open Tbtso_core
+
+let delta = Config.us 500
+
+let base_config = Config.(with_seed 11L default)
+
+let () =
+  print_endline "== Fence-free biased locking (FFBL) ==";
+  print_endline "";
+
+  (* 1. Owner fast path costs. *)
+  let machine = Machine.create base_config in
+  let lock = Ffbl.create machine ~bound:(Bound.Delta delta) ~echo:true in
+  let acquisitions = 10_000 in
+  ignore
+    (Machine.spawn machine (fun () ->
+         for _ = 1 to acquisitions do
+           Ffbl.owner_lock lock;
+           Sim.work 5;
+           Ffbl.owner_unlock lock
+         done));
+  ignore (Machine.run machine);
+  let s = Machine.stats machine 0 in
+  Printf.printf "1. %d uncontended owner acquisitions:\n" acquisitions;
+  Printf.printf "   fences: %d, atomic RMWs: %d, plain loads: %d, plain stores: %d\n"
+    s.fences s.rmws s.loads s.stores;
+  Printf.printf "   (compare: a pthread-style lock pays >= 1 atomic per acquisition,\n";
+  Printf.printf "    a classic biased lock >= 1 fence)\n\n";
+
+  (* 2. Echoing. *)
+  let run_pair ~echo =
+    let machine = Machine.create base_config in
+    let lock = Ffbl.create machine ~bound:(Bound.Delta delta) ~echo in
+    let nonowner_latency = ref [] in
+    ignore
+      (Machine.spawn machine (fun () ->
+           while not (Sim.stopping ()) do
+             Ffbl.owner_lock lock;
+             Sim.work 10;
+             Ffbl.owner_unlock lock;
+             Sim.work 30
+           done));
+    ignore
+      (Machine.spawn machine (fun () ->
+           for _ = 1 to 10 do
+             Sim.work 2_000;
+             let t0 = Sim.clock () in
+             Ffbl.nonowner_lock lock;
+             nonowner_latency := (Sim.clock () - t0) :: !nonowner_latency;
+             Sim.work 10;
+             Ffbl.nonowner_unlock lock
+           done;
+           ignore (Sim.clock ())));
+    ignore
+      (Machine.run
+         ~stop_when:(fun _ -> List.length !nonowner_latency >= 10)
+         machine);
+    Machine.request_stop machine;
+    ignore (Machine.run ~max_ticks:10_000_000 machine);
+    Machine.kill_remaining machine;
+    let l = !nonowner_latency in
+    ( List.fold_left ( + ) 0 l / max 1 (List.length l),
+      Ffbl.nonowner_echo_cuts lock,
+      Ffbl.nonowner_full_waits lock )
+  in
+  let avg_echo, cuts, _ = run_pair ~echo:true in
+  let avg_noecho, _, full = run_pair ~echo:false in
+  Printf.printf "2. non-owner acquisition latency with a busy owner (Δ = %d ticks):\n" delta;
+  Printf.printf "   with echoing:    avg %6d ticks (%d of 10 waits cut by echoes)\n" avg_echo cuts;
+  Printf.printf "   without echoing: avg %6d ticks (%d full Δ waits)\n\n" avg_noecho full;
+
+  (* 3. Owner stalled outside the critical section. *)
+  let stalled_latency make_lock =
+    let machine = Machine.create base_config in
+    let olock, ounlock, nlock, nunlock = make_lock machine in
+    let latency = ref (-1) in
+    ignore
+      (Machine.spawn machine (fun () ->
+           olock ();
+           Sim.work 10;
+           ounlock ();
+           (* Descheduled for 100 ms-sim — e.g. preempted. *)
+           Sim.stall_for (Config.ms 100)));
+    ignore
+      (Machine.spawn machine (fun () ->
+           Sim.work 1_000;
+           let t0 = Sim.clock () in
+           nlock ();
+           latency := Sim.clock () - t0;
+           nunlock ()));
+    ignore (Machine.run ~max_ticks:(Config.ms 200) machine);
+    Machine.kill_remaining machine;
+    !latency
+  in
+  let ffbl_lat =
+    stalled_latency (fun m ->
+        let l = Ffbl.create m ~bound:(Bound.Delta delta) ~echo:true in
+        ( (fun () -> Ffbl.owner_lock l),
+          (fun () -> Ffbl.owner_unlock l),
+          (fun () -> Ffbl.nonowner_lock l),
+          fun () -> Ffbl.nonowner_unlock l ))
+  in
+  let sp_lat =
+    stalled_latency (fun m ->
+        let l = Safepoint_lock.create m in
+        ( (fun () -> Safepoint_lock.owner_lock l),
+          (fun () -> Safepoint_lock.owner_unlock l),
+          (fun () -> Safepoint_lock.nonowner_lock l),
+          fun () -> Safepoint_lock.nonowner_unlock l ))
+  in
+  Printf.printf "3. non-owner acquisition while the owner is descheduled (100 ms):\n";
+  Printf.printf "   FFBL:            %8d ticks (bounded by Δ = %d)\n" ffbl_lat delta;
+  if sp_lat < 0 then
+    Printf.printf "   safe-point lock: blocked for the entire stall (run cut off)\n"
+  else Printf.printf "   safe-point lock: %8d ticks (the whole stall)\n" sp_lat;
+  print_endline "";
+  print_endline "The safe-point lock cannot admit a non-owner until the owner runs";
+  print_endline "again; FFBL's non-owner only ever waits Δ. This is the paper's";
+  print_endline "Figure 8 'owner stalls' pattern, where FFBL wins by 7-50x."

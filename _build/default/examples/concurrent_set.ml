@@ -1,0 +1,122 @@
+(* Fence-free hazard pointers protecting a concurrent hash table.
+
+   A read-mostly workload runs on Michael's lock-free hash table under
+   three reclamation policies: immediate free (crashes — caught by the
+   machine's use-after-free oracle), standard hazard pointers (safe but
+   fenced), and the paper's FFHP (safe AND fence-free).
+
+   Run with: dune exec examples/concurrent_set.exe *)
+
+open Tsim
+open Tbtso_core
+open Tbtso_structures
+
+let delta = Config.us 500
+
+let config =
+  Config.(with_jitter 0.2 (with_seed 7L { default with cache_bits = 8 }))
+
+(* Churn workload: 3 readers hammer lookups while 1 updater inserts and
+   deletes; returns (reader ops, updater ops, fences executed, peak heap
+   words) or the detected use-after-free. *)
+let run_workload (type h) (module P : Smr.POLICY with type t = h)
+    (make_handles : Machine.t -> Heap.t -> h array) =
+  let machine = Machine.create config in
+  let heap = Heap.create machine ~words:(1 lsl 15) in
+  let handles = make_handles machine heap in
+  let module HT = Hash_table.Make (P) in
+  let table = HT.create machine heap ~buckets:64 in
+  let universe = 512 in
+  let reader_ops = ref 0 and updater_ops = ref 0 in
+  for i = 0 to 2 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           let rng = Rng.create (Int64.of_int (100 + i)) in
+           while not (Sim.stopping ()) do
+             ignore (HT.lookup table handles.(i) (Rng.int rng universe));
+             incr reader_ops;
+             P.quiescent handles.(i)
+           done))
+  done;
+  ignore
+    (Machine.spawn machine (fun () ->
+         let rng = Rng.create 999L in
+         while not (Sim.stopping ()) do
+           let k = Rng.int rng universe in
+           if Rng.bool rng then ignore (HT.insert table handles.(3) k)
+           else ignore (HT.delete table handles.(3) k);
+           incr updater_ops;
+           P.quiescent handles.(3)
+         done));
+  match
+    let _ = Machine.run ~stop_when:(fun m -> Machine.now m > 400_000) machine in
+    Machine.request_stop machine;
+    let _ = Machine.run ~max_ticks:10_000_000 machine in
+    Machine.kill_remaining machine
+  with
+  | () ->
+      let fences =
+        let acc = ref 0 in
+        for tid = 0 to 3 do
+          acc := !acc + (Machine.stats machine tid).fences
+        done;
+        !acc
+      in
+      Ok (!reader_ops, !updater_ops, fences, Heap.peak_words heap)
+  | exception Memory.Use_after_free { addr; tid; _ } ->
+      Error (Printf.sprintf "use-after-free: thread %d touched freed word %d" tid addr)
+
+let () =
+  print_endline "== Safe memory reclamation on a lock-free hash table ==";
+  print_endline "";
+  print_endline "3 readers + 1 updater, 4 ms of simulated time, TBTSO[0.5ms].";
+  print_endline "";
+
+  (* 1. The problem: freeing a node the moment it is unlinked. *)
+  (match
+     run_workload
+       (module Naive.Unsafe_free.Policy)
+       (fun machine heap ->
+         ignore machine;
+         Array.init 4 (fun _ -> Naive.Unsafe_free.handle ~free:(Heap.free heap)))
+   with
+  | Ok _ -> print_endline "1. free() at delete:   survived (unlucky schedule; rerun!)"
+  | Error msg -> Printf.printf "1. free() at delete:   CRASH — %s\n" msg);
+
+  (* 2. Standard hazard pointers: safe, but every protected node costs a
+     fence on the read side. *)
+  (match
+     run_workload
+       (module Hp.Policy)
+       (fun machine heap ->
+         let dom =
+           Hazard.create_domain machine ~nthreads:4 ~r_max:128 ~free:(Heap.free heap) ()
+         in
+         Array.init 4 (fun tid -> Hp.handle dom ~tid))
+   with
+  | Ok (r, u, fences, peak) ->
+      Printf.printf "2. hazard pointers:    %6d reads, %5d updates, %6d fences, peak %d words\n"
+        r u fences peak
+  | Error msg -> Printf.printf "2. hazard pointers:    UNEXPECTED %s\n" msg);
+
+  (* 3. FFHP: same protection, zero fences; reclamation defers Δ. *)
+  (match
+     run_workload
+       (module Ffhp.Policy)
+       (fun machine heap ->
+         let dom =
+           Hazard.create_domain machine ~nthreads:4 ~r_max:128 ~free:(Heap.free heap) ()
+         in
+         Array.init 4 (fun tid -> Ffhp.handle dom ~bound:(Bound.Delta delta) ~tid))
+   with
+  | Ok (r, u, fences, peak) ->
+      Printf.printf "3. FFHP (this paper):  %6d reads, %5d updates, %6d fences, peak %d words\n"
+        r u fences peak
+  | Error msg -> Printf.printf "3. FFHP:               UNEXPECTED %s\n" msg);
+
+  print_endline "";
+  print_endline "FFHP executes zero fences on the fast path (the updater's CASes are";
+  print_endline "the only atomics), matches hazard pointers' bounded memory, and";
+  print_endline "out-runs them on reads. The reclaimer simply refuses to examine";
+  print_endline "objects younger than Δ, by which time any unfenced hazard-pointer";
+  print_endline "write that could protect them has become visible."

@@ -1,0 +1,61 @@
+(* Exhaustive memory-model exploration.
+
+   Enumerates EVERY interleaving and store-buffer drain schedule of
+   classic litmus tests plus the paper's Section 3 protocols, under SC,
+   TSO and TBTSO[Δ], and prints the reachable outcomes.
+
+   Run with: dune exec examples/litmus_explorer.exe *)
+
+open Tsim
+open Litmus
+
+let x = 0
+let y = 1
+
+let pp_mode = function
+  | M_sc -> "SC       "
+  | M_tso -> "TSO      "
+  | M_tbtso d -> Printf.sprintf "TBTSO[%d] " d
+  | M_tsos s -> Printf.sprintf "TSO[S=%d] " s
+
+let show name program ~interesting ~legend =
+  Printf.printf "-- %s --\n" name;
+  List.iter
+    (fun mode ->
+      let outcomes = enumerate ~mode program in
+      let hit = exists outcomes interesting in
+      Printf.printf "   %s %3d outcomes   %s: %s\n" (pp_mode mode) (List.length outcomes)
+        legend
+        (if hit then "OBSERVABLE" else "impossible"))
+    [ M_sc; M_tso; M_tbtso 4; M_tsos 2 ];
+  print_newline ()
+
+let () =
+  print_endline "== Exhaustive litmus exploration (every schedule, every drain) ==";
+  print_endline "";
+
+  show "store buffering (SB): T0: x=1; r0=y || T1: y=1; r1=x"
+    [ [ Store (x, 1); Load (y, 0) ]; [ Store (y, 1); Load (x, 0) ] ]
+    ~interesting:(fun o -> o.regs.(0).(0) = 0 && o.regs.(1).(0) = 0)
+    ~legend:"r0 = r1 = 0";
+
+  show "SB with fences: T0: x=1; fence; r0=y || T1: y=1; fence; r1=x"
+    [ [ Store (x, 1); Fence; Load (y, 0) ]; [ Store (y, 1); Fence; Load (x, 0) ] ]
+    ~interesting:(fun o -> o.regs.(0).(0) = 0 && o.regs.(1).(0) = 0)
+    ~legend:"r0 = r1 = 0";
+
+  show "message passing (MP): T0: x=1; y=1 || T1: r0=y; r1=x"
+    [ [ Store (x, 1); Store (y, 1) ]; [ Load (y, 0); Load (x, 1) ] ]
+    ~interesting:(fun o -> o.regs.(1).(0) = 1 && o.regs.(1).(1) = 0)
+    ~legend:"flag seen, data missed";
+
+  show "TBTSO flag principle: T0: x=1; r0=y || T1: y=1; fence; wait Δ; r1=x"
+    [ [ Store (x, 1); Load (y, 0) ]; [ Store (y, 1); Fence; Wait 4; Load (x, 0) ] ]
+    ~interesting:(fun o -> o.regs.(0).(0) = 0 && o.regs.(1).(0) = 0)
+    ~legend:"both flags missed";
+
+  print_endline "Reading the last block: under SC the protocol is trivially safe;";
+  print_endline "under plain TSO the Δ wait cannot save the fence-free T0 (the store";
+  print_endline "can hide arbitrarily long); under TBTSO[Δ] the bad outcome becomes";
+  print_endline "IMPOSSIBLE — verified here over the complete state space, not by";
+  print_endline "sampling. This is the machine-checked core of the paper."

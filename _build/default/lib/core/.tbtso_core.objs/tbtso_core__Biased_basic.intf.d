@@ -1,0 +1,1 @@
+lib/core/biased_basic.mli: Tsim

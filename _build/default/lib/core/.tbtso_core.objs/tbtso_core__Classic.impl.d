@@ -1,0 +1,1 @@
+lib/core/classic.ml: Bound Machine Sim Tsim

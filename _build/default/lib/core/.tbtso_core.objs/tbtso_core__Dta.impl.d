@@ -1,0 +1,1 @@
+lib/core/dta.ml: List Machine Memory Sim Tsim

@@ -1,0 +1,1 @@
+lib/core/dta.mli: Smr Tsim

@@ -1,0 +1,1 @@
+lib/core/ebr.ml: Array List Machine Memory Sim Tsim

@@ -1,0 +1,1 @@
+lib/core/ffbl.ml: Bound Machine Sim Spinlock Tsim

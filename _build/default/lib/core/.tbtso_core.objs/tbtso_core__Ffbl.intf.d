@@ -1,0 +1,1 @@
+lib/core/ffbl.mli: Bound Tsim

@@ -1,0 +1,1 @@
+lib/core/ffhp.ml: Bound Hashtbl Hazard List Sim Tsim

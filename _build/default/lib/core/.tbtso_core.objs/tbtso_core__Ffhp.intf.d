@@ -1,0 +1,1 @@
+lib/core/ffhp.mli: Bound Hazard Smr

@@ -1,0 +1,1 @@
+lib/core/flag.ml: Bound Machine Memory Sim Tsim

@@ -1,0 +1,1 @@
+lib/core/flag.mli: Bound Tsim

@@ -1,0 +1,1 @@
+lib/core/guards.ml: Bound Hashtbl Hazard List Sim Tsim

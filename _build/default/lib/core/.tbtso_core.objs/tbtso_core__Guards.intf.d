@@ -1,0 +1,1 @@
+lib/core/guards.mli: Bound Smr Tsim

@@ -1,0 +1,1 @@
+lib/core/hazard.ml: Hashtbl Machine Printf Sim Tsim

@@ -1,0 +1,1 @@
+lib/core/hazard.mli: Hashtbl Tsim

@@ -1,0 +1,1 @@
+lib/core/hp.ml: Hashtbl Hazard List Sim Tsim

@@ -1,0 +1,1 @@
+lib/core/prwlock.ml: Bound Machine Sim Spinlock Tsim

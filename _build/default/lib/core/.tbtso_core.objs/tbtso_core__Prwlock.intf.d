@@ -1,0 +1,1 @@
+lib/core/prwlock.mli: Bound Tsim

@@ -1,0 +1,1 @@
+lib/core/rwlock_atomic.ml: Machine Sim Spinlock Tsim

@@ -1,0 +1,1 @@
+lib/core/rwlock_atomic.mli: Tsim

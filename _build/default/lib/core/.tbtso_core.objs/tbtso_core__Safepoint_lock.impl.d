@@ -1,0 +1,1 @@
+lib/core/safepoint_lock.ml: Machine Sim Spinlock Tsim

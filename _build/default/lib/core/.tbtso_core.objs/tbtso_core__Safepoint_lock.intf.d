@@ -1,0 +1,1 @@
+lib/core/safepoint_lock.mli: Tsim

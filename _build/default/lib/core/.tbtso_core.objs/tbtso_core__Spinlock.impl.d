@@ -1,0 +1,1 @@
+lib/core/spinlock.ml: Machine Sim Tsim

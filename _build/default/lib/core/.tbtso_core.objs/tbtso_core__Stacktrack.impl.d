@@ -1,0 +1,1 @@
+lib/core/stacktrack.ml: Array List Machine Memory Queue Sim Smr Tsim

@@ -1,0 +1,1 @@
+lib/core/stacktrack.mli: Smr Tsim

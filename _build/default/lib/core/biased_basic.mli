@@ -1,0 +1,26 @@
+(** Baseline biased lock — paper Figure 3, top row (not fence-free).
+
+    The owner's fast path raises its flag, {e fences}, and checks the
+    non-owner flag: the symmetric flag principle with a standard lock L
+    serializing non-owners and breaking livelock (when both flags are up,
+    the non-owner side wins and the owner falls back to L).
+
+    Owner functions must only be called from the designated owner thread;
+    non-owner functions from any other thread. *)
+
+type t
+
+val create : Tsim.Machine.t -> t
+
+val owner_lock : t -> unit
+
+val owner_unlock : t -> unit
+
+val owner_fast_acquisitions : t -> int
+(** Acquisitions that took the fence-protected fast path (no L). *)
+
+val owner_slow_acquisitions : t -> int
+
+val nonowner_lock : t -> unit
+
+val nonowner_unlock : t -> unit

@@ -1,0 +1,37 @@
+open Tsim
+
+type t =
+  | Delta of int
+  | Core_array of { base : int; ncores : int; stride : int }
+
+let visible_horizon t ~now =
+  match t with
+  | Delta d -> now - d
+  | Core_array { base; ncores; stride } ->
+      let rec scan i acc =
+        if i >= ncores then acc
+        else scan (i + 1) (min acc (Sim.load (base + (i * stride))))
+      in
+      (* A core's kernel entry at time [a] drained all its stores issued
+         before [a]; the global horizon is the minimum over cores. *)
+      scan 0 max_int
+
+let wait_visible t ~since =
+  match t with
+  | Delta d ->
+      (* The deadline is a property of global time: sleeping is exactly
+         as good as spinning here. *)
+      Sim.stall_until (since + d + 1)
+  | Core_array _ ->
+      let rec probe () =
+        let now = Sim.clock () in
+        if visible_horizon t ~now <= since then begin
+          Sim.work 50;
+          probe ()
+        end
+      in
+      probe ()
+
+let pp fmt = function
+  | Delta d -> Format.fprintf fmt "TBTSO[Δ=%d ticks]" d
+  | Core_array { ncores; _ } -> Format.fprintf fmt "x86-adapted[%d cores]" ncores

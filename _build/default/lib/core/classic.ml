@@ -1,0 +1,109 @@
+open Tsim
+
+type flavour = Sc_only | Fenced | Asymmetric of Bound.t
+
+(* Publish the stores a side has issued so far, according to its role in
+   the chosen flavour: the fenced algorithm fences both sides; the
+   asymmetric one fences only side 1 and additionally waits out the
+   bound so that side 0's unfenced stores can be trusted afterwards. *)
+let publish flavour ~side =
+  match flavour with
+  | Sc_only -> ()
+  | Fenced -> Sim.fence ()
+  | Asymmetric bound ->
+      if side = 1 then begin
+        Sim.fence ();
+        let now = Sim.clock () in
+        Bound.wait_visible bound ~since:now
+      end
+
+let spin_until cond =
+  Sim.spin_while (fun () ->
+      if cond () then false
+      else begin
+        Sim.work 10;
+        true
+      end)
+
+module Peterson = struct
+  type t = { flags : int; turn : int; flavour : flavour }
+
+  let create machine flavour =
+    (match flavour with
+    | Asymmetric _ ->
+        (* Peterson's algorithm writes [turn] from BOTH sides. The
+           asymmetric transform bounds store *visibility* but not the
+           *commit order* of two racing stores: side 0's unfenced
+           turn-write can commit after side 1's, making a stale
+           "I give way" reappear and admit side 1 into an occupied
+           critical section. Dice et al. built on Dekker — whose turn is
+           only written by the critical-section owner — for exactly this
+           reason. See test_classic.ml for the demonstrating schedule. *)
+        invalid_arg
+          "Classic.Peterson: the asymmetric transform is unsound for Peterson \
+           (racing turn writes); use Dekker"
+    | Sc_only | Fenced -> ());
+    {
+      flags = Machine.alloc_global machine 16;
+      turn = Machine.alloc_global machine 8;
+      flavour;
+    }
+
+  (* For the negative demonstration only. *)
+  let create_unsound_asymmetric machine bound =
+    {
+      flags = Machine.alloc_global machine 16;
+      turn = Machine.alloc_global machine 8;
+      flavour = Asymmetric bound;
+    }
+
+  let flag t i = t.flags + (i * 8)
+
+  let lock t ~side =
+    let other = 1 - side in
+    Sim.store (flag t side) 1;
+    Sim.store t.turn other;
+    publish t.flavour ~side;
+    spin_until (fun () -> Sim.load (flag t other) = 0 || Sim.load t.turn = side)
+
+  let unlock t ~side = Sim.store (flag t side) 0
+end
+
+module Dekker = struct
+  type t = { flags : int; turn : int; flavour : flavour }
+
+  let create machine flavour =
+    {
+      flags = Machine.alloc_global machine 16;
+      turn = Machine.alloc_global machine 8;
+      flavour;
+    }
+
+  let flag t i = t.flags + (i * 8)
+
+  let lock t ~side =
+    let other = 1 - side in
+    Sim.store (flag t side) 1;
+    publish t.flavour ~side;
+    let rec contend () =
+      if Sim.load (flag t other) <> 0 then begin
+        if Sim.load t.turn <> side then begin
+          (* Not our turn: get out of the way until the owner exits
+             (only the exiting side ever writes [turn]). *)
+          Sim.store (flag t side) 0;
+          spin_until (fun () -> Sim.load t.turn = side);
+          Sim.store (flag t side) 1;
+          (* Re-publication: the slow side must re-establish its
+             visibility guarantee for the fresh flag store. *)
+          publish t.flavour ~side
+        end
+        else Sim.work 10;
+        contend ()
+      end
+    in
+    contend ()
+
+  let unlock t ~side =
+    Sim.store t.turn (1 - side);
+    Sim.store (flag t side) 0
+end

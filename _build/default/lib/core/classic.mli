@@ -1,0 +1,51 @@
+(** Classic two-thread mutual exclusion algorithms on the simulated
+    machine: Peterson's and Dekker's algorithms, in three flavours each —
+    as published (correct only under sequential consistency), fenced for
+    TSO, and {e asymmetric} à la Dice, Huang & Yang (the paper's related
+    work [11]): thread 0 fence-free, thread 1 compensating with the
+    TBTSO visibility bound.
+
+    These serve three purposes: they are the historical root of the flag
+    principle the paper builds on; they are sharp machine tests (the
+    unfenced versions demonstrably break under TSO); and the asymmetric
+    variants show the TBTSO recipe applying beyond the paper's two case
+    studies.
+
+    Each lock is for exactly two threads, identified as side 0 and 1. *)
+
+type flavour =
+  | Sc_only  (** As published: no fences. Correct on SC, broken on TSO. *)
+  | Fenced  (** Fences after the flag/intent stores: correct on TSO. *)
+  | Asymmetric of Bound.t
+      (** Side 0 fence-free; side 1 fences and waits out the bound before
+          trusting what it reads of side 0's flag. Correct on TBTSO. *)
+
+module Peterson : sig
+  type t
+
+  val create : Tsim.Machine.t -> flavour -> t
+  (** @raise Invalid_argument for [Asymmetric]: Peterson writes [turn]
+      from both sides, and bounding store {e visibility} does not bound
+      the {e commit order} of racing stores — a stale give-way can
+      resurface and break mutual exclusion. Use {!Dekker}, whose turn is
+      written only by the critical-section owner (the reason Dice et
+      al.'s asymmetric construction starts from Dekker). *)
+
+  val create_unsound_asymmetric : Tsim.Machine.t -> Bound.t -> t
+  (** The rejected construction, exposed so tests can exhibit the
+      violating schedule. Never use outside demonstrations. *)
+
+  val lock : t -> side:int -> unit
+
+  val unlock : t -> side:int -> unit
+end
+
+module Dekker : sig
+  type t
+
+  val create : Tsim.Machine.t -> flavour -> t
+
+  val lock : t -> side:int -> unit
+
+  val unlock : t -> side:int -> unit
+end

@@ -1,0 +1,36 @@
+(** Drop-the-Anchor-style reclamation (comparison system; Braginsky,
+    Kogan & Petrank, SPAA 2013) — simplified.
+
+    Cost profile per the paper's evaluation (Section 7.1): every reader
+    operation stamps a per-thread timestamp at begin and end ({e with} a
+    fence) and performs at least one anchor CAS, so short operations pay
+    heavily; an updater, after removing a node, reads {e every} thread's
+    timestamp — one likely cache miss per thread — making updates very
+    expensive (the paper measures >100× worse than other methods).
+
+    Simplification (documented in DESIGN.md): the anchor/freezing
+    recovery machinery that lets real DTA reclaim past a {e stalled}
+    reader is stubbed by the anchor CAS cost only; reclamation here waits
+    for all in-flight operations, like an interval-based scheme. The
+    fast-path and update cost profiles — what Figure 6 measures — are
+    faithful; the stall experiment (Figure 7) excludes DTA, as in the
+    paper. *)
+
+type domain
+
+val create_domain :
+  Tsim.Machine.t -> nthreads:int -> batch:int -> free:(int -> unit) -> domain
+(** [batch]: retired objects a thread accumulates before paying the
+    all-threads timestamp scan. The paper's DTA scans on every remove;
+    use [batch = 1] to reproduce that. *)
+
+val deferred : domain -> int
+
+type t
+
+val handle : domain -> tid:int -> t
+
+module Policy : Smr.POLICY with type t = t
+
+val idle_stamp : int
+(** Timestamp value marking a thread as outside any operation. *)

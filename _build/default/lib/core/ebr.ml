@@ -1,0 +1,107 @@
+open Tsim
+
+(* A thread's announcement word packs (epoch, active-bit). *)
+let announce ~epoch ~active = (epoch * 2) + if active then 1 else 0
+
+let announce_epoch x = x / 2
+
+let announce_active x = x land 1 = 1
+
+type domain = {
+  mem : Memory.t;
+  epoch : int;  (* global epoch cell *)
+  ann_base : int;  (* per-thread announcement, one line each *)
+  nthreads : int;
+  batch : int;
+  free : int -> unit;
+  mutable deferred : int;
+}
+
+let line = 8
+
+let create_domain machine ~nthreads ~batch ~free =
+  let epoch = Machine.alloc_global machine line in
+  let ann_base = Machine.alloc_global machine (nthreads * line) in
+  { mem = Machine.memory machine; epoch; ann_base; nthreads; batch; free; deferred = 0 }
+
+let ann d tid = d.ann_base + (tid * line)
+
+let global_epoch d = Memory.read d.mem d.epoch
+
+let deferred d = d.deferred
+
+type t = {
+  dom : domain;
+  tid : int;
+  (* Garbage bucketed by retirement epoch mod 3: anything two epochs old
+     is unreachable by every active reader. *)
+  limbo : int list array;
+  mutable since_advance : int;
+}
+
+let handle dom ~tid = { dom; tid; limbo = Array.make 3 []; since_advance = 0 }
+
+let free_bucket t idx =
+  List.iter
+    (fun objp ->
+      t.dom.free objp;
+      t.dom.deferred <- t.dom.deferred - 1;
+      Sim.work 2)
+    t.limbo.(idx);
+  t.limbo.(idx) <- []
+
+(* Try to advance the global epoch: legal once every ACTIVE thread has
+   announced the current epoch. On success, garbage from two epochs ago
+   becomes free. *)
+let try_advance t =
+  let d = t.dom in
+  let e = Sim.load d.epoch in
+  let rec all_caught_up tid =
+    tid >= d.nthreads
+    ||
+    let a = Sim.load (ann d tid) in
+    ((not (announce_active a)) || announce_epoch a = e) && all_caught_up (tid + 1)
+  in
+  if all_caught_up 0 && Sim.cas d.epoch ~expected:e ~desired:(e + 1) then
+    free_bucket t ((e + 2) mod 3)
+(* bucket (e+1)-2 ≡ e+2 mod 3 *)
+
+module Policy = struct
+  type nonrec t = t
+
+  let name = "EBR"
+
+  let begin_op t =
+    let e = Sim.load t.dom.epoch in
+    Sim.store (ann t.dom t.tid) (announce ~epoch:e ~active:true);
+    (* The announcement must be globally visible before we read the data
+       structure, or a reclaimer could advance past us: the fence EBR
+       pays per operation (and FFHP does not). *)
+    Sim.fence ()
+
+  let end_op t =
+    let e = Sim.load t.dom.epoch in
+    Sim.store (ann t.dom t.tid) (announce ~epoch:e ~active:false)
+
+  let abort_cleanup _ = ()
+
+  let quiescent _ = ()
+
+  let read _ a = Sim.load a
+
+  let protect _ ~slot:_ ~ptr:_ = ()
+
+  let protect_copy _ ~slot:_ ~ptr:_ = ()
+
+  let validate _ ~src:_ ~expected:_ = true
+
+  let retire t objp =
+    let e = Sim.load t.dom.epoch in
+    t.limbo.(e mod 3) <- objp :: t.limbo.(e mod 3);
+    t.dom.deferred <- t.dom.deferred + 1;
+    t.since_advance <- t.since_advance + 1;
+    if t.since_advance >= t.dom.batch then begin
+      t.since_advance <- 0;
+      try_advance t
+    end
+end

@@ -1,0 +1,29 @@
+(** Epoch-based reclamation (Fraser 2004) — the related-work comparator
+    the paper groups with RCU: "most quiescence-based memory reclamation
+    methods ... cannot be both nonblocking and guarantee bounded memory
+    consumption".
+
+    Readers announce the global epoch on operation entry ({e with a
+    fence} — the announcement must be visible before the data-structure
+    reads it covers) and mark themselves inactive on exit. A retiring
+    thread buckets garbage by epoch and occasionally tries to advance the
+    global epoch, which succeeds only when every active thread has
+    observed the current one; garbage two epochs old is then freed.
+    A stalled reader pins the epoch and memory grows without bound —
+    the contrast FFHP's Δ bound removes. *)
+
+type domain
+
+val create_domain :
+  Tsim.Machine.t -> nthreads:int -> batch:int -> free:(int -> unit) -> domain
+(** [batch]: retires between epoch-advance attempts. *)
+
+val global_epoch : domain -> int
+
+val deferred : domain -> int
+
+type t
+
+val handle : domain -> tid:int -> t
+
+module Policy : Smr.POLICY with type t = t

@@ -1,0 +1,43 @@
+(** Fence-free biased lock — the paper's Section 5 contribution
+    (Figure 3, bottom row).
+
+    The owner's fast path is a plain store and a load: no fence, no
+    atomic. Safety comes from the TBTSO flag principle: the non-owner,
+    after raising its flag and fencing, waits until every owner store
+    issued before the fence is globally visible (per the configured
+    {!Bound}) before inspecting the owner's flag.
+
+    Flags are (version, raised) pairs packed into one word. The {e echo}
+    optimization (Morrison & Afek's echoing, [29]): when the owner backs
+    off and spins on L, it copies the version it reads from the
+    non-owner's flag into its own flag; the non-owner, seeing its own
+    current version echoed, learns that the owner has observed it and cuts
+    the Δ wait short. Echoes reach memory in ordinary store-drain time —
+    far sooner than Δ — so a frequently-arriving owner restores non-owner
+    latency to standard-lock levels (Figure 8, middle patterns). *)
+
+type t
+
+val create : Tsim.Machine.t -> bound:Bound.t -> echo:bool -> t
+
+val owner_lock : t -> unit
+(** Fence-free fast path; falls back to the internal lock L (echoing
+    while it spins, when enabled) if the non-owner flag is up. *)
+
+val owner_unlock : t -> unit
+
+val owner_fast_acquisitions : t -> int
+
+val owner_slow_acquisitions : t -> int
+
+val nonowner_lock : t -> unit
+(** Serializes on L, raises the flag, fences, then waits for the bound
+    horizon or an echo, then for the owner flag to drop. *)
+
+val nonowner_unlock : t -> unit
+
+val nonowner_echo_cuts : t -> int
+(** Non-owner acquisitions whose Δ wait was cut short by an echo. *)
+
+val nonowner_full_waits : t -> int
+(** Non-owner acquisitions that waited out the full bound horizon. *)

@@ -1,0 +1,118 @@
+open Tsim
+
+type t = {
+  dom : Hazard.domain;
+  bound : Bound.t;
+  tid : int;
+  mutable rlist_rev : (int * int) list;  (* (object, retire time), newest first *)
+  mutable rcount : int;
+  mutable reclaim_calls : int;
+  mutable empty_reclaims : int;
+  mutable reclaimed : int;
+  mutable max_reclaim_rounds : int;
+}
+
+let handle dom ~bound ~tid =
+  {
+    dom;
+    bound;
+    tid;
+    rlist_rev = [];
+    rcount = 0;
+    reclaim_calls = 0;
+    empty_reclaims = 0;
+    reclaimed = 0;
+    max_reclaim_rounds = 0;
+  }
+
+let retired_pending t = t.rcount
+
+let reclaim_calls t = t.reclaim_calls
+
+let empty_reclaims t = t.empty_reclaims
+
+let reclaimed t = t.reclaimed
+
+let max_reclaim_rounds t = t.max_reclaim_rounds
+
+(* Figure 2b reclaim(): consider only objects retired before the
+   visibility horizon; scan hazard pointers; free the unprotected ones.
+   Returns the number of objects freed. *)
+let reclaim t =
+  t.reclaim_calls <- t.reclaim_calls + 1;
+  let now = Sim.clock () in
+  let horizon = Bound.visible_horizon t.bound ~now in
+  let oldest_first = List.rev t.rlist_rev in
+  let eligible = match oldest_first with (_, time) :: _ -> time < horizon | [] -> false in
+  if not eligible then begin
+    (* No object is old enough: exit without paying for a scan. This is
+       also what makes the constrained Δ > R > H regime of Section 4.2.1
+       cost O(Δ) rather than O(Δ·H). *)
+    t.empty_reclaims <- t.empty_reclaims + 1;
+    0
+  end
+  else begin
+    let plist = Hazard.scan_protected t.dom in
+    let freed = ref 0 in
+    let kept = ref [] in
+    List.iter
+      (fun ((objp, time) as entry) ->
+        if time >= horizon then kept := entry :: !kept
+        else begin
+          Sim.work Hazard.lookup_cost;
+          if Hashtbl.mem plist objp then kept := entry :: !kept
+          else begin
+            Hazard.free_object t.dom objp;
+            t.rcount <- t.rcount - 1;
+            incr freed
+          end
+        end)
+      oldest_first;
+    t.rlist_rev <- !kept;
+    t.reclaimed <- t.reclaimed + !freed;
+    if !freed = 0 then t.empty_reclaims <- t.empty_reclaims + 1;
+    !freed
+  end
+
+let retire t objp =
+  (* Record the retirement time (Figure 2b line 37). The removal itself
+     was made globally visible by the remover's atomic operation. *)
+  let time = Sim.clock () in
+  t.rlist_rev <- (objp, time) :: t.rlist_rev;
+  t.rcount <- t.rcount + 1;
+  Sim.work 2;
+  (* Figure 2b line 39: loop until below R. Wait-free: once Δ elapses
+     since the newest retiree, a reclaim must free at least R − H > 0
+     objects, so the loop is bounded by a constant (≈ Δ / probe cost). *)
+  let rounds = ref 0 in
+  while t.rcount >= Hazard.r_max t.dom do
+    incr rounds;
+    let freed = reclaim t in
+    if freed = 0 then Sim.work 50
+  done;
+  if !rounds > t.max_reclaim_rounds then t.max_reclaim_rounds <- !rounds
+
+module Policy = struct
+  type nonrec t = t
+
+  let name = "FFHP"
+
+  let begin_op _ = ()
+
+  let end_op _ = ()
+
+  let abort_cleanup _ = ()
+
+  let quiescent _ = ()
+
+  let read _ a = Sim.load a
+
+  (* The whole point: a plain store, no fence. *)
+  let protect t ~slot ~ptr = Sim.store (Hazard.slot_addr t.dom ~tid:t.tid ~slot) ptr
+
+  let protect_copy t ~slot ~ptr = Sim.store (Hazard.slot_addr t.dom ~tid:t.tid ~slot) ptr
+
+  let validate _ ~src ~expected = Sim.load src = expected
+
+  let retire = retire
+end

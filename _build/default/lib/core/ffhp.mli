@@ -1,0 +1,41 @@
+(** Fence-free hazard pointers — the paper's Section 4 contribution
+    (Figure 2b).
+
+    Identical to standard hazard pointers on the fast path {e except} that
+    the fence after writing a hazard pointer is omitted. Safety is
+    restored on the slow path: each retired object is stamped with the
+    global-clock time of its retirement, and reclamation only examines
+    objects whose retirement is older than the visibility horizon of the
+    configured {!Bound} policy ([now − Δ] under TBTSO[Δ], or
+    [min_i A(i)] under the Section 6.2 x86 adaptation).
+
+    Correctness argument (Section 4.2): a thread holding an unvalidated
+    reference to object [O] either (a) wrote its hazard pointer more than
+    Δ ago, in which case the write is globally visible and the scan sees
+    it; or (b) has not yet written/validated, in which case its validation
+    read happens after the (atomic, hence visible) removal of [O] and
+    fails. *)
+
+type t
+
+val handle : Hazard.domain -> bound:Bound.t -> tid:int -> t
+(** When [Hazard.r_max dom] may be at or below the number of objects that
+    can retire within Δ, reclamation naturally degenerates to the paper's
+    constrained Δ > R > H regime: reclaim() exits early (without a scan)
+    until the oldest retirees age past the horizon. *)
+
+val retired_pending : t -> int
+
+val reclaim_calls : t -> int
+(** Invocations of reclaim(), including early exits. *)
+
+val empty_reclaims : t -> int
+(** reclaim() calls that freed nothing (waiting on the Δ horizon). *)
+
+val reclaimed : t -> int
+
+val max_reclaim_rounds : t -> int
+(** Largest number of reclaim() rounds a single retire() needed — the
+    wait-freedom witness: bounded because Δ is a constant. *)
+
+module Policy : Smr.POLICY with type t = t

@@ -1,0 +1,42 @@
+open Tsim
+
+type t = { flag0 : int; flag1 : int; mem : Memory.t }
+
+let create machine =
+  let flag0 = Machine.alloc_global machine 8 in
+  let flag1 = Machine.alloc_global machine 8 in
+  { flag0; flag1; mem = Machine.memory machine }
+
+let reset t =
+  Memory.write t.mem ~tid:(-1) ~at:0 t.flag0 0;
+  Memory.write t.mem ~tid:(-1) ~at:0 t.flag1 0
+
+let t0_symmetric t =
+  Sim.store t.flag0 1;
+  Sim.fence ();
+  Sim.load t.flag1 <> 0
+
+let t1_symmetric t =
+  Sim.store t.flag1 1;
+  Sim.fence ();
+  Sim.load t.flag0 <> 0
+
+let t0_fence_free t =
+  Sim.store t.flag0 1;
+  Sim.load t.flag1 <> 0
+
+let t1_bounded t ~bound =
+  Sim.store t.flag1 1;
+  Sim.fence ();
+  (* Every store of t0 issued before [now] is visible once the wait
+     completes; a t0 store issued after [now] necessarily follows t0's
+     read of flag1, which sees it raised (the fence above made it
+     globally visible). *)
+  let now = Sim.clock () in
+  Bound.wait_visible bound ~since:now;
+  Sim.load t.flag0 <> 0
+
+let t1_unsound_no_wait t =
+  Sim.store t.flag1 1;
+  Sim.fence ();
+  Sim.load t.flag0 <> 0

@@ -1,0 +1,41 @@
+(** The flag principle and its TBTSO variant (Section 3 of the paper).
+
+    Two threads each raise a flag and then look at the other's flag; the
+    principle guarantees at least one sees the other's flag raised. The
+    classic version needs a fence in both threads; the TBTSO version
+    removes the fence from [t0] and compensates by making [t1] wait until
+    [t0]'s potential store is bounded-visible.
+
+    These are the building blocks that FFHP and FFBL instantiate; they are
+    exposed directly for tests, examples and documentation. *)
+
+type t
+(** A flag pair allocated in simulated memory. *)
+
+val create : Tsim.Machine.t -> t
+
+val reset : t -> unit
+(** Driver-side reset of both flags to 0 (between experiment rounds). *)
+
+(** Each protocol function runs on a simulated thread and returns whether
+    this side saw the {e other} side's flag raised. The principle holds
+    when not both return [false]. *)
+
+val t0_symmetric : t -> bool
+(** raise flag0; fence; read flag1. *)
+
+val t1_symmetric : t -> bool
+(** raise flag1; fence; read flag0. *)
+
+val t0_fence_free : t -> bool
+(** raise flag0; {e no fence}; read flag1 — the TBTSO fast path. *)
+
+val t1_bounded : t -> bound:Bound.t -> bool
+(** raise flag1; fence; wait until all stores issued before the fence
+    completion are visible (per [bound]); read flag0 — the TBTSO slow
+    path. *)
+
+val t1_unsound_no_wait : t -> bool
+(** raise flag1; fence; read flag0 immediately. Pairing this with
+    {!t0_fence_free} is unsound on TSO/TBTSO: both sides can miss. Used
+    by tests demonstrating why the wait matters. *)

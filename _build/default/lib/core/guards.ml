@@ -1,0 +1,112 @@
+open Tsim
+
+type domain = {
+  hazard : Hazard.domain;  (* guard slots = hazard-pointer slots *)
+  bound : Bound.t;
+  pool_max : int;
+  (* The shared pool of removed objects: host-side, like the retired
+     lists (private bookkeeping with no memory-model semantics; mutual
+     exclusion on it is modelled by the charge in [retire]). *)
+  mutable pool : (int * int) list;  (* (object, retire time), newest first *)
+  mutable pool_size : int;
+  mutable liberated : int;
+  mutable liberating : bool;
+      (* Liberation spans simulated suspension points; real guards take a
+         lock here. Modelled as a host-side flag checked atomically
+         between effects. *)
+}
+
+let create_domain machine ~nthreads ?(slots_per_thread = 3) ~pool_max ~bound ~free () =
+  let hazard =
+    Hazard.create_domain machine ~nthreads ~slots_per_thread ~r_max:(pool_max + 1) ~free ()
+  in
+  { hazard; bound; pool_max; pool = []; pool_size = 0; liberated = 0; liberating = false }
+
+let pool_size d = d.pool_size
+
+let liberated d = d.liberated
+
+type t = { dom : domain; tid : int }
+
+let handle dom ~tid = { dom; tid }
+
+(* Liberate: free every pooled object that is older than the visibility
+   horizon and not protected by any guard. The caller holds the
+   liberation flag; objects retired by other threads while we scan are
+   spliced back in at the end. *)
+let liberate t =
+  let d = t.dom in
+  let now = Sim.clock () in
+  let horizon = Bound.visible_horizon d.bound ~now in
+  let snapshot = d.pool in
+  let snapshot_len = List.length snapshot in
+  let oldest_first = List.rev snapshot in
+  let eligible = match oldest_first with (_, time) :: _ -> time < horizon | [] -> false in
+  if eligible then begin
+    let plist = Hazard.scan_protected d.hazard in
+    let kept = ref [] in
+    List.iter
+      (fun ((objp, time) as entry) ->
+        if time >= horizon then kept := entry :: !kept
+        else begin
+          Sim.work Hazard.lookup_cost;
+          if Hashtbl.mem plist objp then kept := entry :: !kept
+          else begin
+            Hazard.free_object d.hazard objp;
+            d.pool_size <- d.pool_size - 1;
+            d.liberated <- d.liberated + 1
+          end
+        end)
+      oldest_first;
+    (* Entries pushed while we were suspended inside the scan. *)
+    let added =
+      let extra = List.length d.pool - snapshot_len in
+      List.filteri (fun i _ -> i < extra) d.pool
+    in
+    d.pool <- added @ !kept
+  end
+
+module Policy = struct
+  type nonrec t = t
+
+  let name = "FF-Guards"
+
+  let begin_op _ = ()
+
+  let end_op _ = ()
+
+  let abort_cleanup _ = ()
+
+  let quiescent _ = ()
+
+  let read _ a = Sim.load a
+
+  (* The fence-free guard post. *)
+  let protect t ~slot ~ptr = Sim.store (Hazard.slot_addr t.dom.hazard ~tid:t.tid ~slot) ptr
+
+  let protect_copy = protect
+
+  let validate _ ~src ~expected = Sim.load src = expected
+
+  let retire t objp =
+    (* The shared pool is synchronized in real guards; charge an atomic's
+       worth of work for the pool insertion. *)
+    Sim.work 4;
+    t.dom.pool <- (objp, Sim.clock ()) :: t.dom.pool;
+    t.dom.pool_size <- t.dom.pool_size + 1;
+    while t.dom.pool_size > t.dom.pool_max do
+      if t.dom.liberating then
+        (* Someone else is liberating; let them make room. *)
+        Sim.work 50
+      else begin
+        t.dom.liberating <- true;
+        let before = t.dom.pool_size in
+        (match liberate t with
+        | () -> t.dom.liberating <- false
+        | exception e ->
+            t.dom.liberating <- false;
+            raise e);
+        if t.dom.pool_size = before then Sim.work 50
+      end
+    done
+end

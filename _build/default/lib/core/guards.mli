@@ -1,0 +1,40 @@
+(** Fence-free guards — Herlihy et al.'s SMR variant (TOCS 2005), with
+    the paper's fence elimination applied.
+
+    Section 4 of the paper notes its ideas "apply equally well to
+    Herlihy et al.'s guards — an SMR method that differs from hazard
+    pointers only in how removed objects are stored before being
+    reclaimed": guards keep a single {e shared} pool of removed objects
+    ("liberated" in batches) instead of per-thread retired lists. The
+    guard-posting fast path is identical to FFHP's: an unfenced store
+    plus validation, made safe by deferring examination of an object
+    until the {!Bound} horizon passes its liberation time. *)
+
+type domain
+
+val create_domain :
+  Tsim.Machine.t ->
+  nthreads:int ->
+  ?slots_per_thread:int ->
+  pool_max:int ->
+  bound:Bound.t ->
+  free:(int -> unit) ->
+  unit ->
+  domain
+(** [pool_max] plays R's role for the shared pool: the pool size that
+    triggers liberation; must exceed the total guard count. *)
+
+val pool_size : domain -> int
+(** Objects awaiting liberation. *)
+
+val liberated : domain -> int
+(** Total objects freed so far. *)
+
+type t
+
+val handle : domain -> tid:int -> t
+
+module Policy : Smr.POLICY with type t = t
+(** [retire] adds to the shared pool; the retiring thread liberates the
+    pool when it exceeds [pool_max], freeing every unguarded object
+    whose retirement predates the visibility horizon. *)

@@ -1,0 +1,56 @@
+open Tsim
+
+type domain = {
+  hp_base : int;
+  nthreads : int;
+  slots : int;
+  r_max : int;
+  free : int -> unit;
+}
+
+(* One 8-word line per thread keeps each thread's slots private to a line
+   (slots_per_thread <= 8 asserted below). *)
+let line_words = 8
+
+let create_domain machine ~nthreads ?(slots_per_thread = 3) ~r_max ~free () =
+  if slots_per_thread > line_words then
+    invalid_arg "Hazard.create_domain: at most 8 slots per thread";
+  let h = nthreads * slots_per_thread in
+  if r_max <= h then
+    invalid_arg
+      (Printf.sprintf
+         "Hazard.create_domain: need R > H for wait-free reclamation (R=%d, H=%d)" r_max h);
+  let hp_base = Machine.alloc_global machine (nthreads * line_words) in
+  { hp_base; nthreads; slots = slots_per_thread; r_max; free }
+
+let nthreads d = d.nthreads
+
+let slots_per_thread d = d.slots
+
+let total_slots d = d.nthreads * d.slots
+
+let r_max d = d.r_max
+
+let free_object d p = d.free p
+
+let slot_addr d ~tid ~slot =
+  assert (tid >= 0 && tid < d.nthreads && slot >= 0 && slot < d.slots);
+  d.hp_base + (tid * line_words) + slot
+
+let lookup_cost = 4
+
+let scan_protected d =
+  let plist = Hashtbl.create (2 * total_slots d) in
+  for tid = 0 to d.nthreads - 1 do
+    (* Ascending slot order within a thread (Figure 2a discussion): if a
+       value is copied from hp_i to hp_j (j > i) and the scan sees hp_i's
+       overwritten value, TSO store ordering guarantees it sees the copy
+       in hp_j. *)
+    for slot = 0 to d.slots - 1 do
+      let v = Sim.load (slot_addr d ~tid ~slot) in
+      if v <> 0 then Hashtbl.replace plist v ()
+    done
+  done;
+  (* Model the cost of organizing plist for lookups (sort, Figure 2a). *)
+  Sim.work (total_slots d);
+  plist

@@ -1,0 +1,46 @@
+(** Shared infrastructure for the two hazard-pointer schemes.
+
+    Owns the global hazard-pointer array (the paper's [hplist]) in
+    simulated memory — one cache line per thread to avoid false sharing —
+    and the reclaimer-side scan. {!Hp} (standard, Figure 2a) and {!Ffhp}
+    (fence-free, Figure 2b) build their policies on top. *)
+
+type domain
+
+val create_domain :
+  Tsim.Machine.t ->
+  nthreads:int ->
+  ?slots_per_thread:int ->
+  r_max:int ->
+  free:(int -> unit) ->
+  unit ->
+  domain
+(** [slots_per_thread] defaults to 3 (hp0..hp2 of Figure 1). [r_max] is
+    the paper's R: the retired-list length that triggers reclamation;
+    must exceed the total hazard-pointer count H = nthreads × slots for
+    reclamation to be wait-free (asserted). [free] releases one object. *)
+
+val nthreads : domain -> int
+
+val slots_per_thread : domain -> int
+
+val total_slots : domain -> int
+(** H. *)
+
+val r_max : domain -> int
+
+val free_object : domain -> int -> unit
+
+val slot_addr : domain -> tid:int -> slot:int -> int
+(** Simulated address of hazard pointer [slot] of thread [tid]. *)
+
+val scan_protected : domain -> (int, unit) Hashtbl.t
+(** The reclaim() scan (Figure 2 lines 15-20 / 43-49): read every hazard
+    pointer in the system — each thread's slots in ascending index order,
+    which is what makes unfenced {!Smr.POLICY.protect_copy} sound — and
+    return the set of protected objects. Performs one simulated load per
+    slot plus bookkeeping work, and must run on a simulated thread. *)
+
+val lookup_cost : int
+(** Simulated ticks charged per retired-object membership test, modelling
+    the paper's sorted-array binary search (O(log H)). *)

@@ -1,0 +1,76 @@
+open Tsim
+
+type t = {
+  dom : Hazard.domain;
+  tid : int;
+  mutable rlist_rev : int list;  (* newest retired first *)
+  mutable rcount : int;
+  mutable reclaim_calls : int;
+  mutable reclaimed : int;
+}
+
+let handle dom ~tid =
+  { dom; tid; rlist_rev = []; rcount = 0; reclaim_calls = 0; reclaimed = 0 }
+
+let retired_pending t = t.rcount
+
+let reclaim_calls t = t.reclaim_calls
+
+let reclaimed t = t.reclaimed
+
+(* Figure 2a reclaim(): scan all hazard pointers, then free every retired
+   object no hazard pointer protects. *)
+let reclaim t =
+  t.reclaim_calls <- t.reclaim_calls + 1;
+  let plist = Hazard.scan_protected t.dom in
+  let kept = ref [] in
+  let oldest_first = List.rev t.rlist_rev in
+  List.iter
+    (fun objp ->
+      Sim.work Hazard.lookup_cost;
+      if Hashtbl.mem plist objp then kept := objp :: !kept
+      else begin
+        Hazard.free_object t.dom objp;
+        t.rcount <- t.rcount - 1;
+        t.reclaimed <- t.reclaimed + 1
+      end)
+    oldest_first;
+  (* !kept is newest-first again, matching rlist_rev's order. *)
+  t.rlist_rev <- !kept
+
+let retire t objp =
+  t.rlist_rev <- objp :: t.rlist_rev;
+  t.rcount <- t.rcount + 1;
+  Sim.work 2;
+  if t.rcount >= Hazard.r_max t.dom then reclaim t
+
+module Policy = struct
+  type nonrec t = t
+
+  let name = "HP"
+
+  let begin_op _ = ()
+
+  let end_op _ = ()
+
+  let abort_cleanup _ = ()
+
+  let quiescent _ = ()
+
+  let read _ a = Sim.load a
+
+  let protect t ~slot ~ptr =
+    Sim.store (Hazard.slot_addr t.dom ~tid:t.tid ~slot) ptr;
+    (* The fence orders the hazard-pointer publication before the
+       validation read — the cost FFHP removes. *)
+    Sim.fence ()
+
+  let protect_copy t ~slot ~ptr =
+    (* Copying into a higher slot needs no fence (Figure 1 lines 42/51):
+       reclaimers scan slots in ascending order under TSO. *)
+    Sim.store (Hazard.slot_addr t.dom ~tid:t.tid ~slot) ptr
+
+  let validate _ ~src ~expected = Sim.load src = expected
+
+  let retire = retire
+end

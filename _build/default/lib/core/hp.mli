@@ -1,0 +1,22 @@
+(** Standard hazard pointers (Michael 2004; paper Figure 2a).
+
+    The baseline the paper improves on: protecting an object requires a
+    store to a hazard-pointer slot followed by a {e full memory fence}
+    before the validation read — the fence is the fast-path cost that
+    FFHP eliminates. *)
+
+type t
+(** Per-thread handle. *)
+
+val handle : Hazard.domain -> tid:int -> t
+
+val retired_pending : t -> int
+(** Objects retired by this thread and not yet reclaimed (the paper's
+    rcount; bounded by R + slots kept protected). *)
+
+val reclaim_calls : t -> int
+
+val reclaimed : t -> int
+
+(** The SMR policy (plug into [Structures.Michael_list.Make]). *)
+module Policy : Smr.POLICY with type t = t

@@ -1,0 +1,63 @@
+open Tsim
+
+module Leak = struct
+  type t = { mutable retired : int }
+
+  let handle () = { retired = 0 }
+
+  let retired t = t.retired
+
+  module Policy = struct
+    type nonrec t = t
+
+    let name = "leak"
+
+    let begin_op _ = ()
+
+    let end_op _ = ()
+
+    let abort_cleanup _ = ()
+
+    let quiescent _ = ()
+
+    let read _ a = Sim.load a
+
+    let protect _ ~slot:_ ~ptr:_ = ()
+
+    let protect_copy _ ~slot:_ ~ptr:_ = ()
+
+    let validate _ ~src:_ ~expected:_ = true
+
+    let retire t _ = t.retired <- t.retired + 1
+  end
+end
+
+module Unsafe_free = struct
+  type t = { free : int -> unit }
+
+  let handle ~free = { free }
+
+  module Policy = struct
+    type nonrec t = t
+
+    let name = "unsafe-free"
+
+    let begin_op _ = ()
+
+    let end_op _ = ()
+
+    let abort_cleanup _ = ()
+
+    let quiescent _ = ()
+
+    let read _ a = Sim.load a
+
+    let protect _ ~slot:_ ~ptr:_ = ()
+
+    let protect_copy _ ~slot:_ ~ptr:_ = ()
+
+    let validate _ ~src:_ ~expected:_ = true
+
+    let retire t objp = t.free objp
+  end
+end

@@ -1,0 +1,26 @@
+(** Deliberately naive reclamation policies, for baselines and negative
+    tests.
+
+    - {!Leak} never frees: always memory-safe, unbounded memory.
+    - {!Unsafe_free} frees immediately at retire: this is the bug SMR
+      exists to prevent — under concurrent readers the machine's
+      use-after-free oracle fires. Used by tests and the quickstart
+      example to demonstrate the problem. *)
+
+module Leak : sig
+  type t
+
+  val handle : unit -> t
+
+  val retired : t -> int
+
+  module Policy : Smr.POLICY with type t = t
+end
+
+module Unsafe_free : sig
+  type t
+
+  val handle : free:(int -> unit) -> t
+
+  module Policy : Smr.POLICY with type t = t
+end

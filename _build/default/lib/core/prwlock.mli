@@ -1,0 +1,49 @@
+(** Fence-free passive reader-writer lock — an {e extension} applying the
+    TBTSO flag principle beyond the paper's two case studies.
+
+    Liu et al. (USENIX ATC 2014, the paper's related work [23]) build a
+    read-mostly lock whose readers avoid fences by having writers fire
+    inter-processor interrupts when store propagation lags. TBTSO makes
+    the IPI machinery unnecessary: the writer simply waits out the
+    visibility bound.
+
+    Reader fast path (no fence, no atomic):
+    raise the per-reader flag with a plain store, read the writer flag;
+    if clear, enter; otherwise lower the flag and wait. Writer slow path:
+    serialize on an internal lock, raise the writer flag, {e fence}, wait
+    until every reader store issued before the fence is visible (per the
+    {!Bound}), then wait for all reader flags to drop. Each reader/writer
+    pair is an instance of the Section 3 asymmetric flag principle.
+
+    {b Echoing} (on by default): a backing-off reader copies the writer's
+    round number into its ack slot. Store buffers drain in FIFO order, so
+    a visible ack certifies that all of that reader's earlier flag stores
+    have committed — the writer may stop waiting as soon as every reader
+    has acked, which keeps readers' lock-out window short when writes are
+    not rare. Readers that never ack (sleeping, or stalled inside the
+    critical section) are covered by the Δ fallback. This is the paper's
+    Section 5 echo mechanism transplanted to the reader-writer setting. *)
+
+type t
+
+val create : ?echo:bool -> Tsim.Machine.t -> nreaders:int -> bound:Bound.t -> t
+
+val read_lock : t -> reader:int -> unit
+(** Fast path for reader [reader] (0-based slot; one concurrent user per
+    slot). Fence-free and atomic-free when no writer is active. *)
+
+val read_unlock : t -> reader:int -> unit
+
+val write_lock : t -> unit
+(** Any thread; writers serialize on an internal lock. *)
+
+val write_unlock : t -> unit
+
+val reader_backoffs : t -> int
+(** Reader fast-path attempts aborted because a writer was active. *)
+
+val echo_cut_writes : t -> int
+(** Write acquisitions whose visibility wait was cut short by acks. *)
+
+val full_wait_writes : t -> int
+(** Write acquisitions that waited out the full bound horizon. *)

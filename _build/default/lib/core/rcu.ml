@@ -1,0 +1,100 @@
+open Tsim
+
+type domain = {
+  gp : int;  (* global grace-period counter (simulated memory) *)
+  qctr_base : int;  (* per-thread quiescent counters, one line each *)
+  nthreads : int;
+  free : int -> unit;
+  (* Host-side deferred list: RCU's callback list is private to the
+     updater/reclaimer and carries no memory-model semantics. *)
+  retired : (int * int) Queue.t;  (* (object, gp value at retire) *)
+  mutable deferred : int;
+  mutable grace_periods : int;
+}
+
+let line = 8
+
+let create_domain machine ~nthreads ~free =
+  let gp = Machine.alloc_global machine line in
+  let qctr_base = Machine.alloc_global machine (nthreads * line) in
+  {
+    gp;
+    qctr_base;
+    nthreads;
+    free;
+    retired = Queue.create ();
+    deferred = 0;
+    grace_periods = 0;
+  }
+
+let qctr d tid = d.qctr_base + (tid * line)
+
+let deferred d = d.deferred
+
+let grace_periods d = d.grace_periods
+
+type t = { dom : domain; tid : int }
+
+let handle dom ~tid = { dom; tid }
+
+let spawn_reclaimer machine dom ~period =
+  ignore
+    (Machine.spawn machine (fun () ->
+         while not (Sim.stopping ()) do
+           Sim.stall_for period;
+           (* Advance the grace period; the atomic makes it immediately
+              visible to readers' quiescent-state announcements. *)
+           let g = 1 + Sim.faa dom.gp 1 in
+           dom.grace_periods <- dom.grace_periods + 1;
+           (* Wait for every thread to pass a quiescent state in the new
+              period. A reader stalled inside an operation parks us here —
+              exactly RCU's unbounded-memory failure mode. *)
+           let tid = ref 0 in
+           while !tid < dom.nthreads && not (Sim.stopping ()) do
+             if Sim.load (qctr dom !tid) >= g then incr tid else Sim.work 50
+           done;
+           if !tid >= dom.nthreads then begin
+             (* Grace period complete: free everything retired before it
+                started. *)
+             let rec drain () =
+               match Queue.peek_opt dom.retired with
+               | Some (objp, snap) when snap < g ->
+                   ignore (Queue.pop dom.retired);
+                   dom.free objp;
+                   dom.deferred <- dom.deferred - 1;
+                   Sim.work 3;
+                   drain ()
+               | Some _ | None -> ()
+             in
+             drain ()
+           end
+         done))
+
+module Policy = struct
+  type nonrec t = t
+
+  let name = "RCU"
+
+  let begin_op _ = ()
+
+  let end_op _ = ()
+
+  let abort_cleanup _ = ()
+
+  (* The QSBR quiescent state: copy the grace counter into our slot. *)
+  let quiescent t = Sim.store (qctr t.dom t.tid) (Sim.load t.dom.gp)
+
+  let read _ a = Sim.load a
+
+  let protect _ ~slot:_ ~ptr:_ = ()
+
+  let protect_copy _ ~slot:_ ~ptr:_ = ()
+
+  let validate _ ~src:_ ~expected:_ = true
+
+  let retire t objp =
+    let snap = Sim.load t.dom.gp in
+    Queue.push (objp, snap) t.dom.retired;
+    t.dom.deferred <- t.dom.deferred + 1;
+    Sim.work 2
+end

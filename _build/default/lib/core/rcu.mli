@@ -1,0 +1,39 @@
+(** Userspace RCU, QSBR flavour (comparison system; McKenney & Slingwine).
+
+    Readers pay {e nothing} inside operations; between operations they
+    announce a quiescent state by copying the global grace-period counter
+    into their per-thread counter (one load + one plain store). Updaters
+    push removed objects onto a shared deferred list; a dedicated
+    reclaimer thread periodically advances the grace period, waits for
+    every thread to pass a quiescent state, and frees the eligible
+    objects.
+
+    Mirrors the paper's observations: fast-path performance equals FFHP;
+    reclamation is slower (periodic background thread, ~40% higher
+    steady-state memory); and a reader stalled {e inside} an operation
+    blocks all reclamation, so memory grows unboundedly with stall time
+    (Figure 7), unlike FFHP. *)
+
+type domain
+
+val create_domain :
+  Tsim.Machine.t -> nthreads:int -> free:(int -> unit) -> domain
+
+val spawn_reclaimer : Tsim.Machine.t -> domain -> period:int -> unit
+(** Spawn the background reclaimer thread: every [period] ticks it
+    advances the grace period and frees what it can. Runs until the
+    machine's stop request. Call after all worker threads are spawned. *)
+
+val deferred : domain -> int
+(** Objects retired and not yet freed. *)
+
+val grace_periods : domain -> int
+
+type t
+
+val handle : domain -> tid:int -> t
+
+module Policy : Smr.POLICY with type t = t
+(** [quiescent] announces the quiescent state; call it between
+    operations (the benchmark drivers do). [protect]/[validate] are
+    no-ops: RCU readers traverse without per-object protection. *)

@@ -1,0 +1,20 @@
+(** Conventional atomic reader-writer lock — the baseline the fence-free
+    {!Prwlock} is measured against.
+
+    Readers pay one atomic fetch-and-add on entry and one on exit (the
+    classic reader-count design, as in glibc's rwlock fast path); writers
+    set a writer bit and wait for the count to drain. Correct on any
+    memory model — and exactly the per-reader cost the TBTSO version
+    eliminates. *)
+
+type t
+
+val create : Tsim.Machine.t -> t
+
+val read_lock : t -> unit
+
+val read_unlock : t -> unit
+
+val write_lock : t -> unit
+
+val write_unlock : t -> unit

@@ -1,0 +1,31 @@
+(** Safe-point biased lock (comparison system; Russell & Detlefs style).
+
+    The owner's fast path is fence-free and atomic-free (a store and a
+    load); a non-owner revokes the bias by setting a request flag and
+    {e blocking until the owner reaches a safe point} — here, the
+    lock/unlock boundaries, matching the paper's assumption that the
+    owner reaches a safe point immediately after exiting the critical
+    section. The owner acknowledges with a fence-protected grant, after
+    which the non-owner may enter (it already holds the internal lock L).
+
+    The defining weakness the paper exploits in Figure 8's last pattern:
+    if the owner is stalled (descheduled, long computation) {e outside}
+    the critical section, non-owners still cannot enter until the owner
+    runs again — unlike FFBL, whose wait is bounded by Δ. *)
+
+type t
+
+val create : Tsim.Machine.t -> t
+
+val owner_lock : t -> unit
+
+val owner_unlock : t -> unit
+
+val owner_fast_acquisitions : t -> int
+
+val owner_slow_acquisitions : t -> int
+(** Acquisitions that went through L because a revocation was pending. *)
+
+val nonowner_lock : t -> unit
+
+val nonowner_unlock : t -> unit

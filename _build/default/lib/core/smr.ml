@@ -1,0 +1,16 @@
+exception Op_abort
+
+module type POLICY = sig
+  type t
+
+  val name : string
+  val begin_op : t -> unit
+  val end_op : t -> unit
+  val abort_cleanup : t -> unit
+  val quiescent : t -> unit
+  val read : t -> int -> int
+  val protect : t -> slot:int -> ptr:int -> unit
+  val protect_copy : t -> slot:int -> ptr:int -> unit
+  val validate : t -> src:int -> expected:int -> bool
+  val retire : t -> int -> unit
+end

@@ -1,0 +1,58 @@
+(** Common interface for safe-memory-reclamation (SMR) policies.
+
+    A policy mediates every shared access a lock-free data structure makes
+    (see {!Structures.Michael_list}), so that the same traversal code runs
+    under hazard pointers, FFHP, RCU, DTA or StackTrack — exactly how the
+    paper's evaluation swaps SMR methods under one hash-table benchmark.
+
+    Handles are per-thread: create one handle per simulated thread and use
+    it only from that thread. *)
+
+exception Op_abort
+(** Raised by a policy (e.g. a StackTrack transaction abort) to request
+    that the current operation restart from scratch. Data-structure code
+    catches it, calls {!POLICY.abort_cleanup}, and retries. *)
+
+module type POLICY = sig
+  type t
+  (** Per-thread handle. *)
+
+  val name : string
+
+  val begin_op : t -> unit
+  (** Start of a data-structure operation (fast path). *)
+
+  val end_op : t -> unit
+  (** End of an operation. May raise {!Op_abort} (StackTrack commit). *)
+
+  val abort_cleanup : t -> unit
+  (** Reset per-op state after {!Op_abort} or an algorithmic retry. *)
+
+  val quiescent : t -> unit
+  (** Announce a quiescent state between operations (QSBR-style hook;
+      no-op for most policies). *)
+
+  val read : t -> int -> int
+  (** Shared load routed through the policy (lets StackTrack track its
+      read set; everyone else forwards to {!Tsim.Sim.load}). *)
+
+  val protect : t -> slot:int -> ptr:int -> unit
+  (** Announce intent to access the object at [ptr] using hazard slot
+      [slot]. Fenced under standard HP; a plain store under FFHP; no-op
+      for policies without per-object protection. *)
+
+  val protect_copy : t -> slot:int -> ptr:int -> unit
+  (** Copy protection into a {e higher} slot (paper Figure 1 lines 42,
+      51): never fenced, sound because reclaimers scan slots in ascending
+      order. *)
+
+  val validate : t -> src:int -> expected:int -> bool
+  (** Re-read [src] and check it still holds [expected]: the protection
+      validation step. Policies without per-object protection return
+      [true]. *)
+
+  val retire : t -> int -> unit
+  (** Hand a removed object to the policy for eventual reclamation. The
+      caller must guarantee the removal is globally visible (e.g. it was
+      performed by an atomic RMW, which drains the store buffer). *)
+end

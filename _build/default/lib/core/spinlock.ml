@@ -1,0 +1,53 @@
+open Tsim
+
+module Ticket = struct
+  type t = { next : int; serving : int; mutable acquisitions : int }
+
+  let create machine =
+    let next = Machine.alloc_global machine 8 in
+    let serving = Machine.alloc_global machine 8 in
+    { next; serving; acquisitions = 0 }
+
+  let lock t =
+    let my = Sim.faa t.next 1 in
+    let rec spin () =
+      if Sim.load t.serving <> my then begin
+        Sim.work 10;
+        spin ()
+      end
+    in
+    spin ();
+    t.acquisitions <- t.acquisitions + 1
+
+  let unlock t =
+    (* Only the holder writes [serving]; a plain store is a legal TSO
+       release (x86 mutex unlock fast path). *)
+    Sim.store t.serving (Sim.load t.serving + 1)
+
+  let acquisitions t = t.acquisitions
+end
+
+module Tas = struct
+  type t = { word : int }
+
+  let create machine = { word = Machine.alloc_global machine 8 }
+
+  let trylock t = Sim.cas t.word ~expected:0 ~desired:1
+
+  let lock t =
+    let rec spin backoff =
+      if not (trylock t) then begin
+        (* Test-and-test-and-set with bounded backoff. *)
+        Sim.spin_while (fun () ->
+            if Sim.load t.word = 0 then false
+            else begin
+              Sim.work backoff;
+              true
+            end);
+        spin (min (backoff * 2) 200)
+      end
+    in
+    spin 10
+
+  let unlock t = Sim.store t.word 0
+end

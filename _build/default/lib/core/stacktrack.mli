@@ -1,0 +1,44 @@
+(** StackTrack-style reclamation over simulated HTM (comparison system;
+    Alistarh et al., EuroSys 2014).
+
+    Each operation runs as a sequence of hardware transactions: reads are
+    tracked in a read set and validated at commit; freeing an object
+    conflicts with (aborts) any transaction that has read it. Long
+    operations exceed transactional capacity and must be {e split} into
+    multiple transactions, which is why the paper measures StackTrack
+    falling to ~0.3× FFHP throughput on long chains.
+
+    The HTM itself is simulated: reads record the memory line version at
+    read time; commit validates that no recorded line changed; a read of
+    freed (poisoned) memory aborts the transaction — modelling the
+    conflict the freeing writes would cause on real HTM. Objects are
+    freed once every transaction active at retirement time has ended. *)
+
+type domain
+
+val create_domain :
+  Tsim.Machine.t -> nthreads:int -> capacity:int -> free:(int -> unit) -> domain
+(** [capacity]: reads per transaction before a split commit (models HTM
+    capacity; the paper's L1-limited read sets). *)
+
+val deferred : domain -> int
+
+type t
+
+val handle : domain -> tid:int -> t
+
+val commits : t -> int
+
+val aborts : t -> int
+(** All aborts (conflict, freed-memory and capacity). *)
+
+val capacity_aborts : t -> int
+(** First-attempt transactions that overran capacity and were aborted,
+    forcing the operation to retry in split mode. *)
+
+val splits : t -> int
+(** Split-mode intermediate commits. *)
+
+module Policy : Smr.POLICY with type t = t
+(** [end_op] performs the final commit and raises {!Smr.Op_abort} when
+    validation fails, forcing the whole operation to re-run. *)

@@ -1,0 +1,1 @@
+lib/hwmodel/os_adapt.ml: Config Machine Memory Tbtso_core Tsim

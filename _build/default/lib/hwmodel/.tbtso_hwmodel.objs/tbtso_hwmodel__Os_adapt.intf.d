@@ -1,0 +1,1 @@
+lib/hwmodel/os_adapt.mli: Tbtso_core Tsim

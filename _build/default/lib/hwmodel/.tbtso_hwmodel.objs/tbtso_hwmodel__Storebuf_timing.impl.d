@@ -1,0 +1,1 @@
+lib/hwmodel/storebuf_timing.ml: Array Config Float List Machine Rng Sim Tsim

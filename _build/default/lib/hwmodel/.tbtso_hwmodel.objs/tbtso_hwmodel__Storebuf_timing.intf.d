@@ -1,0 +1,1 @@
+lib/hwmodel/storebuf_timing.mli: Tsim

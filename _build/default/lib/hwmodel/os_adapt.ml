@@ -1,0 +1,26 @@
+open Tsim
+
+type t = { base : int; ncores : int; stride : int }
+
+let stride = 8
+
+let install machine ~ncores =
+  (match (Machine.config machine).Config.interrupt_period with
+  | None ->
+      invalid_arg
+        "Os_adapt.install: machine must be configured with interrupt_period = Some _"
+  | Some _ -> ());
+  let base = Machine.alloc_global machine (ncores * stride) in
+  let mem = Machine.memory machine in
+  Machine.set_interrupt_hook machine (fun ~tid ~now ->
+      (* The kernel writes A(core) after the entry drained the buffer;
+         a direct memory write models the kernel's fenced store. *)
+      if tid < ncores then Memory.write mem ~tid:(-1) ~at:now (base + (tid * stride)) now);
+  { base; ncores; stride }
+
+let bound t = Tbtso_core.Bound.Core_array { base = t.base; ncores = t.ncores; stride = t.stride }
+
+let array_base t = t.base
+
+let last_kernel_entry machine t ~core =
+  Memory.read (Machine.memory machine) (t.base + (core * t.stride))

@@ -1,0 +1,26 @@
+(** OS support for adapting TBTSO algorithms to x86 (Section 6.2).
+
+    On x86, a kernel entry (interrupt, context switch) drains the store
+    buffer. The OS keeps an array [A] with the time of each core's last
+    kernel entry and maps it read-only into every process; user code can
+    then conclude that every store issued before [min_i A(i)] is globally
+    visible — the {!Tbtso_core.Bound.Core_array} policy.
+
+    [install] allocates the array in simulated memory and registers the
+    machine interrupt hook that stamps it (the machine must be configured
+    with [interrupt_period = Some _] for interrupts to fire). *)
+
+type t
+
+val install : Tsim.Machine.t -> ncores:int -> t
+(** Call before spawning threads; cores are identified with tids
+    [0 .. ncores-1] (extra tids — e.g. background reclaimers — still get
+    interrupts but do not gate the horizon). Registers the machine's
+    interrupt hook; compose manually if you need your own hook too. *)
+
+val bound : t -> Tbtso_core.Bound.t
+
+val array_base : t -> int
+
+val last_kernel_entry : Tsim.Machine.t -> t -> core:int -> int
+(** Driver-side read of A(core). *)

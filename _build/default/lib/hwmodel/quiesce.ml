@@ -1,0 +1,45 @@
+open Tsim
+
+type t = { quiesce_ns : float; atomic_ns : float; jitter : float; seed : int64 }
+
+let create ?(quiesce_ns = 5_000.0) ?(atomic_ns = 8.0) ?(jitter = 0.1) ~seed () =
+  { quiesce_ns; atomic_ns; jitter; seed }
+
+let jittered t rng base = base *. (1.0 +. (t.jitter *. ((2.0 *. Rng.float rng) -. 1.0)))
+
+(* FIFO queueing simulation: [threads] clients issue quiescence requests
+   back-to-back against one serialized server. *)
+let avg_quiesce_latency_ns t ~threads ~rounds =
+  if threads <= 0 then invalid_arg "Quiesce.avg_quiesce_latency_ns";
+  let rng = Rng.create t.seed in
+  (* next_request.(i): time thread i's outstanding request arrived *)
+  let arrival = Array.make threads 0.0 in
+  let server_free = ref 0.0 in
+  let total_latency = ref 0.0 in
+  let n = ref 0 in
+  for _ = 1 to rounds do
+    for i = 0 to threads - 1 do
+      let start = Float.max arrival.(i) !server_free in
+      let service = jittered t rng t.quiesce_ns in
+      let finish = start +. service in
+      server_free := finish;
+      total_latency := !total_latency +. (finish -. arrival.(i));
+      arrival.(i) <- finish;  (* thread immediately issues the next one *)
+      incr n
+    done
+  done;
+  !total_latency /. float_of_int !n
+
+let avg_atomic_latency_ns t ~threads:_ ~rounds =
+  let rng = Rng.create t.seed in
+  let total = ref 0.0 in
+  for _ = 1 to rounds do
+    total := !total +. jittered t rng t.atomic_ns
+  done;
+  !total /. float_of_int rounds
+
+let worst_case_quiescence_ns t ~threads = float_of_int threads *. t.quiesce_ns
+
+(* The paper rounds 80 × 5 µs = 400 µs up to 500 µs as a safety margin:
+   a 1.25× factor, ≈ 6 µs per hardware thread. *)
+let estimate_delta_us t ~threads = 1.25 *. worst_case_quiescence_ns t ~threads /. 1_000.0

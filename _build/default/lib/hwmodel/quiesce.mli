@@ -1,0 +1,35 @@
+(** Model of the x86 system-wide quiescence mechanism (Section 6.1).
+
+    The paper measures (Figure 4) that forcing system-wide quiescence —
+    via an atomic that crosses a cache-line boundary — costs ≈5 µs and
+    that concurrent quiescence requests are {e serialized}, so the
+    latency seen by each of [k] simultaneously-quiescing threads grows
+    ≈linearly in [k]. This module reproduces that behaviour with a
+    deterministic queueing model: one global quiescence server, FIFO,
+    with per-request service time 5 µs ± jitter; ordinary atomics are a
+    flat ≈8 ns for comparison.
+
+    These constants come straight from the paper's measurements on the
+    quad Westmere-EX (Figures 4/5 and Section 6.1.2) and feed the Δ
+    estimation of experiment [tab_quiesce]. *)
+
+type t
+
+val create : ?quiesce_ns:float -> ?atomic_ns:float -> ?jitter:float -> seed:int64 -> unit -> t
+(** Defaults: [quiesce_ns] = 5000 (5 µs), [atomic_ns] = 8,
+    [jitter] = 0.1 (±10% uniform service-time noise). *)
+
+val avg_quiesce_latency_ns : t -> threads:int -> rounds:int -> float
+(** Mean per-operation latency when [threads] threads repeatedly force
+    quiescence back-to-back for [rounds] operations each (the Figure 4
+    microbenchmark). *)
+
+val avg_atomic_latency_ns : t -> threads:int -> rounds:int -> float
+(** The non-quiescing baseline: thread-private atomics don't serialize. *)
+
+val worst_case_quiescence_ns : t -> threads:int -> float
+(** The Section 6.1.2 extrapolation: serialized worst case = P × 5 µs. *)
+
+val estimate_delta_us : t -> threads:int -> float
+(** The paper's Δ estimate with safety margin: ≈6 µs per hardware
+    thread (500 µs on the 80-thread machine). *)

@@ -1,0 +1,36 @@
+(** Store-visibility delay distributions (Section 6.1.2, Figure 5).
+
+    The paper measures, with a writer/reader pair, how long a store stays
+    invisible to another hardware thread, across thread placements (same
+    core / same socket / cross socket) and with or without the STREAM
+    memory hog in the background: medians of 60-300 ns with a heavy tail;
+    99.9% of stores visible within 10 µs.
+
+    Two generators are provided:
+    - {!sample}: a parametric model (log-normal body + heavy tail under
+      load) calibrated to those shapes, used to print Figure 5;
+    - {!measure_on_machine}: the same writer/reader microbenchmark run on
+      the {!Tsim} abstract machine, cross-validating the simulator's
+      drain model against the analytic one. *)
+
+type placement = Same_core | Same_socket | Cross_socket
+
+val placement_name : placement -> string
+
+val all_placements : placement list
+
+val sample : Tsim.Rng.t -> placement -> loaded:bool -> float
+(** One store-visibility delay in nanoseconds. *)
+
+val percentiles : float array -> float list -> (float * float) list
+(** [percentiles samples [0.5; 0.999]] returns [(p, value_ns)] pairs.
+    Sorts a copy; samples must be non-empty. *)
+
+val sample_many : seed:int64 -> placement -> loaded:bool -> n:int -> float array
+
+val measure_on_machine :
+  ?config:Tsim.Config.t -> rounds:int -> extra_reader_distance:int -> unit -> float array
+(** Run writer/reader rounds on the abstract machine and return observed
+    visibility delays in {e nanoseconds} (ticks × 10). The
+    [extra_reader_distance] adds fixed load latency modelling placement
+    distance. *)

@@ -1,0 +1,1 @@
+lib/structures/hash_table.ml: Heap Machine Michael_list Tbtso_core Tsim

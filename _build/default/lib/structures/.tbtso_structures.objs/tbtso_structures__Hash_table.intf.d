@@ -1,0 +1,1 @@
+lib/structures/hash_table.mli: Michael_list Tbtso_core Tsim

@@ -1,0 +1,1 @@
+lib/structures/inspect.ml: List Memory Tagged_ptr Tsim

@@ -1,0 +1,1 @@
+lib/structures/inspect.mli: Tsim

@@ -1,0 +1,1 @@
+lib/structures/lin_check.mli:

@@ -1,0 +1,1 @@
+lib/structures/michael_list.ml: Heap Machine Sim Smr Tagged_ptr Tbtso_core Tsim

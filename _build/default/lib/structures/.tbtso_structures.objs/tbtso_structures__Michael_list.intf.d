@@ -1,0 +1,1 @@
+lib/structures/michael_list.mli: Tbtso_core Tsim

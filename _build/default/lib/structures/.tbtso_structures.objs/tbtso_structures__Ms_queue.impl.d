@@ -1,0 +1,1 @@
+lib/structures/ms_queue.ml: Heap Machine Memory Sim Smr Tbtso_core Tsim

@@ -1,0 +1,1 @@
+lib/structures/skiplist.ml: Array Heap List Machine Printf Sim Smr Tagged_ptr Tbtso_core Tsim

@@ -1,0 +1,1 @@
+lib/structures/skiplist.mli: Tbtso_core Tsim

@@ -1,0 +1,1 @@
+lib/structures/tagged_ptr.mli:

@@ -1,0 +1,1 @@
+lib/structures/treiber_stack.ml: Heap Machine Sim Smr Tbtso_core Tsim

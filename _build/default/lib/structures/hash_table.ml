@@ -1,0 +1,30 @@
+open Tsim
+
+module Make (P : Tbtso_core.Smr.POLICY) = struct
+  module List = Michael_list.Make (P)
+
+  type t = { base : int; nbuckets : int; heap : Heap.t; node_words : int }
+
+  let line = 8
+
+  let create ?(node_words = 2) machine heap ~buckets =
+    if buckets <= 0 then invalid_arg "Hash_table.create: buckets must be positive";
+    let base = Machine.alloc_global machine (buckets * line) in
+    { base; nbuckets = buckets; heap; node_words }
+
+  let buckets t = t.nbuckets
+
+  (* Fibonacci hashing: good bucket spread for sequential key universes. *)
+  let bucket_of_key t key =
+    let h = key * 0x2545F4914F6CDD1D in
+    (h lxor (h lsr 29)) land max_int mod t.nbuckets
+
+  let bucket_list t b =
+    List.view ~node_words:t.node_words ~head:(t.base + (b * line)) t.heap
+
+  let lookup t p key = List.lookup (bucket_list t (bucket_of_key t key)) p key
+
+  let insert t p key = List.insert (bucket_list t (bucket_of_key t key)) p key
+
+  let delete t p key = List.delete (bucket_list t (bucket_of_key t key)) p key
+end

@@ -1,0 +1,28 @@
+(** Chaining hash table over {!Michael_list} — the Section 7.1 benchmark
+    structure (1024 buckets by default, one lock-free sorted list per
+    bucket, bucket heads line-padded against false sharing). *)
+
+module Make (P : Tbtso_core.Smr.POLICY) : sig
+  module List : module type of Michael_list.Make (P)
+
+  type t
+
+  val create : ?node_words:int -> Tsim.Machine.t -> Tsim.Heap.t -> buckets:int -> t
+  (** [node_words] as in {!Michael_list.Make.create} (default 2; the
+      benchmarks use 8 = one cache line per node, like the paper's
+      equally-sized nodes). *)
+
+  val buckets : t -> int
+
+  val bucket_of_key : t -> int -> int
+  (** Exposed for tests; deterministic mixing hash. *)
+
+  val bucket_list : t -> int -> List.t
+  (** The list rooted at the given bucket (driver-side inspection). *)
+
+  val lookup : t -> P.t -> int -> bool
+
+  val insert : t -> P.t -> int -> bool
+
+  val delete : t -> P.t -> int -> bool
+end

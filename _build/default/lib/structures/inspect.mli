@@ -1,0 +1,12 @@
+(** Driver-side structural inspection (no simulated cost): walk lists in
+    raw memory after a run to verify invariants in tests. Call only when
+    the machine is quiescent (e.g. after [Machine.drain_all]). *)
+
+val list_nodes : Tsim.Memory.t -> head:int -> (int * int * int) list
+(** [(node address, key, mark)] in link order. Raises [Failure] on a
+    cycle longer than the memory size (corruption guard). *)
+
+val list_keys : Tsim.Memory.t -> head:int -> int list
+(** Keys of unmarked (live) nodes, in list order. *)
+
+val sorted_and_unique : int list -> bool

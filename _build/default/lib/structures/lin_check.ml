@@ -1,0 +1,44 @@
+type ('op, 'res) event = { tid : int; op : 'op; result : 'res; start : int; finish : int }
+
+let events_of_recorder rows =
+  List.map (fun (tid, op, result, start, finish) -> { tid; op; result; start; finish }) rows
+
+let check ~init ~apply ~key_of_state history =
+  let events = Array.of_list history in
+  let n = Array.length events in
+  Array.iter
+    (fun e -> if e.start > e.finish then invalid_arg "Lin_check.check: start > finish")
+    events;
+  if n > 62 then invalid_arg "Lin_check.check: history too large";
+  (* Memoize on (set of linearized events, state): if this configuration
+     failed once it will fail again. *)
+  let failed = Hashtbl.create 1024 in
+  let rec search done_mask state =
+    if done_mask = (1 lsl n) - 1 then true
+    else begin
+      let key = (done_mask, key_of_state state) in
+      if Hashtbl.mem failed key then false
+      else begin
+        (* An event may be linearized next iff no other pending event
+           finished strictly before it started (real-time order). *)
+        let min_finish = ref max_int in
+        for i = 0 to n - 1 do
+          if done_mask land (1 lsl i) = 0 && events.(i).finish < !min_finish then
+            min_finish := events.(i).finish
+        done;
+        let ok = ref false in
+        let i = ref 0 in
+        while (not !ok) && !i < n do
+          let e = events.(!i) in
+          if done_mask land (1 lsl !i) = 0 && e.start <= !min_finish then begin
+            let state', res = apply state e.op in
+            if res = e.result && search (done_mask lor (1 lsl !i)) state' then ok := true
+          end;
+          incr i
+        done;
+        if not !ok then Hashtbl.add failed key ();
+        !ok
+      end
+    end
+  in
+  search 0 init

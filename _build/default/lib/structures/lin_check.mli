@@ -1,0 +1,33 @@
+(** Linearizability checking for small concurrent histories (Wing &
+    Gong style exhaustive search with memoization).
+
+    A history is a set of completed operations with real-time intervals
+    [(start, finish)] taken from the machine clock. The checker searches
+    for a linearization: a total order consistent with real time (if
+    [a.finish < b.start] then [a] before [b]) in which every operation's
+    recorded result matches a sequential specification.
+
+    Exponential in the worst case; intended for histories of up to a few
+    dozen operations, as produced by the concurrency tests. *)
+
+type ('op, 'res) event = {
+  tid : int;
+  op : 'op;
+  result : 'res;
+  start : int;
+  finish : int;  (** Must satisfy [start <= finish]. *)
+}
+
+val check :
+  init:'state ->
+  apply:('state -> 'op -> 'state * 'res) ->
+  key_of_state:('state -> string) ->
+  ('op, 'res) event list ->
+  bool
+(** [check ~init ~apply ~key_of_state history] is true iff the history
+    is linearizable w.r.t. the sequential specification [apply].
+    [key_of_state] must injectively serialize states (memoization key). *)
+
+val events_of_recorder : (int * 'op * 'res * int * int) list -> ('op, 'res) event list
+(** Convenience: build events from [(tid, op, result, start, finish)]
+    tuples as accumulated by test recorders. *)

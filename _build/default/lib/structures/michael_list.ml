@@ -1,0 +1,152 @@
+open Tsim
+open Tbtso_core
+
+module Make (P : Smr.POLICY) = struct
+  type t = { head : int; heap : Heap.t; node_words : int }
+
+  let node_words = 2
+
+  let create ?(node_words = 2) machine heap =
+    if node_words < 2 then invalid_arg "Michael_list.create: node_words >= 2";
+    { head = Machine.alloc_global machine 8; heap; node_words }
+
+  let view ?(node_words = 2) ~head heap = { head; heap; node_words }
+
+  let head t = t.head
+
+  let key_of node = node
+
+  let next_of node = node + 1
+
+  (* Figure 1's find(): positions prev/cur/next around [key], protecting
+     cur with hp1, next with hp0 and prev's node with hp2, unlinking any
+     marked nodes encountered. Returns (found, prev link cell, cur,
+     next). *)
+  let find t p key =
+    let rec retry () =
+      let prev = t.head in
+      let c0 = P.read p prev in
+      let cur = Tagged_ptr.ptr c0 in
+      P.protect p ~slot:1 ~ptr:cur;
+      if not (P.validate p ~src:prev ~expected:(Tagged_ptr.pack ~ptr:cur ~mark:0)) then
+        retry ()
+      else loop prev cur
+    and loop prev cur =
+      if cur = 0 then (false, prev, 0, 0)
+      else begin
+        let n = P.read p (next_of cur) in
+        let next = Tagged_ptr.ptr n and mark = Tagged_ptr.mark n in
+        P.protect p ~slot:0 ~ptr:next;
+        if not (P.validate p ~src:(next_of cur) ~expected:n) then retry ()
+        else begin
+          let ckey = P.read p (key_of cur) in
+          if not (P.validate p ~src:prev ~expected:(Tagged_ptr.pack ~ptr:cur ~mark:0))
+          then retry ()
+          else if mark = 0 then
+            if ckey >= key then (ckey = key, prev, cur, next)
+            else begin
+              let prev = next_of cur in
+              (* hp2 := cur: copy into a higher slot, no fence needed. *)
+              P.protect_copy p ~slot:2 ~ptr:cur;
+              (* hp1 := next: copy of hp0. *)
+              P.protect_copy p ~slot:1 ~ptr:next;
+              loop prev next
+            end
+          else if
+            (* cur is logically deleted: help unlink it. *)
+            Sim.cas prev
+              ~expected:(Tagged_ptr.pack ~ptr:cur ~mark:0)
+              ~desired:(Tagged_ptr.pack ~ptr:next ~mark:0)
+          then begin
+            (* The unlinking CAS drained the store buffer, so the removal
+               is globally visible before retirement. *)
+            P.retire p cur;
+            P.protect_copy p ~slot:1 ~ptr:next;
+            loop prev next
+          end
+          else retry ()
+        end
+      end
+    in
+    retry ()
+
+  (* Run [f] as one data-structure operation, restarting on policy aborts
+     (StackTrack transaction failures). *)
+  let run_op p f =
+    let rec go () =
+      P.begin_op p;
+      match
+        let r = f () in
+        P.end_op p;
+        r
+      with
+      | r -> r
+      | exception Smr.Op_abort ->
+          P.abort_cleanup p;
+          Sim.work 10;
+          go ()
+    in
+    go ()
+
+  let lookup t p key =
+    run_op p (fun () ->
+        let found, _, _, _ = find t p key in
+        found)
+
+  let insert t p key =
+    run_op p (fun () ->
+        let rec attempt () =
+          let found, prev, cur, _ = find t p key in
+          if found then false
+          else begin
+            let node = Heap.alloc t.heap t.node_words in
+            Sim.work 5;
+            Sim.store (key_of node) key;
+            Sim.store (next_of node) (Tagged_ptr.pack ~ptr:cur ~mark:0);
+            if
+              Sim.cas prev
+                ~expected:(Tagged_ptr.pack ~ptr:cur ~mark:0)
+                ~desired:(Tagged_ptr.pack ~ptr:node ~mark:0)
+            then true
+            else begin
+              (* Publication failed; the node was never shared. The CAS
+                 above drained our buffer, so the initializing stores
+                 have already committed and freeing is safe. *)
+              Heap.free t.heap node;
+              Sim.work 5;
+              attempt ()
+            end
+          end
+        in
+        attempt ())
+
+  let delete t p key =
+    run_op p (fun () ->
+        let rec attempt () =
+          let found, prev, cur, next = find t p key in
+          if not found then false
+          else if
+            (* Logical deletion: mark cur's next pointer. *)
+            not
+              (Sim.cas (next_of cur)
+                 ~expected:(Tagged_ptr.pack ~ptr:next ~mark:0)
+                 ~desired:(Tagged_ptr.pack ~ptr:next ~mark:1))
+          then attempt ()
+          else if
+            (* Physical removal. *)
+            Sim.cas prev
+              ~expected:(Tagged_ptr.pack ~ptr:cur ~mark:0)
+              ~desired:(Tagged_ptr.pack ~ptr:next ~mark:0)
+          then begin
+            P.retire p cur;
+            true
+          end
+          else begin
+            (* Someone else will (or did) unlink it; let find() clean up
+               and retire (Figure 1's marked-node branch). *)
+            let _, _, _, _ = find t p key in
+            true
+          end
+        in
+        attempt ())
+end

@@ -1,0 +1,43 @@
+(** Michael's nonblocking sorted linked list (SPAA 2002) with pluggable
+    memory reclamation — the data structure of the paper's Figure 1 and
+    of its entire Section 7.1 evaluation.
+
+    Nodes are two simulated words: [key] at offset 0 and a mark-tagged
+    next pointer at offset 1. Deletion is two-phase: a CAS marks the
+    node's next pointer (logical deletion), a second CAS unlinks it
+    (physical removal), after which the node is passed to the reclamation
+    policy. Traversals protect each node via the policy's hazard slots
+    0-2 (hp0/hp1/hp2 of Figure 1) and validate before use; policies
+    without per-object protection (RCU, DTA, StackTrack) make those
+    no-ops.
+
+    All operation functions run on simulated threads. *)
+
+module Make (P : Tbtso_core.Smr.POLICY) : sig
+  type t
+
+  val create : ?node_words:int -> Tsim.Machine.t -> Tsim.Heap.t -> t
+  (** Driver-side: allocate the list head in global memory.
+      [node_words] (default 2, minimum 2) sets the allocation size per
+      node: key at offset 0, next pointer at offset 1, the rest padding —
+      pass 8 for line-sized nodes that avoid false spatial locality in
+      benchmarks. *)
+
+  val view : ?node_words:int -> head:int -> Tsim.Heap.t -> t
+  (** A list rooted at an existing head link word (hash-table buckets). *)
+
+  val head : t -> int
+
+  val node_words : int
+  (** Minimum words per node (2) — for sizing heaps. *)
+
+  val lookup : t -> P.t -> int -> bool
+
+  val insert : t -> P.t -> int -> bool
+  (** False if the key was already present. *)
+
+  val delete : t -> P.t -> int -> bool
+  (** False if the key was absent. Physically removed nodes are passed
+      to [P.retire]; the unlinking CAS makes the removal globally visible
+      before retirement, as FFHP requires. *)
+end

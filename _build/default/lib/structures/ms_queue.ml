@@ -1,0 +1,105 @@
+open Tsim
+open Tbtso_core
+
+module Make (P : Smr.POLICY) = struct
+  type t = { head : int; tail : int; heap : Heap.t; node_words : int }
+
+  let value_of node = node
+
+  let next_of node = node + 1
+
+  let create ?(node_words = 2) machine heap =
+    if node_words < 2 then invalid_arg "Ms_queue.create: node_words >= 2";
+    let head = Machine.alloc_global machine 8 in
+    let tail = Machine.alloc_global machine 8 in
+    let dummy = Heap.alloc heap node_words in
+    let mem = Machine.memory machine in
+    Memory.write mem ~tid:(-1) ~at:0 head dummy;
+    Memory.write mem ~tid:(-1) ~at:0 tail dummy;
+    { head; tail; heap; node_words }
+
+  let head_cell t = t.head
+
+  let tail_cell t = t.tail
+
+  let run_op p f =
+    let rec go () =
+      P.begin_op p;
+      match
+        let r = f () in
+        P.end_op p;
+        r
+      with
+      | r -> r
+      | exception Smr.Op_abort ->
+          P.abort_cleanup p;
+          Sim.work 10;
+          go ()
+    in
+    go ()
+
+  let enqueue t p v =
+    run_op p (fun () ->
+        let node = Heap.alloc t.heap t.node_words in
+        Sim.work 5;
+        Sim.store (value_of node) v;
+        Sim.store (next_of node) 0;
+        let rec attempt () =
+          let last = P.read p t.tail in
+          P.protect p ~slot:0 ~ptr:last;
+          if not (P.validate p ~src:t.tail ~expected:last) then attempt ()
+          else begin
+            let next = P.read p (next_of last) in
+            if next = 0 then begin
+              if Sim.cas (next_of last) ~expected:0 ~desired:node then
+                (* Linearized; swing the tail (may fail: someone helped). *)
+                ignore (Sim.cas t.tail ~expected:last ~desired:node)
+              else begin
+                Sim.work 5;
+                attempt ()
+              end
+            end
+            else begin
+              (* Tail is lagging: help it forward and retry. *)
+              ignore (Sim.cas t.tail ~expected:last ~desired:next);
+              attempt ()
+            end
+          end
+        in
+        attempt ())
+
+  let dequeue t p =
+    run_op p (fun () ->
+        let rec attempt () =
+          let first = P.read p t.head in
+          P.protect p ~slot:0 ~ptr:first;
+          if not (P.validate p ~src:t.head ~expected:first) then attempt ()
+          else begin
+            let last = P.read p t.tail in
+            let next = P.read p (next_of first) in
+            P.protect p ~slot:1 ~ptr:next;
+            (* Re-validate the head so [next] really is the successor of
+               the current dummy (and hence safe to protect/read). *)
+            if not (P.validate p ~src:t.head ~expected:first) then attempt ()
+            else if next = 0 then None (* empty *)
+            else if first = last then begin
+              (* Tail lagging behind a concurrent enqueue: help. *)
+              ignore (Sim.cas t.tail ~expected:last ~desired:next);
+              attempt ()
+            end
+            else begin
+              let v = P.read p (value_of next) in
+              if Sim.cas t.head ~expected:first ~desired:next then begin
+                (* The old dummy is unlinked (CAS made it visible). *)
+                P.retire p first;
+                Some v
+              end
+              else begin
+                Sim.work 5;
+                attempt ()
+              end
+            end
+          end
+        in
+        attempt ())
+end

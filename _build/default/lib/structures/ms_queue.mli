@@ -1,0 +1,25 @@
+(** Michael & Scott's lock-free FIFO queue with pluggable memory
+    reclamation — the second structure of Michael's original
+    hazard-pointer paper.
+
+    Uses a dummy head node; [dequeue] protects the head (slot 0) and its
+    successor (slot 1), validates, swings the head, and retires the old
+    dummy. Enqueuers help lagging tails forward. With FFHP both
+    protection stores are unfenced. *)
+
+module Make (P : Tbtso_core.Smr.POLICY) : sig
+  type t
+
+  val create : ?node_words:int -> Tsim.Machine.t -> Tsim.Heap.t -> t
+  (** Allocates the initial dummy node from the heap. *)
+
+  val enqueue : t -> P.t -> int -> unit
+
+  val dequeue : t -> P.t -> int option
+  (** [None] when empty. Dequeued dummies are retired via the policy. *)
+
+  val head_cell : t -> int
+  (** Driver-side inspection: the head pointer cell. *)
+
+  val tail_cell : t -> int
+end

@@ -1,0 +1,228 @@
+open Tsim
+open Tbtso_core
+
+module Make (P : Smr.POLICY) = struct
+  let max_level = 4
+
+  type t = { heads : int; heap : Heap.t }
+
+  (* Node layout: [key; level; next_0; ...; next_{level-1}]. *)
+  let key_of node = node
+
+  let level_of node = node + 1
+
+  let next_of node l = node + 2 + l
+
+  let per_object_protection = [ "HP"; "FFHP"; "FF-Guards" ]
+
+  let create machine heap =
+    if List.mem P.name per_object_protection then
+      invalid_arg
+        (Printf.sprintf
+           "Skiplist.create: %s uses per-object protection; the skiplist traversal \
+            is written for whole-operation (epoch/quiescence) policies"
+           P.name);
+    (* One line per head link to avoid false sharing between levels. *)
+    { heads = Machine.alloc_global machine (max_level * 8); heap }
+
+  let head_link t l = t.heads + (l * 8)
+
+  let head_cell t = head_link t 0
+
+  (* Deterministic tower height: geometric-like in the key's hash, so
+     runs are reproducible. *)
+  let height_of key =
+    let h = key * 0x2545F4914F6CDD1D in
+    let rec go level bit =
+      if level >= max_level || (h lsr bit) land 1 = 0 then level
+      else go (level + 1) (bit + 7)
+    in
+    go 1 3
+
+  let run_op p f =
+    let rec go () =
+      P.begin_op p;
+      match
+        let r = f () in
+        P.end_op p;
+        r
+      with
+      | r -> r
+      | exception Smr.Op_abort ->
+          P.abort_cleanup p;
+          Sim.work 10;
+          go ()
+    in
+    go ()
+
+  exception Retry
+
+  (* Position the search at every level: [preds.(l)] is the address of
+     the level-l link to follow and [succs.(l)] the first node there with
+     key >= [key] (0 if none). Unlinks marked nodes encountered on the
+     way. Returns whether an unmarked level-0 node matches [key]. *)
+  let find t p key =
+    let preds = Array.make max_level 0 and succs = Array.make max_level 0 in
+    let rec from_top () =
+      match descend (max_level - 1) (head_link t (max_level - 1)) with
+      | () ->
+          let c = succs.(0) in
+          (c <> 0 && P.read p (key_of c) = key, preds, succs)
+      | exception Retry -> from_top ()
+    and descend l link =
+      if l < 0 then ()
+      else begin
+        let link = walk l link in
+        (* The level below starts from the same node's lower link (or the
+           lower head when we are still on the head tower). *)
+        let below =
+          if link = head_link t l then head_link t (l - 1)
+          else (* link = next_of node l *) link - 1
+        in
+        descend (l - 1) below
+      end
+    and walk l link =
+      let cur_tag = P.read p link in
+      let cur = Tagged_ptr.ptr cur_tag in
+      if cur = 0 then begin
+        preds.(l) <- link;
+        succs.(l) <- 0;
+        link
+      end
+      else begin
+        let next_tag = P.read p (next_of cur l) in
+        if Tagged_ptr.mark next_tag = 1 then
+          (* cur is deleted at this level: unlink it. *)
+          if
+            Sim.cas link ~expected:(Tagged_ptr.pack ~ptr:cur ~mark:0)
+              ~desired:(Tagged_ptr.pack ~ptr:(Tagged_ptr.ptr next_tag) ~mark:0)
+          then walk l link
+          else raise Retry
+        else begin
+          let ckey = P.read p (key_of cur) in
+          if ckey < key then walk l (next_of cur l)
+          else begin
+            preds.(l) <- link;
+            succs.(l) <- cur;
+            link
+          end
+        end
+      end
+    in
+    from_top ()
+
+  let lookup t p key =
+    run_op p (fun () ->
+        let found, _, _ = find t p key in
+        found)
+
+  let insert t p key =
+    run_op p (fun () ->
+        let rec attempt () =
+          let found, preds, succs = find t p key in
+          if found then false
+          else begin
+            let lvl = height_of key in
+            let node = Heap.alloc t.heap (2 + lvl) in
+            Sim.work 5;
+            Sim.store (key_of node) key;
+            Sim.store (level_of node) lvl;
+            for l = 0 to lvl - 1 do
+              Sim.store (next_of node l) (Tagged_ptr.pack ~ptr:succs.(l) ~mark:0)
+            done;
+            if
+              not
+                (Sim.cas preds.(0)
+                   ~expected:(Tagged_ptr.pack ~ptr:succs.(0) ~mark:0)
+                   ~desired:(Tagged_ptr.pack ~ptr:node ~mark:0))
+            then begin
+              (* Never published; the CAS drained our initializing
+                 stores, so freeing is safe. *)
+              Heap.free t.heap node;
+              Sim.work 5;
+              attempt ()
+            end
+            else begin
+              (* Linearized at level 0; lazily link the upper tower. *)
+              link_upper node lvl 1;
+              true
+            end
+          end
+        and link_upper node lvl l =
+          if l < lvl then begin
+            let _, preds, succs = find t p key in
+            if succs.(0) <> node then ()
+              (* Our node was deleted (or replaced) concurrently: the
+                 deleter's find will finish unlinking whatever we
+                 managed to link. *)
+            else begin
+              let cur_tag = P.read p (next_of node l) in
+              if Tagged_ptr.mark cur_tag = 1 then ()
+              else if
+                (* Point our level-l next at the current successor, then
+                   splice ourselves in. *)
+                Tagged_ptr.ptr cur_tag = succs.(l)
+                || Sim.cas (next_of node l) ~expected:cur_tag
+                     ~desired:(Tagged_ptr.pack ~ptr:succs.(l) ~mark:0)
+              then
+                if
+                  Sim.cas preds.(l)
+                    ~expected:(Tagged_ptr.pack ~ptr:succs.(l) ~mark:0)
+                    ~desired:(Tagged_ptr.pack ~ptr:node ~mark:0)
+                then link_upper node lvl (l + 1)
+                else link_upper node lvl l
+              else ()
+            end
+          end
+        in
+        attempt ())
+
+  let delete t p key =
+    run_op p (fun () ->
+        let rec attempt () =
+          let found, _, succs = find t p key in
+          if not found then false
+          else begin
+            let node = succs.(0) in
+            let lvl = P.read p (level_of node) in
+            (* Mark the upper levels top-down. *)
+            for l = lvl - 1 downto 1 do
+              let rec mark () =
+                let nt = P.read p (next_of node l) in
+                if Tagged_ptr.mark nt = 0 then
+                  if
+                    not
+                      (Sim.cas (next_of node l) ~expected:nt
+                         ~desired:(Tagged_ptr.pack ~ptr:(Tagged_ptr.ptr nt) ~mark:1))
+                  then mark ()
+              in
+              mark ()
+            done;
+            (* Level 0 marking linearizes the delete. *)
+            let rec mark0 () =
+              let nt = P.read p (next_of node 0) in
+              if Tagged_ptr.mark nt = 1 then false (* another deleter won *)
+              else if
+                Sim.cas (next_of node 0) ~expected:nt
+                  ~desired:(Tagged_ptr.pack ~ptr:(Tagged_ptr.ptr nt) ~mark:1)
+              then true
+              else mark0 ()
+            in
+            if not (mark0 ()) then attempt ()
+            else begin
+              (* Unlink everywhere (find helps), then retire. *)
+              let rec until_gone () =
+                let _, _, succs' = find t p key in
+                if Array.exists (fun s -> s = node) succs' then begin
+                  Sim.work 10;
+                  until_gone ()
+                end
+              in
+              until_gone ();
+              P.retire p node;
+              true
+            end
+          end
+        in
+        attempt ())
+end

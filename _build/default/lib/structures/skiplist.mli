@@ -1,0 +1,36 @@
+(** Lock-free skiplist set (Fraser/Herlihy-Shavit style) with
+    epoch/quiescence-based reclamation.
+
+    Nodes carry a tower of mark-tagged next pointers; deletion marks
+    every level top-down and traversals unlink marked nodes as they pass.
+    A node is retired only once it is unlinked from every level.
+
+    Reclamation: this structure is written for policies whose read-side
+    protection covers the whole operation (RCU, EBR, DTA, StackTrack,
+    Leak — anything whose [validate] is constant-[true]). Per-node
+    hazard-pointer protection of skiplist towers needs a different
+    traversal discipline (Michael 2002 treats it separately) and is out
+    of scope; instantiating with {!Tbtso_core.Hp.Policy}/[Ffhp.Policy]
+    is rejected at [create] via {!Tbtso_core.Smr.POLICY.name}. *)
+
+module Make (P : Tbtso_core.Smr.POLICY) : sig
+  type t
+
+  val max_level : int
+  (** Tower height bound (4). *)
+
+  val create : Tsim.Machine.t -> Tsim.Heap.t -> t
+  (** @raise Invalid_argument for per-object-protection policies. *)
+
+  val lookup : t -> P.t -> int -> bool
+
+  val insert : t -> P.t -> int -> bool
+  (** Tower height drawn from the key (deterministic geometric-like
+      distribution: simulation runs stay reproducible). *)
+
+  val delete : t -> P.t -> int -> bool
+
+  val head_cell : t -> int
+  (** Level-0 head link (driver-side inspection via {!Inspect}-style
+      walks: key at node, level at node+1, next_0 at node+2). *)
+end

@@ -1,0 +1,7 @@
+let pack ~ptr ~mark = (ptr lsl 1) lor mark
+
+let ptr x = x lsr 1
+
+let mark x = x land 1
+
+let null = 0

@@ -1,0 +1,12 @@
+(** Mark-tagged pointers for Harris/Michael-style lists (paper Figure 1's
+    MarkPtr): a node address and a logical-deletion mark packed into one
+    simulated word. Heap blocks are 2-aligned, so the low bit is free. *)
+
+val pack : ptr:int -> mark:int -> int
+
+val ptr : int -> int
+
+val mark : int -> int
+
+val null : int
+(** The null MarkPtr: pointer 0 (reserved by {!Tsim.Memory}), unmarked. *)

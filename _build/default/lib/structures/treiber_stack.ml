@@ -1,0 +1,89 @@
+open Tsim
+open Tbtso_core
+
+module Make (P : Smr.POLICY) = struct
+  type t = { head : int; heap : Heap.t; node_words : int }
+
+  let create ?(node_words = 2) machine heap =
+    if node_words < 2 then invalid_arg "Treiber_stack.create: node_words >= 2";
+    { head = Machine.alloc_global machine 8; heap; node_words }
+
+  let head t = t.head
+
+  let value_of node = node
+
+  let next_of node = node + 1
+
+  let run_op p f =
+    let rec go () =
+      P.begin_op p;
+      match
+        let r = f () in
+        P.end_op p;
+        r
+      with
+      | r -> r
+      | exception Smr.Op_abort ->
+          P.abort_cleanup p;
+          Sim.work 10;
+          go ()
+    in
+    go ()
+
+  let push t p v =
+    run_op p (fun () ->
+        let node = Heap.alloc t.heap t.node_words in
+        Sim.work 5;
+        Sim.store (value_of node) v;
+        let rec attempt () =
+          let top = P.read p t.head in
+          Sim.store (next_of node) top;
+          (* The CAS drains our buffer, publishing value and next. *)
+          if not (Sim.cas t.head ~expected:top ~desired:node) then begin
+            Sim.work 5;
+            attempt ()
+          end
+        in
+        attempt ())
+
+  let pop t p =
+    run_op p (fun () ->
+        let rec attempt () =
+          let top = P.read p t.head in
+          if top = 0 then None
+          else begin
+            (* Protect before dereferencing; validate the head still
+               points here (so the node was not popped+retired under
+               us — and therefore cannot have been reallocated: the ABA
+               guard). *)
+            P.protect p ~slot:0 ~ptr:top;
+            if not (P.validate p ~src:t.head ~expected:top) then attempt ()
+            else begin
+              let next = P.read p (next_of top) in
+              if Sim.cas t.head ~expected:top ~desired:next then begin
+                let v = P.read p (value_of top) in
+                P.retire p top;
+                Some v
+              end
+              else begin
+                Sim.work 5;
+                attempt ()
+              end
+            end
+          end
+        in
+        attempt ())
+
+  let peek t p =
+    run_op p (fun () ->
+        let rec attempt () =
+          let top = P.read p t.head in
+          if top = 0 then None
+          else begin
+            P.protect p ~slot:0 ~ptr:top;
+            if not (P.validate p ~src:t.head ~expected:top) then attempt ()
+            else Some (P.read p (value_of top))
+          end
+        in
+        attempt ())
+end

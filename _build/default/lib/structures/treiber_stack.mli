@@ -1,0 +1,23 @@
+(** Treiber's lock-free stack with pluggable memory reclamation.
+
+    The simplest lock-free structure that needs SMR: [pop]'s
+    compare-and-swap is ABA-vulnerable if a popped node can be freed and
+    reallocated while another thread still holds it — exactly what the
+    hazard-pointer protection (slot 0) prevents. With FFHP the protection
+    store is unfenced, as in the hash table. *)
+
+module Make (P : Tbtso_core.Smr.POLICY) : sig
+  type t
+
+  val create : ?node_words:int -> Tsim.Machine.t -> Tsim.Heap.t -> t
+
+  val push : t -> P.t -> int -> unit
+
+  val pop : t -> P.t -> int option
+  (** [None] when empty. Popped nodes are retired via the policy. *)
+
+  val peek : t -> P.t -> int option
+
+  val head : t -> int
+  (** Head cell address (driver-side inspection). *)
+end

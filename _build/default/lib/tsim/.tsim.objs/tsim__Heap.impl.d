@@ -1,0 +1,1 @@
+lib/tsim/heap.ml: Hashtbl Machine Memory

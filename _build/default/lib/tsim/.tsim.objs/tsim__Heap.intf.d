@@ -1,0 +1,1 @@
+lib/tsim/heap.mli: Machine

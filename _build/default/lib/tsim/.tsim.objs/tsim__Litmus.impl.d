@@ -1,0 +1,1 @@
+lib/tsim/litmus.ml: Array Buffer Format Hashtbl List Printf String

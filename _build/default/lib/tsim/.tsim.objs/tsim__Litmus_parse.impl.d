@@ -1,0 +1,1 @@
+lib/tsim/litmus_parse.ml: Array List Litmus Printf String

@@ -1,0 +1,1 @@
+lib/tsim/litmus_parse.mli: Litmus

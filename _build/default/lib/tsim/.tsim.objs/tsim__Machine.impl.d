@@ -1,0 +1,1 @@
+lib/tsim/machine.ml: Array Buffer Cache Config Effect Memory Printf Rng Sim Store_buffer

@@ -1,0 +1,1 @@
+lib/tsim/machine.mli: Config Memory

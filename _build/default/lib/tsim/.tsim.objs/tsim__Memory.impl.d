@@ -1,0 +1,1 @@
+lib/tsim/memory.ml: Array Bytes

@@ -1,0 +1,1 @@
+lib/tsim/store_buffer.mli:

@@ -1,0 +1,1 @@
+lib/tsim/trace.ml: Array Format List Machine

@@ -1,0 +1,1 @@
+lib/tsim/trace.mli: Format Machine

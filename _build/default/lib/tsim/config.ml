@@ -1,0 +1,85 @@
+type consistency =
+  | Sc
+  | Tso
+  | Tbtso of int
+  | Tso_spatial of int
+  | Tbtso_hw of { tau : int; quiesce : int }
+
+type drain_dist =
+  | Drain_fixed of int
+  | Drain_uniform of int * int
+  | Drain_geometric of { p : float; cap : int }
+  | Drain_adversarial
+
+type costs = {
+  load : int;
+  store : int;
+  cas : int;
+  fence : int;
+  clock_read : int;
+  cache_miss : int;
+  interrupt : int;
+}
+
+type t = {
+  consistency : consistency;
+  costs : costs;
+  drain : drain_dist;
+  mem_words : int;
+  cache_bits : int;
+  detect_uaf : bool;
+  interrupt_period : int option;
+  jitter : float;
+  seed : int64;
+}
+
+let ticks_per_us = 100
+
+let us n = n * ticks_per_us
+
+let ms n = n * 1000 * ticks_per_us
+
+let default_costs =
+  {
+    load = 1;
+    store = 1;
+    cas = 4;
+    fence = 3;
+    clock_read = 2;
+    cache_miss = 30;
+    interrupt = 150;
+  }
+
+(* Single-socket Haswell-like calibration: much cheaper misses (no
+   cross-socket hops), slightly cheaper serialization. *)
+let haswell_costs =
+  {
+    load = 1;
+    store = 1;
+    cas = 3;
+    fence = 2;
+    clock_read = 2;
+    cache_miss = 8;
+    interrupt = 150;
+  }
+
+let default =
+  {
+    consistency = Tbtso (us 500);
+    costs = default_costs;
+    drain = Drain_geometric { p = 0.5; cap = 200 };
+    mem_words = 1 lsl 20;
+    cache_bits = 12;
+    detect_uaf = true;
+    interrupt_period = None;
+    jitter = 0.0;
+    seed = 1L;
+  }
+
+let with_consistency consistency t = { t with consistency }
+
+let with_seed seed t = { t with seed }
+
+let with_drain drain t = { t with drain }
+
+let with_jitter jitter t = { t with jitter }

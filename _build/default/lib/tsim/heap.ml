@@ -1,0 +1,102 @@
+exception Double_free of int
+
+exception Bad_free of int
+
+type t = {
+  mem : Memory.t;
+  base : int;
+  limit : int;
+  mutable bump : int;
+  sizes : (int, int) Hashtbl.t;  (* live block -> size *)
+  free_lists : (int, int list ref) Hashtbl.t;  (* size -> free blocks *)
+  mutable live_blocks : int;
+  mutable live_words : int;
+  mutable peak_words : int;
+  mutable allocations : int;
+  mutable frees : int;
+}
+
+let create machine ~words =
+  let base = Machine.alloc_global machine words in
+  {
+    mem = Machine.memory machine;
+    base;
+    limit = base + words;
+    bump = base;
+    sizes = Hashtbl.create 1024;
+    free_lists = Hashtbl.create 8;
+    live_blocks = 0;
+    live_words = 0;
+    peak_words = 0;
+    allocations = 0;
+    frees = 0;
+  }
+
+let free_list t n =
+  match Hashtbl.find_opt t.free_lists n with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.add t.free_lists n l;
+      l
+
+(* Blocks are aligned to 2 words so that bit 0 of a block address is free
+   for pointer tagging (mark bits in Michael's list). *)
+let align2 n = (n + 1) land lnot 1
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Heap.alloc: size must be positive";
+  t.allocations <- t.allocations + 1;
+  let reuse = free_list t n in
+  let addr =
+    match !reuse with
+    | a :: rest ->
+        reuse := rest;
+        Memory.unpoison t.mem a ~len:n;
+        a
+    | [] ->
+        let a = align2 t.bump in
+        if a + n > t.limit then
+          raise (Memory.Out_of_memory { requested = n; available = t.limit - a });
+        t.bump <- a + n;
+        a
+  in
+  (* Zero without going through the coherence model: fresh blocks carry no
+     cross-thread information. *)
+  for i = addr to addr + n - 1 do
+    Memory.write t.mem ~tid:(-1) ~at:0 i 0
+  done;
+  Hashtbl.replace t.sizes addr n;
+  t.live_blocks <- t.live_blocks + 1;
+  t.live_words <- t.live_words + n;
+  if t.live_words > t.peak_words then t.peak_words <- t.live_words;
+  addr
+
+let free t addr =
+  match Hashtbl.find_opt t.sizes addr with
+  | None ->
+      if addr >= t.base && addr < t.bump then raise (Double_free addr)
+      else raise (Bad_free addr)
+  | Some n ->
+      Hashtbl.remove t.sizes addr;
+      Memory.poison t.mem addr ~len:n;
+      let l = free_list t n in
+      l := addr :: !l;
+      t.live_blocks <- t.live_blocks - 1;
+      t.live_words <- t.live_words - n;
+      t.frees <- t.frees + 1
+
+let block_size t addr =
+  match Hashtbl.find_opt t.sizes addr with
+  | Some n -> n
+  | None -> raise (Bad_free addr)
+
+let live_blocks t = t.live_blocks
+
+let live_words t = t.live_words
+
+let peak_words t = t.peak_words
+
+let allocations t = t.allocations
+
+let frees t = t.frees

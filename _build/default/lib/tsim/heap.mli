@@ -1,0 +1,45 @@
+(** Dynamic allocator over simulated memory with reclamation accounting.
+
+    Backs the SMR experiments: [free] poisons the block so any later
+    simulated access raises {!Memory.Use_after_free}, and live/peak word
+    counters feed the memory-consumption experiment (paper Figure 7).
+
+    Allocation metadata (free lists, block sizes) is host-side state, not
+    simulated memory: the paper's algorithms never synchronize through the
+    allocator, so its bookkeeping carries no memory-model semantics. Calls
+    are driver/thread agnostic and cost nothing in simulated time; charge
+    {!Sim.work} in thread code if an allocator cost model is wanted. *)
+
+type t
+
+exception Double_free of int
+
+exception Bad_free of int
+
+val create : Machine.t -> words:int -> t
+(** Carve a [words]-sized arena for this heap out of the machine's global
+    memory. Several heaps may coexist (e.g. one per size class). *)
+
+val alloc : t -> int -> int
+(** [alloc t n] returns the base address of an [n]-word block, zeroed and
+    unpoisoned. Blocks of equal size are recycled from a free list.
+    @raise Memory.Out_of_memory when the arena is exhausted. *)
+
+val free : t -> int -> unit
+(** Return a block; poisons its words.
+    @raise Double_free on repeated free.
+    @raise Bad_free on an address not returned by [alloc]. *)
+
+val block_size : t -> int -> int
+(** Size in words of a live block. @raise Bad_free if unknown. *)
+
+val live_blocks : t -> int
+
+val live_words : t -> int
+
+val peak_words : t -> int
+(** High-water mark of {!live_words} since creation. *)
+
+val allocations : t -> int
+
+val frees : t -> int

@@ -1,0 +1,244 @@
+type mode = M_sc | M_tso | M_tbtso of int | M_tsos of int
+
+type instr =
+  | Store of int * int
+  | Load of int * int
+  | Loadeq of int * int * int
+  | Fence
+  | Wait of int
+  | Cas of int * int * int * int
+
+type outcome = { regs : int array array; mem : int array }
+
+(* Store-buffer entries carry remaining slack (ticks until the Δ deadline)
+   instead of absolute times, so that states are clock-translation
+   invariant and deduplicate well. [max_int] encodes "no deadline". *)
+type entry = { addr : int; value : int; slack : int }
+
+type tstate = {
+  pc : int;
+  regs_v : int array;
+  wait : int;  (* remaining blocked ticks; 0 = runnable *)
+  buf : entry list;  (* oldest first *)
+}
+
+type state = { mem_v : int array; threads : tstate array }
+
+let key_of_state s =
+  let b = Buffer.create 64 in
+  Array.iter
+    (fun v ->
+      Buffer.add_string b (string_of_int v);
+      Buffer.add_char b ',')
+    s.mem_v;
+  Array.iter
+    (fun t ->
+      Buffer.add_char b '|';
+      Buffer.add_string b (string_of_int t.pc);
+      Buffer.add_char b ';';
+      Buffer.add_string b (string_of_int t.wait);
+      Buffer.add_char b ';';
+      Array.iter
+        (fun v ->
+          Buffer.add_string b (string_of_int v);
+          Buffer.add_char b ',')
+        t.regs_v;
+      List.iter
+        (fun e ->
+          Buffer.add_string b (string_of_int e.addr);
+          Buffer.add_char b ':';
+          Buffer.add_string b (string_of_int e.value);
+          Buffer.add_char b ':';
+          Buffer.add_string b (string_of_int e.slack);
+          Buffer.add_char b ' ')
+        t.buf)
+    s.threads;
+  Buffer.contents b
+
+let forward buf addr =
+  (* Newest matching entry wins; [buf] is oldest-first. *)
+  List.fold_left (fun acc e -> if e.addr = addr then Some e.value else acc) None buf
+
+(* One tick passes: decrement waits and slacks. Returns None if some
+   buffered store can no longer meet its deadline (pruned execution). *)
+let age state =
+  let ok = ref true in
+  let threads =
+    Array.map
+      (fun t ->
+        let buf =
+          List.map
+            (fun e ->
+              if e.slack = max_int then e
+              else begin
+                if e.slack <= 0 then ok := false;
+                { e with slack = e.slack - 1 }
+              end)
+            t.buf
+        in
+        { t with wait = (if t.wait > 0 then t.wait - 1 else 0); buf })
+      state.threads
+  in
+  if !ok then Some { state with threads } else None
+
+let enumerate ~mode ?(addrs = 4) ?(regs = 4) ?(max_states = 2_000_000) programs =
+  let programs = Array.of_list (List.map Array.of_list programs) in
+  let n = Array.length programs in
+  let init =
+    {
+      mem_v = Array.make addrs 0;
+      threads =
+        Array.init n (fun _ ->
+            { pc = 0; regs_v = Array.make regs 0; wait = 0; buf = [] });
+    }
+  in
+  let seen = Hashtbl.create 4096 in
+  let outcomes = Hashtbl.create 64 in
+  let visited = ref 0 in
+  let slack_of_store =
+    match mode with M_tbtso d -> d | M_sc | M_tso | M_tsos _ -> max_int
+  in
+  let buffer_capacity = match mode with M_tsos s -> s | M_sc | M_tso | M_tbtso _ -> max_int in
+  let rec explore state =
+    let key = key_of_state state in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      incr visited;
+      if !visited > max_states then
+        failwith
+          (Printf.sprintf "Litmus.enumerate: state space exceeds %d states" max_states);
+      let progressed = ref false in
+      let step f =
+        (* Apply an action: first age the state by one tick, then mutate. *)
+        match age state with
+        | None -> ()
+        | Some aged ->
+            progressed := true;
+            explore (f aged)
+      in
+      let with_thread st i t =
+        let threads = Array.copy st.threads in
+        threads.(i) <- t;
+        { st with threads }
+      in
+      for i = 0 to n - 1 do
+        let t = state.threads.(i) in
+        (* Drain action: commit this thread's oldest buffered store. *)
+        (match t.buf with
+        | e :: rest ->
+            step (fun st ->
+                let t = st.threads.(i) in
+                let e', rest' =
+                  match t.buf with e' :: r -> (e', r) | [] -> assert false
+                in
+                ignore e';
+                let mem_v = Array.copy st.mem_v in
+                mem_v.(e.addr) <- e.value;
+                ignore rest;
+                { (with_thread st i { t with buf = rest' }) with mem_v })
+        | [] -> ());
+        (* Instruction action. *)
+        if t.wait = 0 && t.pc < Array.length programs.(i) then begin
+          match programs.(i).(t.pc) with
+          | Store (a, v) ->
+              (* Under TSO[S] a store is enabled only when the buffer has
+                 room (spatial bound). *)
+              if List.length t.buf < buffer_capacity then
+                step (fun st ->
+                    let t = st.threads.(i) in
+                    if mode = M_sc then begin
+                      let mem_v = Array.copy st.mem_v in
+                      mem_v.(a) <- v;
+                      { (with_thread st i { t with pc = t.pc + 1 }) with mem_v }
+                    end
+                    else
+                      let buf = t.buf @ [ { addr = a; value = v; slack = slack_of_store } ] in
+                      with_thread st i { t with pc = t.pc + 1; buf })
+          | Load (a, r) ->
+              step (fun st ->
+                  let t = st.threads.(i) in
+                  let v =
+                    match forward t.buf a with Some v -> v | None -> st.mem_v.(a)
+                  in
+                  let regs_v = Array.copy t.regs_v in
+                  regs_v.(r) <- v;
+                  with_thread st i { t with pc = t.pc + 1; regs_v })
+          | Loadeq (a, v0, skip) ->
+              step (fun st ->
+                  let t = st.threads.(i) in
+                  let v =
+                    match forward t.buf a with Some v -> v | None -> st.mem_v.(a)
+                  in
+                  let pc = if v = v0 then t.pc + 1 + skip else t.pc + 1 in
+                  with_thread st i { t with pc })
+          | Fence ->
+              if t.buf = [] then
+                step (fun st ->
+                    let t = st.threads.(i) in
+                    with_thread st i { t with pc = t.pc + 1 })
+          | Cas (a, expected, desired, r) ->
+              (* x86 locked RMW: requires an empty store buffer (it is
+                 drained first) and acts directly on memory. *)
+              if t.buf = [] then
+                step (fun st ->
+                    let t = st.threads.(i) in
+                    let cur = st.mem_v.(a) in
+                    let regs_v = Array.copy t.regs_v in
+                    let mem_v = Array.copy st.mem_v in
+                    if cur = expected then begin
+                      mem_v.(a) <- desired;
+                      regs_v.(r) <- 1
+                    end
+                    else regs_v.(r) <- 0;
+                    { (with_thread st i { t with pc = t.pc + 1; regs_v }) with mem_v })
+          | Wait d ->
+              step (fun st ->
+                  let t = st.threads.(i) in
+                  with_thread st i { t with pc = t.pc + 1; wait = d })
+        end
+      done;
+      (* Idle tick: time passes with nobody acting. Needed so that waiting
+         threads can unblock when everyone else is done; harmless (and
+         behaviour-enlarging) otherwise, but only enabled when someone is
+         waiting, to keep the state space finite. *)
+      if Array.exists (fun t -> t.wait > 0) state.threads then step (fun st -> st);
+      (* Terminal state: all threads completed, all buffers empty. *)
+      if
+        (not !progressed)
+        && Array.for_all
+             (fun (t : tstate) ->
+               t.buf = []
+               && t.wait = 0)
+             state.threads
+        && Array.for_all2
+             (fun (t : tstate) prog -> t.pc >= Array.length prog)
+             state.threads programs
+      then begin
+        let o =
+          {
+            regs = Array.map (fun t -> Array.copy t.regs_v) state.threads;
+            mem = Array.copy state.mem_v;
+          }
+        in
+        Hashtbl.replace outcomes o ()
+      end
+    end
+  in
+  explore init;
+  let all = Hashtbl.fold (fun o () acc -> o :: acc) outcomes [] in
+  List.sort compare all
+
+let exists outcomes p = List.exists p outcomes
+
+let for_all outcomes p = List.for_all p outcomes
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "regs=[";
+  Array.iteri
+    (fun i rs ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "t%d:(%s)" i
+        (String.concat "," (Array.to_list (Array.map string_of_int rs))))
+    o.regs;
+  Format.fprintf fmt "] mem=(%s)"
+    (String.concat "," (Array.to_list (Array.map string_of_int o.mem)))

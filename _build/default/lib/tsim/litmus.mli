@@ -1,0 +1,54 @@
+(** Exhaustive litmus-test checker.
+
+    Enumerates {e every} interleaving of straight-line multi-threaded
+    programs under SC, TSO and TBTSO[Δ], including every legal store-buffer
+    drain schedule, and returns the set of reachable final outcomes.
+    This is the tool used to {e prove} (for bounded programs) statements
+    such as "the TBTSO flag principle never loses both flags", rather than
+    merely sampling schedules as the {!Machine} does.
+
+    Time is interleaving time: each action (instruction execution,
+    store-buffer drain, or idle tick while some thread waits) advances the
+    global clock by exactly one unit, matching the paper's abstract
+    machine where at most one action executes per time unit. Under
+    TBTSO[Δ] any execution in which a buffered store cannot be drained by
+    its [enqueue + Δ] deadline is pruned, which is exactly the paper's
+    admissibility condition. *)
+
+type mode =
+  | M_sc
+  | M_tso
+  | M_tbtso of int
+  | M_tsos of int
+      (** TSO[S] (Morrison & Afek 2014): buffer capacity [s], no
+          temporal bound — the paper's Section 8 comparison model. *)
+
+type instr =
+  | Store of int * int  (** [Store (addr, v)] *)
+  | Load of int * int  (** [Load (addr, reg)] — result into a register. *)
+  | Loadeq of int * int * int
+      (** [Loadeq (addr, v, skip)] — load; if the value equals [v], skip
+          the next [skip] instructions (minimal conditional support). *)
+  | Fence  (** Executable only once the thread's buffer is empty. *)
+  | Wait of int  (** Block for at least [n] time units. *)
+  | Cas of int * int * int * int
+      (** [Cas (addr, expected, desired, reg)] — atomic compare-and-swap;
+          drains the buffer first (x86 locked-op semantics); [reg] gets
+          1 on success, 0 on failure. *)
+
+type outcome = {
+  regs : int array array;  (** Final registers, [regs.(tid).(r)]. *)
+  mem : int array;  (** Final memory, all buffers drained. *)
+}
+
+val enumerate :
+  mode:mode -> ?addrs:int -> ?regs:int -> ?max_states:int -> instr list list -> outcome list
+(** All reachable outcomes, deduplicated and sorted. [addrs] and [regs]
+    default to 4. @raise Failure if more than [max_states] (default 2M)
+    distinct states are visited. *)
+
+val exists : outcome list -> (outcome -> bool) -> bool
+
+val for_all : outcome list -> (outcome -> bool) -> bool
+
+val pp_outcome : Format.formatter -> outcome -> unit

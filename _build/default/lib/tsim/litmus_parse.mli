@@ -1,0 +1,54 @@
+(** Parser for a small litmus-test file format, used by the
+    [tbtso-litmus] command-line tool and tests.
+
+    Format by example:
+
+    {v
+    # Store buffering with the TBTSO flag-principle fix
+    thread
+      store x 1
+      load x -> r0
+    thread
+      store y 1
+      fence
+      wait 4
+      load x -> r1
+    exists 0:r0 = 0 /\ 1:r1 = 0
+    v}
+
+    - Addresses are the names [x y z w] (cells 0-3).
+    - Registers are [r0 r1 r2 r3] per thread.
+    - Instructions: [store ADDR VAL], [load ADDR -> REG],
+      [loadeq ADDR VAL skip N], [fence], [wait N],
+      [cas ADDR EXPECTED DESIRED -> REG] (1 on success).
+    - The final line is a condition: [exists COND] asks whether some
+      reachable outcome satisfies it (a witness query); [forall COND]
+      asks whether all outcomes do (an invariant). [COND] is a
+      conjunction of [T:rN = V] (register of thread T) and [ADDR = V]
+      (final memory) terms joined by [/\].
+    - [#] starts a comment; blank lines are ignored. *)
+
+type quantifier = Exists | Forall
+
+type term =
+  | Reg_eq of int * int * int  (** thread, register, value *)
+  | Mem_eq of int * int  (** address, value *)
+
+type t = {
+  name : string;  (** From a leading [name:] line, or "litmus". *)
+  program : Litmus.instr list list;
+  quantifier : quantifier;
+  condition : term list;  (** Conjunction. *)
+}
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> t
+(** Parse the full text of a litmus file. @raise Parse_error *)
+
+val satisfies : t -> Litmus.outcome -> bool
+
+val check : t -> mode:Litmus.mode -> bool * int
+(** [check t ~mode] enumerates outcomes and returns
+    [(query answer, number of distinct outcomes)]: for [Exists], whether
+    a witness exists; for [Forall], whether the condition is invariant. *)

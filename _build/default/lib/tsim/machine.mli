@@ -1,0 +1,114 @@
+(** The TBTSO[Δ] abstract machine (Section 2 of the paper).
+
+    A machine owns a simulated memory, a global clock and a set of
+    threads. Threads are OCaml functions using the {!Sim} instruction set;
+    the machine schedules one abstract-machine action per thread per tick:
+
+    - execute the thread's next instruction (load / store / RMW / fence /
+      clock read / local work), or
+    - have the memory subsystem dequeue the oldest entry of the thread's
+      store buffer and commit it to memory.
+
+    As a refinement towards real hardware, a store-buffer drain may happen
+    in the same tick as an instruction of the same thread (drains only get
+    {i faster} than the paper's one-action-per-tick machine, which is the
+    conservative direction for a Δ bound).
+
+    Consistency modes:
+    - [Sc]: stores commit immediately (store buffer bypassed);
+    - [Tso]: stores drain after a scheduler-sampled delay, with no bound —
+      under [Drain_adversarial] a store can starve forever;
+    - [Tbtso delta]: like [Tso], but any entry older than [delta] ticks is
+      force-committed at the start of the tick, establishing the paper's
+      invariant that a store enqueued at [t0] is in memory by [t0 + Δ]. *)
+
+type t
+
+type stop_reason =
+  | All_finished
+  | Max_ticks
+  | Stop_condition  (** The [stop_when] predicate fired. *)
+
+exception Thread_failure of { tid : int; exn : exn }
+(** A thread body raised (other than {!Sim.Killed}). *)
+
+exception Deadlock of string
+(** No thread can ever act again, yet not all threads finished. *)
+
+type thread_stats = {
+  loads : int;
+  stores : int;
+  rmws : int;
+  fences : int;
+  clock_reads : int;
+  cache_misses : int;
+  drains : int;  (** Entries committed from this thread's buffer. *)
+  forced_drains : int;  (** Of which committed by the Δ deadline. *)
+}
+
+val create : Config.t -> t
+
+val config : t -> Config.t
+
+val memory : t -> Memory.t
+
+val now : t -> int
+(** Current global clock (readable from driver code at zero cost). *)
+
+val spawn : t -> (unit -> unit) -> int
+(** Register a thread; returns its tid. The body runs up to its first
+    instruction immediately. Must be called before {!run}. *)
+
+val thread_count : t -> int
+
+val run : ?max_ticks:int -> ?stop_when:(t -> bool) -> t -> stop_reason
+(** Drive the machine until every thread finishes, [max_ticks] elapse, or
+    [stop_when] holds (checked once per tick).
+    @raise Thread_failure if a thread body raises.
+    @raise Memory.Use_after_free on a detected access to freed memory.
+    @raise Deadlock if no progress is possible. *)
+
+val request_stop : t -> unit
+(** Make {!Sim.stopping} return true in all threads, letting benchmark
+    loops wind down voluntarily. *)
+
+val kill_remaining : t -> unit
+(** Unwind every unfinished thread with {!Sim.Killed} (releasing their
+    fibers). Call after a bounded run that abandoned infinite loops. *)
+
+val stats : t -> int -> thread_stats
+(** Per-thread statistics (by tid). *)
+
+val total_stats : t -> thread_stats
+
+val alloc_global : t -> int -> int
+(** Convenience for [Memory.alloc_global (memory t)]. *)
+
+val set_interrupt_hook : t -> (tid:int -> now:int -> unit) -> unit
+(** Invoked on every timer interrupt (requires
+    [config.interrupt_period = Some _]); used by the Section 6.2 OS
+    adaptation to stamp the per-core time array. *)
+
+val set_label_hook : t -> (tid:int -> now:int -> string -> unit) -> unit
+(** Receives {!Sim.label} markers, e.g. for trace assertions in tests. *)
+
+type event =
+  | Ev_load of { addr : int; value : int }
+  | Ev_store of { addr : int; value : int }
+  | Ev_rmw of { addr : int; old_value : int; new_value : int }
+  | Ev_fence
+  | Ev_clock of int
+
+val set_event_hook : t -> (tid:int -> now:int -> event -> unit) -> unit
+(** Invoked for every executed instruction (see {!Trace} for the
+    ready-made recorder). One branch of overhead per instruction when
+    unset. *)
+
+val quiescence_events : t -> int
+(** Number of Section 6.1 bail-outs so far (only under
+    [Config.Tbtso_hw]): each one paused the whole system to let a
+    starving store propagate. *)
+
+val drain_all : t -> unit
+(** Force-commit every buffered store of every thread, advancing the
+    clock by one tick. Driver-side helper for test setup/teardown. *)

@@ -1,0 +1,80 @@
+exception Use_after_free of { addr : int; tid : int; at : int; write : bool }
+
+exception Out_of_memory of { requested : int; available : int }
+
+let line_shift = 3
+
+type t = {
+  data : int array;
+  version : int array;  (* per line *)
+  owner : int array;  (* per line, last committed writer tid *)
+  reader : int array;  (* per line, last reader tid other than owner *)
+  poisoned : Bytes.t;  (* per word, 0 = live *)
+  mutable bump : int;  (* global-arena allocation pointer *)
+}
+
+let line_of addr = addr lsr line_shift
+
+let create ~words =
+  let lines = (words lsr line_shift) + 1 in
+  {
+    data = Array.make words 0;
+    version = Array.make lines 0;
+    owner = Array.make lines (-1);
+    reader = Array.make lines (-1);
+    poisoned = Bytes.make words '\000';
+    (* Word 0 is reserved so that 0 can serve as a null pointer. *)
+    bump = 1 lsl line_shift;
+  }
+
+let words t = Array.length t.data
+
+let read t addr = t.data.(addr)
+
+let write t ~tid ~at:_ addr v =
+  t.data.(addr) <- v;
+  let l = line_of addr in
+  t.version.(l) <- t.version.(l) + 1;
+  t.owner.(l) <- tid;
+  t.reader.(l) <- -1
+
+let line_version t addr = t.version.(line_of addr)
+
+let line_owner t addr = t.owner.(line_of addr)
+
+let note_reader t addr ~tid =
+  let l = line_of addr in
+  if t.owner.(l) <> tid then t.reader.(l) <- tid
+
+let foreign_reader t addr ~tid =
+  let r = t.reader.(line_of addr) in
+  r >= 0 && r <> tid
+
+let clear_reader t addr = t.reader.(line_of addr) <- -1
+
+let is_poisoned t addr = Bytes.unsafe_get t.poisoned addr <> '\000'
+
+let poison t addr ~len =
+  for i = addr to addr + len - 1 do
+    Bytes.set t.poisoned i '\001'
+  done
+
+let unpoison t addr ~len =
+  for i = addr to addr + len - 1 do
+    Bytes.set t.poisoned i '\000'
+  done
+
+let align_line n =
+  let mask = (1 lsl line_shift) - 1 in
+  (n + mask) land lnot mask
+
+let alloc_global t n =
+  if n <= 0 then invalid_arg "Memory.alloc_global: size must be positive";
+  let base = align_line t.bump in
+  let next = base + align_line n in
+  if next > Array.length t.data then
+    raise (Out_of_memory { requested = n; available = Array.length t.data - base });
+  t.bump <- next;
+  base
+
+let globals_end t = t.bump

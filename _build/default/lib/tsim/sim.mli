@@ -1,0 +1,84 @@
+(** Instruction set available to simulated threads.
+
+    Thread bodies are plain OCaml functions; each call below performs an
+    effect that suspends the thread until the machine schedules the
+    corresponding abstract-machine action (Section 2 of the paper). Code
+    written against this API reads like the paper's pseudo-code:
+
+    {[
+      let owner_lock () =
+        Sim.store flag0 1;          (* no fence *)
+        if Sim.load flag1 <> 0 then begin ... end
+    ]}
+
+    All functions must be called from inside a thread run by {!Machine};
+    calling them elsewhere raises [Effect.Unhandled]. *)
+
+type _ Effect.t +=
+  | E_load : int -> int Effect.t
+  | E_store : (int * int) -> unit Effect.t
+  | E_cas : (int * int * int) -> bool Effect.t
+  | E_faa : (int * int) -> int Effect.t
+  | E_xchg : (int * int) -> int Effect.t
+  | E_fence : unit Effect.t
+  | E_clock : int Effect.t
+  | E_work : int -> unit Effect.t
+  | E_stall_until : int -> unit Effect.t
+  | E_tid : int Effect.t
+  | E_stopping : bool Effect.t
+  | E_label : string -> unit Effect.t
+
+exception Killed
+(** Used by the machine to unwind threads abandoned at the end of a
+    bounded run. Thread code must not catch it. *)
+
+val load : int -> int
+(** TSO load: forwarded from the thread's own store buffer when a
+    buffered store to the address exists, otherwise read from memory. *)
+
+val store : int -> int -> unit
+(** TSO store: enqueue into the thread's store buffer. *)
+
+val cas : int -> expected:int -> desired:int -> bool
+(** Atomic compare-and-swap. Like all x86 locked operations it first
+    drains the thread's store buffer, then reads-modifies-writes memory
+    atomically. *)
+
+val faa : int -> int -> int
+(** Atomic fetch-and-add; returns the previous value. Drains the buffer. *)
+
+val xchg : int -> int -> int
+(** Atomic exchange; returns the previous value. Drains the buffer. *)
+
+val fence : unit -> unit
+(** Full memory fence (MFENCE): blocks until the store buffer is empty. *)
+
+val clock : unit -> int
+(** Read the global clock (invariant TSC analogue, Section 6). *)
+
+val work : int -> unit
+(** Consume [n] ticks of thread-local computation (models application
+    work and bookkeeping that touches no shared memory). *)
+
+val stall_until : int -> unit
+(** Deschedule the thread until the given global time: models a context
+    switch away or a long delay. Unlike real descheduling it does NOT
+    drain the store buffer — pair with {!fence} to model a kernel entry. *)
+
+val stall_for : int -> unit
+(** [stall_for n] is [stall_until (clock-free now + n)]; costs no
+    clock-read. *)
+
+val tid : unit -> int
+(** This thread's id (zero cost, meta-operation). *)
+
+val stopping : unit -> bool
+(** True once the driver has requested the run to wind down (zero cost,
+    meta-operation — benchmark loops poll this). *)
+
+val label : string -> unit
+(** Emit a trace label (zero cost; no-op unless tracing is enabled). *)
+
+val spin_while : (unit -> bool) -> unit
+(** Re-evaluate the condition until it turns false. Each probe costs
+    whatever shared accesses the condition performs. *)

@@ -1,0 +1,75 @@
+type entry = {
+  addr : int;
+  value : int;
+  enqueued_at : int;
+  ready_at : int;
+  mutable rfo_until : int;
+      (* 0 = no upgrade issued; otherwise the tick at which the
+         read-for-ownership of the target line completes *)
+}
+
+(* Ring buffer; store buffers are small (a handful of entries) but the
+   operations are on the simulator's hot path, so avoid list churn. *)
+type t = {
+  mutable slots : entry array;
+  mutable head : int;  (* index of oldest entry *)
+  mutable len : int;
+}
+
+let dummy = { addr = -1; value = 0; enqueued_at = 0; ready_at = 0; rfo_until = 0 }
+
+let create () = { slots = Array.make 8 dummy; head = 0; len = 0 }
+
+let is_empty t = t.len = 0
+
+let length t = t.len
+
+let grow t =
+  let cap = Array.length t.slots in
+  let slots = Array.make (cap * 2) dummy in
+  for i = 0 to t.len - 1 do
+    slots.(i) <- t.slots.((t.head + i) mod cap)
+  done;
+  t.slots <- slots;
+  t.head <- 0
+
+let enqueue t e =
+  if t.len = Array.length t.slots then grow t;
+  let cap = Array.length t.slots in
+  t.slots.((t.head + t.len) mod cap) <- e;
+  t.len <- t.len + 1
+
+let peek_oldest t = if t.len = 0 then None else Some t.slots.(t.head)
+
+let dequeue_oldest t =
+  if t.len = 0 then invalid_arg "Store_buffer.dequeue_oldest: empty";
+  let e = t.slots.(t.head) in
+  t.slots.(t.head) <- dummy;
+  t.head <- (t.head + 1) mod Array.length t.slots;
+  t.len <- t.len - 1;
+  e
+
+let newest_value t addr =
+  (* Scan from newest to oldest; first hit is the forwarding value. *)
+  let cap = Array.length t.slots in
+  let rec go i =
+    if i < 0 then None
+    else
+      let e = t.slots.((t.head + i) mod cap) in
+      if e.addr = addr then Some e.value else go (i - 1)
+  in
+  go (t.len - 1)
+
+let oldest_enqueue_time t =
+  if t.len = 0 then None else Some t.slots.(t.head).enqueued_at
+
+let iter_oldest_first t f =
+  let cap = Array.length t.slots in
+  for i = 0 to t.len - 1 do
+    f t.slots.((t.head + i) mod cap)
+  done
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) dummy;
+  t.head <- 0;
+  t.len <- 0

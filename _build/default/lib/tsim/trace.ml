@@ -1,0 +1,82 @@
+type event = { at : int; tid : int; what : what }
+
+and what =
+  | T_load of { addr : int; value : int }
+  | T_store of { addr : int; value : int }
+  | T_rmw of { addr : int; old_value : int; new_value : int }
+  | T_fence
+  | T_clock of int
+  | T_label of string
+
+type t = {
+  ring : event option array;
+  mutable next : int;  (* total events ever recorded *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { ring = Array.make capacity None; next = 0 }
+
+let record t e =
+  t.ring.(t.next mod Array.length t.ring) <- Some e;
+  t.next <- t.next + 1
+
+let length t = min t.next (Array.length t.ring)
+
+let dropped t = max 0 (t.next - Array.length t.ring)
+
+let events t =
+  let cap = Array.length t.ring in
+  let n = length t in
+  let start = if t.next > cap then t.next mod cap else 0 in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0
+
+let attach t machine =
+  Machine.set_event_hook machine (fun ~tid ~now ev ->
+      let what =
+        match ev with
+        | Machine.Ev_load { addr; value } -> T_load { addr; value }
+        | Machine.Ev_store { addr; value } -> T_store { addr; value }
+        | Machine.Ev_rmw { addr; old_value; new_value } ->
+            T_rmw { addr; old_value; new_value }
+        | Machine.Ev_fence -> T_fence
+        | Machine.Ev_clock c -> T_clock c
+      in
+      record t { at = now; tid; what });
+  Machine.set_label_hook machine (fun ~tid ~now s ->
+      record t { at = now; tid; what = T_label s })
+
+let filter t ?tid ?addr () =
+  List.filter
+    (fun e ->
+      (match tid with Some i -> e.tid = i | None -> true)
+      &&
+      match addr with
+      | None -> true
+      | Some a -> (
+          match e.what with
+          | T_load { addr; _ } | T_store { addr; _ } -> addr = a
+          | T_rmw { addr; _ } -> addr = a
+          | T_fence | T_clock _ | T_label _ -> true))
+    (events t)
+
+let pp_event fmt e =
+  let p fmt_str = Format.fprintf fmt fmt_str in
+  match e.what with
+  | T_load { addr; value } -> p "[%8d] t%d  load  @%d -> %d" e.at e.tid addr value
+  | T_store { addr; value } -> p "[%8d] t%d  store @%d := %d" e.at e.tid addr value
+  | T_rmw { addr; old_value; new_value } ->
+      p "[%8d] t%d  rmw   @%d: %d -> %d" e.at e.tid addr old_value new_value
+  | T_fence -> p "[%8d] t%d  fence" e.at e.tid
+  | T_clock c -> p "[%8d] t%d  rdtsc -> %d" e.at e.tid c
+  | T_label s -> p "[%8d] t%d  # %s" e.at e.tid s
+
+let pp fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events t)

@@ -1,0 +1,50 @@
+(** Execution tracing for debugging simulated algorithms.
+
+    A trace collects one event per executed abstract-machine action into
+    a bounded ring buffer. Attach with {!attach}; the machine then calls
+    the recorder on every instruction it executes (commits/drains are not
+    traced — use {!Machine.thread_stats} for those). Overhead when not
+    attached: one branch per instruction. *)
+
+type event = {
+  at : int;  (** Global clock when the action executed. *)
+  tid : int;
+  what : what;
+}
+
+and what =
+  | T_load of { addr : int; value : int }
+  | T_store of { addr : int; value : int }
+  | T_rmw of { addr : int; old_value : int; new_value : int }
+  | T_fence
+  | T_clock of int
+  | T_label of string
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer; default capacity 4096 events (oldest dropped). *)
+
+val attach : t -> Machine.t -> unit
+(** Register this trace on the machine (replaces any previous trace and
+    the machine's label hook). *)
+
+val record : t -> event -> unit
+
+val events : t -> event list
+(** Oldest first. *)
+
+val length : t -> int
+
+val dropped : t -> int
+
+val clear : t -> unit
+
+val filter : t -> ?tid:int -> ?addr:int -> unit -> event list
+(** Events restricted to one thread and/or one address ([T_fence],
+    [T_clock] and [T_label] match any [addr]). *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Entire buffer, one event per line. *)

@@ -1,0 +1,1 @@
+lib/workload/chart.ml: Buffer Filename Float List Printf String Sys

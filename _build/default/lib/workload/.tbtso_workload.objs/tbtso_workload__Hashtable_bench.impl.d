@@ -1,0 +1,1 @@
+lib/workload/hashtable_bench.ml: Array Config Format Hash_table Heap Int64 List Machine Memory Rng Sim Smr_methods Tagged_ptr Tbtso_structures Tsim

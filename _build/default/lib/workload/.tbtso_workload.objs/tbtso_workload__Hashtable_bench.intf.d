@@ -1,0 +1,1 @@
+lib/workload/hashtable_bench.mli: Format Smr_methods Tsim

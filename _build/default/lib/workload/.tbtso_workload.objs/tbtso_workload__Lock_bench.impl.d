@@ -1,0 +1,1 @@
+lib/workload/lock_bench.ml: Bound Config Ffbl Int64 Machine Printf Rng Safepoint_lock Sim Spinlock Tbtso_core Tbtso_hwmodel Tsim

@@ -1,0 +1,1 @@
+lib/workload/lock_bench.mli: Tsim

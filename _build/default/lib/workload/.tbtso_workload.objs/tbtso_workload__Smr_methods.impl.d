@@ -1,0 +1,1 @@
+lib/workload/smr_methods.ml: Array Bound Config Dta Ebr Ffhp Hazard Heap Hp Naive Printf Rcu Smr Stacktrack Tbtso_core Tbtso_hwmodel Tsim

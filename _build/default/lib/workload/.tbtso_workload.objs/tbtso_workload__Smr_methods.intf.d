@@ -1,0 +1,1 @@
+lib/workload/smr_methods.mli: Tbtso_core Tsim

@@ -1,0 +1,57 @@
+(* Minimal ASCII charting for the benchmark harness: horizontal bars for
+   figure-style output in a terminal. *)
+
+let bar_width = 44
+
+(* Render one labelled horizontal bar chart. Values must be >= 0. *)
+let bars ?(unit = "") rows =
+  let max_v = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 rows in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (label, v) ->
+      let frac = if max_v <= 0.0 then 0.0 else v /. max_v in
+      let n = int_of_float (frac *. float_of_int bar_width) in
+      let n = if v > 0.0 && n = 0 then 1 else n in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s |%s%s %.3g%s\n" label_w label (String.make n '#')
+           (String.make (bar_width - n) ' ')
+           v unit))
+    rows;
+  Buffer.contents buf
+
+(* A log-scale variant for quantities spanning orders of magnitude
+   (Figure 4 and Figure 7 are log-scale in the paper). *)
+let bars_log ?(unit = "") rows =
+  let lg v = if v <= 1.0 then 0.0 else log10 v in
+  let max_l = List.fold_left (fun acc (_, v) -> Float.max acc (lg v)) 0.0 rows in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (label, v) ->
+      let frac = if max_l <= 0.0 then 0.0 else lg v /. max_l in
+      let n = int_of_float (frac *. float_of_int bar_width) in
+      let n = if v > 0.0 && n = 0 then 1 else n in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s |%s%s %.3g%s (log scale)\n" label_w label
+           (String.make n '#')
+           (String.make (bar_width - n) ' ')
+           v unit))
+    rows;
+  Buffer.contents buf
+
+let write_csv ~dir ~name ~header rows =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out (Filename.concat dir (name ^ ".csv")) in
+  output_string oc (String.concat "," header);
+  output_char oc '\n';
+  List.iter
+    (fun row ->
+      output_string oc (String.concat "," row);
+      output_char oc '\n')
+    rows;
+  close_out oc

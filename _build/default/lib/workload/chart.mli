@@ -1,0 +1,16 @@
+(** Minimal ASCII charting used by the benchmark harness: labelled
+    horizontal bars, linear or log scale. *)
+
+val bar_width : int
+
+val bars : ?unit:string -> (string * float) list -> string
+(** One bar per [(label, value)] row, scaled to the maximum value.
+    Values must be non-negative. *)
+
+val bars_log : ?unit:string -> (string * float) list -> string
+(** Log10-scaled variant for quantities spanning orders of magnitude
+    (the paper's Figures 4 and 7 are log-scale). *)
+
+val write_csv : dir:string -> name:string -> header:string list -> string list list -> unit
+(** [write_csv ~dir ~name ~header rows] writes [dir/name.csv] (creating
+    [dir]), for plotting the figure series outside the terminal. *)

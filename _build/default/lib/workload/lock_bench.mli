@@ -1,0 +1,58 @@
+(** The Section 7.2 biased-lock benchmark driver (Figure 8).
+
+    Two threads — the owner and one non-owner — repeatedly acquire a
+    lock with a randomized interarrival delay between acquisitions
+    (simulating application work). Access patterns vary the two arrival
+    rates and can stall the owner outside the critical section; results
+    are acquisition counts, normalized against the pthread stand-in by
+    the caller. *)
+
+type kind =
+  | L_pthread  (** Ticket lock for both threads. *)
+  | L_safepoint
+  | L_ffbl of { delta : int; echo : bool }
+  | L_ffbl_adapted of { period : int; echo : bool }
+      (** FFBL on the Section 6.2 OS adaptation: the config gains timer
+          interrupts with the given period and the bound reads the
+          per-core time array. *)
+
+val kind_name : kind -> string
+
+type pattern = {
+  pattern_name : string;
+  owner_gap : int;  (** Mean ticks between owner acquisitions. *)
+  nonowner_gap : int;
+  owner_stall_every : int option;
+      (** After every k-th owner release, stall for [owner_stall]. *)
+  owner_stall : int;
+}
+
+val paper_patterns : unit -> pattern list
+(** The four Figure 8 access patterns, at simulation scale:
+    owner-frequent/non-owner-rare; non-owner rate ×4; equal rates;
+    owner stalls. *)
+
+type params = {
+  kind : kind;
+  pattern : pattern;
+  config : Tsim.Config.t;
+  run_ticks : int;
+  cs_ticks : int;  (** Critical-section length. *)
+  seed : int;
+}
+
+type result = {
+  kind_name : string;
+  owner_acquisitions : int;
+  nonowner_acquisitions : int;
+  run_ticks : int;
+  echo_cuts : int;  (** FFBL only; 0 otherwise. *)
+  full_waits : int;
+}
+
+val run : params -> result
+
+val owner_rate : result -> float
+(** Acquisitions per simulated millisecond. *)
+
+val nonowner_rate : result -> float

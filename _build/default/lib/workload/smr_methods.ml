@@ -1,0 +1,113 @@
+open Tsim
+open Tbtso_core
+
+type instance =
+  | I : {
+      policy : (module Smr.POLICY with type t = 'h);
+      handles : 'h array;
+      post_spawn : unit -> unit;
+      deferred : unit -> int;
+    }
+      -> instance
+
+type spec =
+  | S_hp of { r : int }
+  | S_ffhp of { r : int; bound : [ `Delta of int | `Os_adapted ] }
+  | S_rcu of { period : int }
+  | S_ebr of { batch : int }
+  | S_dta of { batch : int }
+  | S_stacktrack of { capacity : int }
+  | S_leak
+
+let name = function
+  | S_hp _ -> "HP"
+  | S_ffhp { bound = `Delta d; _ } ->
+      Printf.sprintf "FFHP[%gms]" (float_of_int d /. float_of_int (Config.ms 1))
+  | S_ffhp { bound = `Os_adapted; _ } -> "FFHP[os]"
+  | S_rcu _ -> "RCU"
+  | S_ebr _ -> "EBR"
+  | S_dta _ -> "DTA"
+  | S_stacktrack _ -> "StackTrack"
+  | S_leak -> "Leak"
+
+let instantiate spec machine heap ~nthreads =
+  let free = Heap.free heap in
+  match spec with
+  | S_hp { r } ->
+      let dom = Hazard.create_domain machine ~nthreads ~r_max:r ~free () in
+      let handles = Array.init nthreads (fun tid -> Hp.handle dom ~tid) in
+      I
+        {
+          policy = (module Hp.Policy);
+          handles;
+          post_spawn = (fun () -> ());
+          deferred = (fun () -> Array.fold_left (fun a h -> a + Hp.retired_pending h) 0 handles);
+        }
+  | S_ffhp { r; bound } ->
+      let bound =
+        match bound with
+        | `Delta d -> Bound.Delta d
+        | `Os_adapted ->
+            let adapt = Tbtso_hwmodel.Os_adapt.install machine ~ncores:nthreads in
+            Tbtso_hwmodel.Os_adapt.bound adapt
+      in
+      let dom = Hazard.create_domain machine ~nthreads ~r_max:r ~free () in
+      let handles = Array.init nthreads (fun tid -> Ffhp.handle dom ~bound ~tid) in
+      I
+        {
+          policy = (module Ffhp.Policy);
+          handles;
+          post_spawn = (fun () -> ());
+          deferred =
+            (fun () -> Array.fold_left (fun a h -> a + Ffhp.retired_pending h) 0 handles);
+        }
+  | S_rcu { period } ->
+      let dom = Rcu.create_domain machine ~nthreads ~free in
+      let handles = Array.init nthreads (fun tid -> Rcu.handle dom ~tid) in
+      I
+        {
+          policy = (module Rcu.Policy);
+          handles;
+          post_spawn = (fun () -> Rcu.spawn_reclaimer machine dom ~period);
+          deferred = (fun () -> Rcu.deferred dom);
+        }
+  | S_ebr { batch } ->
+      let dom = Ebr.create_domain machine ~nthreads ~batch ~free in
+      let handles = Array.init nthreads (fun tid -> Ebr.handle dom ~tid) in
+      I
+        {
+          policy = (module Ebr.Policy);
+          handles;
+          post_spawn = (fun () -> ());
+          deferred = (fun () -> Ebr.deferred dom);
+        }
+  | S_dta { batch } ->
+      let dom = Dta.create_domain machine ~nthreads ~batch ~free in
+      let handles = Array.init nthreads (fun tid -> Dta.handle dom ~tid) in
+      I
+        {
+          policy = (module Dta.Policy);
+          handles;
+          post_spawn = (fun () -> ());
+          deferred = (fun () -> Dta.deferred dom);
+        }
+  | S_stacktrack { capacity } ->
+      let dom = Stacktrack.create_domain machine ~nthreads ~capacity ~free in
+      let handles = Array.init nthreads (fun tid -> Stacktrack.handle dom ~tid) in
+      I
+        {
+          policy = (module Stacktrack.Policy);
+          handles;
+          post_spawn = (fun () -> ());
+          deferred = (fun () -> Stacktrack.deferred dom);
+        }
+  | S_leak ->
+      let handles = Array.init nthreads (fun _ -> Naive.Leak.handle ()) in
+      I
+        {
+          policy = (module Naive.Leak.Policy);
+          handles;
+          post_spawn = (fun () -> ());
+          deferred =
+            (fun () -> Array.fold_left (fun a h -> a + Naive.Leak.retired h) 0 handles);
+        }

@@ -1,0 +1,33 @@
+(** Runtime-selectable SMR method instantiation for the benchmark
+    drivers: packs a policy module, its per-thread handles and its
+    bookkeeping hooks into one existential value. *)
+
+type instance =
+  | I : {
+      policy : (module Tbtso_core.Smr.POLICY with type t = 'h);
+      handles : 'h array;
+      post_spawn : unit -> unit;
+          (** Called after worker threads are spawned (e.g. to start the
+              RCU reclaimer thread). *)
+      deferred : unit -> int;  (** Retired-but-unfreed objects. *)
+    }
+      -> instance
+
+type spec =
+  | S_hp of { r : int }
+  | S_ffhp of { r : int; bound : [ `Delta of int | `Os_adapted ] }
+      (** [`Os_adapted] installs the Section 6.2 per-core time array; the
+          machine must have [interrupt_period] set. *)
+  | S_rcu of { period : int }
+  | S_ebr of { batch : int }
+      (** Epoch-based reclamation (related-work comparator). *)
+  | S_dta of { batch : int }
+  | S_stacktrack of { capacity : int }
+  | S_leak
+
+val name : spec -> string
+
+val instantiate :
+  spec -> Tsim.Machine.t -> Tsim.Heap.t -> nthreads:int -> instance
+(** Allocates the method's shared state on the machine and one handle
+    per worker thread (handle index = machine tid; spawn workers first). *)

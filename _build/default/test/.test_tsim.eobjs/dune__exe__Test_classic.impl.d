@@ -1,0 +1,1 @@
+test/test_classic.ml: Alcotest Array Bound Classic Config Ebr Heap Int64 Machine Rng Sim Tbtso_core Tbtso_structures Tsim

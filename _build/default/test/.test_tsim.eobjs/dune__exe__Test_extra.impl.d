@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Array Bound Config Ffbl Guards Hazard Heap Int64 List Litmus Machine Memory Printf Prwlock Rng Rwlock_atomic Sim Spinlock Tbtso_core Tbtso_hwmodel Tbtso_structures Tsim

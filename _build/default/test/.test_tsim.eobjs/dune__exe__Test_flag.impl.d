@@ -1,0 +1,1 @@
+test/test_flag.ml: Alcotest Bound Config Flag Format Int64 List Machine Memory Sim String Tbtso_core Tsim

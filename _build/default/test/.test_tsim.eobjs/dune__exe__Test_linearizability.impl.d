@@ -1,0 +1,1 @@
+test/test_linearizability.ml: Alcotest Bound Config Ffhp Hazard Heap Int Int64 Lin_check List Machine Michael_list Ms_queue Printf Rng Set String Tbtso_core Tbtso_structures Treiber_stack Tsim

@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Array Config Int64 List Litmus Litmus_parse Machine Memory Printf QCheck QCheck_alcotest Sim String Tsim

@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Biased_basic Bound Config Ffbl Int64 Machine Memory Safepoint_lock Sim Spinlock Tbtso_core Tsim

@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Array Bound Config Dta Ffhp Hazard Heap Hp Inspect Int64 List Machine Memory Michael_list Naive Rcu Rng Sim Stacktrack Tbtso_core Tbtso_structures Tsim

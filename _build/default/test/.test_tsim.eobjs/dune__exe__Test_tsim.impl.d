@@ -1,0 +1,1 @@
+test/test_tsim.ml: Alcotest Cache Config Format Gen Heap Int64 List Machine Memory QCheck QCheck_alcotest Rng Sim Store_buffer String Trace Tsim Unix

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Config Hashtable_bench List Lock_bench Machine Os_adapt Printf Quiesce Sim Smr_methods Storebuf_timing Tbtso_hwmodel Tbtso_workload Tsim

@@ -1,0 +1,311 @@
+(* Classic mutual exclusion (Peterson, Dekker) across memory models, the
+   asymmetric Dekker construction, the Peterson turn-race negative
+   result, and epoch-based reclamation. *)
+
+open Tsim
+open Tbtso_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let delta = 3_000
+
+(* Drains delayed 100-300 ticks: enough buffering to exhibit classic
+   store-load races while keeping every loop live. *)
+let racy_cfg consistency seed =
+  Config.(
+    with_jitter 0.3
+      (with_seed (Int64.of_int seed)
+         (with_drain (Drain_uniform (100, 300)) (with_consistency consistency default))))
+
+(* Run a two-thread lock: returns overlap violations. When
+   [require_finish] (the default), a run hitting the tick budget fails
+   the test; broken variants may legitimately livelock instead of
+   violating, so violation-hunting tests disable it. *)
+let run_mutex ?(require_finish = true) ~cfg ~rounds lock unlock =
+  let machine = Machine.create cfg in
+  let build = lock machine in
+  let inside = ref false and violations = ref 0 in
+  for side = 0 to 1 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           for _ = 1 to rounds do
+             build ~side;
+             if !inside then incr violations;
+             inside := true;
+             Sim.work 40;
+             if not !inside then incr violations;
+             inside := false;
+             unlock ~side;
+             Sim.work 25
+           done))
+  done;
+  (match Machine.run ~max_ticks:5_000_000 machine with
+  | Machine.All_finished -> ()
+  | Machine.Max_ticks | Machine.Stop_condition ->
+      if require_finish then Alcotest.fail "lock did not make progress");
+  Machine.kill_remaining machine;
+  (machine, !violations)
+
+let peterson flavour machine =
+  let t = Classic.Peterson.create machine flavour in
+  (fun ~side -> Classic.Peterson.lock t ~side), fun ~side -> Classic.Peterson.unlock t ~side
+
+let dekker flavour machine =
+  let t = Classic.Dekker.create machine flavour in
+  (fun ~side -> Classic.Dekker.lock t ~side), fun ~side -> Classic.Dekker.unlock t ~side
+
+let run_algo ?require_finish ~cfg ~rounds make =
+  let l = ref (fun ~side -> ignore side) and u = ref (fun ~side -> ignore side) in
+  let lock machine =
+    let lo, un = make machine in
+    l := lo;
+    u := un;
+    fun ~side -> !l ~side
+  in
+  run_mutex ?require_finish ~cfg ~rounds lock (fun ~side -> !u ~side)
+
+let count_violating_seeds ?require_finish ~consistency ~seeds make =
+  let bad = ref 0 in
+  for seed = 1 to seeds do
+    let _, v = run_algo ?require_finish ~cfg:(racy_cfg consistency seed) ~rounds:40 make in
+    if v > 0 then incr bad
+  done;
+  !bad
+
+let test_peterson_sc () =
+  check_int "no violations on SC" 0
+    (count_violating_seeds ~consistency:Config.Sc ~seeds:15 (peterson Classic.Sc_only))
+
+let test_peterson_breaks_on_tso () =
+  check_bool "store-load reordering breaks Peterson" true
+    (count_violating_seeds ~require_finish:false ~consistency:(Config.Tbtso delta) ~seeds:15
+       (peterson Classic.Sc_only)
+    > 0)
+
+let test_peterson_fenced_on_tso () =
+  check_int "fences restore Peterson" 0
+    (count_violating_seeds ~consistency:(Config.Tbtso delta) ~seeds:15
+       (peterson Classic.Fenced))
+
+let test_dekker_sc () =
+  check_int "no violations on SC" 0
+    (count_violating_seeds ~consistency:Config.Sc ~seeds:15 (dekker Classic.Sc_only))
+
+let test_dekker_breaks_on_tso () =
+  check_bool "store-load reordering breaks Dekker" true
+    (count_violating_seeds ~require_finish:false ~consistency:(Config.Tbtso delta) ~seeds:15
+       (dekker Classic.Sc_only)
+    > 0)
+
+let test_dekker_fenced_on_tso () =
+  check_int "fences restore Dekker" 0
+    (count_violating_seeds ~consistency:(Config.Tbtso delta) ~seeds:15
+       (dekker Classic.Fenced))
+
+let test_asymmetric_dekker_sound_on_tbtso () =
+  check_int "asymmetric Dekker sound under TBTSO" 0
+    (count_violating_seeds ~consistency:(Config.Tbtso delta) ~seeds:15
+       (dekker (Classic.Asymmetric (Bound.Delta delta))))
+
+let test_asymmetric_dekker_side0_fence_free () =
+  let machine = Machine.create (racy_cfg (Config.Tbtso delta) 5) in
+  let t = Classic.Dekker.create machine (Classic.Asymmetric (Bound.Delta delta)) in
+  ignore
+    (Machine.spawn machine (fun () ->
+         for _ = 1 to 50 do
+           Classic.Dekker.lock t ~side:0;
+           Sim.work 10;
+           Classic.Dekker.unlock t ~side:0
+         done));
+  ignore (Machine.run machine);
+  check_int "side 0 fences" 0 (Machine.stats machine 0).fences
+
+let test_asymmetric_dekker_unsound_on_plain_tso () =
+  (* Unbounded drains defeat the Δ wait (side 0's flag hides past it). *)
+  let found = ref false in
+  let seed = ref 0 in
+  while (not !found) && !seed < 20 do
+    incr seed;
+    let cfg =
+      Config.(
+        with_jitter 0.3
+          (with_seed (Int64.of_int !seed)
+             (with_drain (Drain_uniform (20_000, 40_000)) (with_consistency Tso default))))
+    in
+    (* Long CSes so a buffered flag can outlast the wait. *)
+    let machine = Machine.create cfg in
+    let t = Classic.Dekker.create machine (Classic.Asymmetric (Bound.Delta delta)) in
+    let inside = ref false and violations = ref 0 in
+    for side = 0 to 1 do
+      ignore
+        (Machine.spawn machine (fun () ->
+             for _ = 1 to 20 do
+               Classic.Dekker.lock t ~side;
+               if !inside then incr violations;
+               inside := true;
+               Sim.work 10_000;
+               inside := false;
+               Classic.Dekker.unlock t ~side;
+               Sim.work 50
+             done))
+    done;
+    ignore (Machine.run ~max_ticks:10_000_000 machine);
+    Machine.kill_remaining machine;
+    if violations.contents > 0 then found := true
+  done;
+  check_bool "asymmetric Dekker violated on unbounded TSO" true !found
+
+let test_peterson_asymmetric_rejected () =
+  let machine = Machine.create Config.default in
+  check_bool "constructor rejects" true
+    (try
+       ignore (Classic.Peterson.create machine (Classic.Asymmetric (Bound.Delta delta)));
+       false
+     with Invalid_argument _ -> true)
+
+let test_peterson_asymmetric_turn_race () =
+  (* The negative result behind the rejection: with racing turn writes,
+     the asymmetric transform breaks even on TBTSO hardware — a stale
+     unfenced turn-store from side 0 can commit after side 1's and admit
+     side 1 into an occupied critical section. *)
+  let found = ref false in
+  let seed = ref 0 in
+  while (not !found) && !seed < 300 do
+    incr seed;
+    let cfg =
+      Config.(
+        with_jitter 0.3
+          (with_seed (Int64.of_int !seed)
+             (with_drain (Drain_uniform (500, delta - 200))
+                (with_consistency (Tbtso delta) default))))
+    in
+    let machine = Machine.create cfg in
+    let t = Classic.Peterson.create_unsound_asymmetric machine (Bound.Delta delta) in
+    let inside = ref false and violations = ref 0 in
+    for side = 0 to 1 do
+      ignore
+        (Machine.spawn machine (fun () ->
+             for _ = 1 to 20 do
+               Classic.Peterson.lock t ~side;
+               if !inside then incr violations;
+               inside := true;
+               Sim.work (if side = 0 then 4_000 else 100);
+               inside := false;
+               Classic.Peterson.unlock t ~side;
+               Sim.work 60
+             done))
+    done;
+    (try ignore (Machine.run ~max_ticks:5_000_000 machine)
+     with Machine.Deadlock _ -> ());
+    Machine.kill_remaining machine;
+    if violations.contents > 0 then found := true
+  done;
+  check_bool "turn race violates mutual exclusion" true !found
+
+(* ------------------------------------------------------------------ *)
+(* Epoch-based reclamation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_ebr_list_workload () =
+  let cfg = Config.with_jitter 0.2 Config.default in
+  let machine = Machine.create cfg in
+  let heap = Heap.create machine ~words:(1 lsl 14) in
+  let nthreads = 3 in
+  let dom = Ebr.create_domain machine ~nthreads ~batch:8 ~free:(Heap.free heap) in
+  let handles = Array.init nthreads (fun tid -> Ebr.handle dom ~tid) in
+  let module L = Tbtso_structures.Michael_list.Make (Ebr.Policy) in
+  let list = L.create machine heap in
+  for i = 0 to nthreads - 1 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           let rng = Rng.create (Int64.of_int (60 + i)) in
+           for _ = 1 to 250 do
+             let k = Rng.int rng 20 in
+             match Rng.int rng 3 with
+             | 0 -> ignore (L.insert list handles.(i) k)
+             | 1 -> ignore (L.delete list handles.(i) k)
+             | _ -> ignore (L.lookup list handles.(i) k)
+           done))
+  done;
+  ignore (Machine.run machine);
+  Machine.drain_all machine;
+  let keys =
+    Tbtso_structures.Inspect.list_keys (Machine.memory machine) ~head:(L.head list)
+  in
+  check_bool "list intact" true (Tbtso_structures.Inspect.sorted_and_unique keys);
+  check_bool "epoch advanced" true (Ebr.global_epoch dom > 2);
+  check_bool "garbage mostly freed" true (Ebr.deferred dom < 64)
+
+let test_ebr_pays_fences () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:8192 in
+  let dom = Ebr.create_domain machine ~nthreads:1 ~batch:4 ~free:(Heap.free heap) in
+  let h = Ebr.handle dom ~tid:0 in
+  let module L = Tbtso_structures.Michael_list.Make (Ebr.Policy) in
+  let list = L.create machine heap in
+  ignore
+    (Machine.spawn machine (fun () ->
+         for k = 0 to 39 do
+           ignore (L.insert list h k)
+         done));
+  ignore (Machine.run machine);
+  check_bool "one fence per op" true ((Machine.stats machine 0).fences >= 40)
+
+let test_ebr_stalled_reader_pins_epoch () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:(1 lsl 14) in
+  let dom = Ebr.create_domain machine ~nthreads:2 ~batch:2 ~free:(Heap.free heap) in
+  let worker = Ebr.handle dom ~tid:0 in
+  let sleeper = Ebr.handle dom ~tid:1 in
+  let module L = Tbtso_structures.Michael_list.Make (Ebr.Policy) in
+  let list = L.create machine heap in
+  (* Thread 1 enters an operation and stalls inside it. *)
+  ignore
+    (Machine.spawn machine (fun () ->
+         ignore (L.insert list worker 999);
+         for round = 1 to 150 do
+           ignore (L.insert list worker (round mod 10));
+           ignore (L.delete list worker (round mod 10))
+         done));
+  ignore
+    (Machine.spawn machine (fun () ->
+         Ebr.Policy.begin_op sleeper;
+         Sim.stall_for 5_000_000));
+  ignore (Machine.run ~stop_when:(fun m -> Machine.now m > 1_000_000) machine);
+  let pinned = Ebr.deferred dom in
+  check_bool "stalled reader pins garbage" true (pinned > 50);
+  Machine.kill_remaining machine
+
+let () =
+  Alcotest.run "classic"
+    [
+      ( "peterson",
+        [
+          Alcotest.test_case "correct on SC" `Quick test_peterson_sc;
+          Alcotest.test_case "breaks on TSO" `Quick test_peterson_breaks_on_tso;
+          Alcotest.test_case "fenced on TSO" `Quick test_peterson_fenced_on_tso;
+          Alcotest.test_case "asymmetric rejected" `Quick test_peterson_asymmetric_rejected;
+          Alcotest.test_case "asymmetric turn race (negative)" `Slow
+            test_peterson_asymmetric_turn_race;
+        ] );
+      ( "dekker",
+        [
+          Alcotest.test_case "correct on SC" `Quick test_dekker_sc;
+          Alcotest.test_case "breaks on TSO" `Quick test_dekker_breaks_on_tso;
+          Alcotest.test_case "fenced on TSO" `Quick test_dekker_fenced_on_tso;
+          Alcotest.test_case "asymmetric sound on TBTSO" `Quick
+            test_asymmetric_dekker_sound_on_tbtso;
+          Alcotest.test_case "asymmetric side 0 fence-free" `Quick
+            test_asymmetric_dekker_side0_fence_free;
+          Alcotest.test_case "asymmetric unsound on plain TSO" `Quick
+            test_asymmetric_dekker_unsound_on_plain_tso;
+        ] );
+      ( "ebr",
+        [
+          Alcotest.test_case "list workload" `Quick test_ebr_list_workload;
+          Alcotest.test_case "pays fences" `Quick test_ebr_pays_fences;
+          Alcotest.test_case "stalled reader pins epoch" `Quick
+            test_ebr_stalled_reader_pins_epoch;
+        ] );
+    ]

@@ -1,0 +1,541 @@
+(* Extended coverage: fence-free guards, the passive reader-writer lock
+   extension, additional litmus patterns, hazard-pointer scan-order
+   soundness, lock fairness, and structural inspection. *)
+
+open Tsim
+open Tbtso_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Fence-free guards                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_guards_basic_reclamation () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:4096 in
+  let dom =
+    Guards.create_domain machine ~nthreads:1 ~pool_max:8
+      ~bound:(Bound.Delta 500) ~free:(Heap.free heap) ()
+  in
+  let h = Guards.handle dom ~tid:0 in
+  ignore
+    (Machine.spawn machine (fun () ->
+         for _ = 1 to 40 do
+           Guards.Policy.retire h (Heap.alloc heap 2);
+           Sim.work 5
+         done));
+  ignore (Machine.run machine);
+  check_bool "pool bounded" true (Guards.pool_size dom <= 9);
+  check_bool "liberated most" true (Guards.liberated dom >= 31)
+
+let test_guards_respect_protection () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:4096 in
+  let dom =
+    Guards.create_domain machine ~nthreads:1 ~pool_max:6
+      ~bound:(Bound.Delta 200) ~free:(Heap.free heap) ()
+  in
+  let h = Guards.handle dom ~tid:0 in
+  let guarded = ref 0 in
+  ignore
+    (Machine.spawn machine (fun () ->
+         let p = Heap.alloc heap 2 in
+         guarded := p;
+         Guards.Policy.protect h ~slot:0 ~ptr:p;
+         Sim.fence ();
+         Guards.Policy.retire h p;
+         for _ = 1 to 20 do
+           Guards.Policy.retire h (Heap.alloc heap 2)
+         done));
+  ignore (Machine.run machine);
+  check_bool "guarded object survives" false
+    (Memory.is_poisoned (Machine.memory machine) !guarded)
+
+let test_guards_fence_free_and_list_safe () =
+  (* The full list workload under guards: no fences on the fast path,
+     set semantics intact. *)
+  let cfg = Config.with_jitter 0.2 Config.default in
+  let machine = Machine.create cfg in
+  let heap = Heap.create machine ~words:(1 lsl 14) in
+  let nthreads = 3 in
+  let dom =
+    Guards.create_domain machine ~nthreads ~pool_max:64
+      ~bound:(Bound.Delta (Config.us 500)) ~free:(Heap.free heap) ()
+  in
+  let handles = Array.init nthreads (fun tid -> Guards.handle dom ~tid) in
+  let module L = Tbtso_structures.Michael_list.Make (Guards.Policy) in
+  let list = L.create machine heap in
+  for i = 0 to nthreads - 1 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           let rng = Rng.create (Int64.of_int (40 + i)) in
+           for _ = 1 to 200 do
+             let k = Rng.int rng 20 in
+             match Rng.int rng 3 with
+             | 0 -> ignore (L.insert list handles.(i) k)
+             | 1 -> ignore (L.delete list handles.(i) k)
+             | _ -> ignore (L.lookup list handles.(i) k)
+           done))
+  done;
+  ignore (Machine.run machine);
+  Machine.drain_all machine;
+  let keys =
+    Tbtso_structures.Inspect.list_keys (Machine.memory machine) ~head:(L.head list)
+  in
+  check_bool "list intact" true (Tbtso_structures.Inspect.sorted_and_unique keys);
+  let fences = ref 0 in
+  for tid = 0 to nthreads - 1 do
+    fences := !fences + (Machine.stats machine tid).fences
+  done;
+  check_int "zero fences" 0 !fences
+
+(* ------------------------------------------------------------------ *)
+(* Passive reader-writer lock                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prw_cfg seed =
+  Config.(
+    with_jitter 0.25
+      (with_seed (Int64.of_int seed)
+         (with_drain Drain_adversarial (with_consistency (Tbtso 3_000) default))))
+
+let run_prw ?(reader_cs = 40) ?(drain = Config.Drain_adversarial) ~consistency ~seed
+    ~bound_delta () =
+  let cfg =
+    Config.(
+      with_jitter 0.25
+        (with_seed (Int64.of_int seed) (with_drain drain (with_consistency consistency default))))
+  in
+  let machine = Machine.create cfg in
+  let nreaders = 3 in
+  let lock = Prwlock.create machine ~nreaders ~bound:(Bound.Delta bound_delta) in
+  let readers_in = ref 0 and writer_in = ref false and violations = ref 0 in
+  for r = 0 to nreaders - 1 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           (* Enough rounds that readers are still active once the
+              writer's Δ wait elapses. *)
+           for _ = 1 to 150 do
+             Prwlock.read_lock lock ~reader:r;
+             incr readers_in;
+             if !writer_in then incr violations;
+             Sim.work reader_cs;
+             if !writer_in then incr violations;
+             decr readers_in;
+             Prwlock.read_unlock lock ~reader:r;
+             Sim.work 30
+           done))
+  done;
+  ignore
+    (Machine.spawn machine (fun () ->
+         for _ = 1 to 8 do
+           Prwlock.write_lock lock;
+           writer_in := true;
+           if !readers_in > 0 then incr violations;
+           Sim.work 60;
+           if !readers_in > 0 then incr violations;
+           writer_in := false;
+           Prwlock.write_unlock lock;
+           Sim.work 200
+         done));
+  let reason = Machine.run ~max_ticks:100_000_000 machine in
+  Machine.kill_remaining machine;
+  (reason, !violations)
+
+let test_prwlock_exclusion_under_tbtso () =
+  for seed = 1 to 10 do
+    let reason, violations =
+      run_prw ~consistency:(Config.Tbtso 3_000) ~seed ~bound_delta:3_000 ()
+    in
+    check_bool "finished" true (reason = Machine.All_finished);
+    check_int (Printf.sprintf "no violations (seed %d)" seed) 0 violations
+  done
+
+let test_prwlock_exclusion_with_slow_readers () =
+  (* Readers whose critical sections outlast the writer's Δ wait (e.g.
+     descheduled readers) are the dangerous case: the writer must still
+     see their buffered flag within Δ. *)
+  for seed = 1 to 5 do
+    let _, violations =
+      run_prw ~reader_cs:10_000
+        ~drain:(Config.Drain_uniform (20_000, 40_000))
+        ~consistency:(Config.Tbtso 3_000) ~seed ~bound_delta:3_000 ()
+    in
+    check_int (Printf.sprintf "no violations (seed %d)" seed) 0 violations
+  done
+
+let test_prwlock_readers_fence_free () =
+  let machine = Machine.create (prw_cfg 3) in
+  let lock = Prwlock.create machine ~nreaders:1 ~bound:(Bound.Delta 3_000) in
+  ignore
+    (Machine.spawn machine (fun () ->
+         for _ = 1 to 100 do
+           Prwlock.read_lock lock ~reader:0;
+           Sim.work 10;
+           Prwlock.read_unlock lock ~reader:0
+         done));
+  ignore (Machine.run machine);
+  let s = Machine.stats machine 0 in
+  check_int "reader fences" 0 s.fences;
+  check_int "reader atomics" 0 s.rmws
+
+let test_prwlock_readers_share () =
+  (* Two readers must be able to hold the lock simultaneously. *)
+  let machine = Machine.create (prw_cfg 4) in
+  let lock = Prwlock.create machine ~nreaders:2 ~bound:(Bound.Delta 3_000) in
+  let inside = ref 0 and max_inside = ref 0 in
+  for r = 0 to 1 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           for _ = 1 to 30 do
+             Prwlock.read_lock lock ~reader:r;
+             incr inside;
+             if !inside > !max_inside then max_inside := !inside;
+             Sim.work 50;
+             decr inside;
+             Prwlock.read_unlock lock ~reader:r;
+             Sim.work 5
+           done))
+  done;
+  ignore (Machine.run machine);
+  check_bool "readers overlapped" true (!max_inside = 2)
+
+let test_prwlock_echo_cuts_writer_wait () =
+  (* Spinning readers ack the writer's round, so the writer's visibility
+     wait ends in drain time rather than Δ. *)
+  let machine = Machine.create (prw_cfg 9) in
+  let lock = Prwlock.create machine ~nreaders:2 ~bound:(Bound.Delta 50_000) in
+  for r = 0 to 1 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           while not (Sim.stopping ()) do
+             Prwlock.read_lock lock ~reader:r;
+             Sim.work 30;
+             Prwlock.read_unlock lock ~reader:r;
+             Sim.work 10
+           done))
+  done;
+  let writer_latency = ref 0 in
+  ignore
+    (Machine.spawn machine (fun () ->
+         Sim.work 500;
+         let t0 = Sim.clock () in
+         Prwlock.write_lock lock;
+         writer_latency := Sim.clock () - t0;
+         Sim.work 20;
+         Prwlock.write_unlock lock;
+         Machine.request_stop machine));
+  ignore (Machine.run ~max_ticks:10_000_000 machine);
+  Machine.kill_remaining machine;
+  check_int "echo cut the wait" 1 (Prwlock.echo_cut_writes lock);
+  check_bool "writer far below delta" true (!writer_latency < 25_000)
+
+let test_prwlock_rwlock_atomic_exclusion () =
+  (* The baseline atomic rwlock also excludes correctly. *)
+  let machine = Machine.create (prw_cfg 10) in
+  let lock = Rwlock_atomic.create machine in
+  let readers_in = ref 0 and violations = ref 0 in
+  for _ = 0 to 2 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           for _ = 1 to 60 do
+             Rwlock_atomic.read_lock lock;
+             incr readers_in;
+             Sim.work 40;
+             decr readers_in;
+             Rwlock_atomic.read_unlock lock;
+             Sim.work 20
+           done))
+  done;
+  ignore
+    (Machine.spawn machine (fun () ->
+         for _ = 1 to 10 do
+           Rwlock_atomic.write_lock lock;
+           if !readers_in > 0 then incr violations;
+           Sim.work 60;
+           if !readers_in > 0 then incr violations;
+           Rwlock_atomic.write_unlock lock;
+           Sim.work 100
+         done));
+  ignore (Machine.run ~max_ticks:50_000_000 machine);
+  Machine.kill_remaining machine;
+  check_int "no violations" 0 violations.contents
+
+let test_prwlock_unsound_on_plain_tso () =
+  (* The same slow-reader scenario on unbounded TSO: the reader's flag
+     can stay buffered past any wait, so the writer enters over a live
+     reader. *)
+  (* Long-but-finite drains keep the system live while still exceeding
+     the writer's wait (fully adversarial drains wedge every loop and
+     close the interesting window). *)
+  let found = ref false in
+  let seed = ref 0 in
+  while (not !found) && !seed < 10 do
+    incr seed;
+    let _, violations =
+      run_prw ~reader_cs:10_000
+        ~drain:(Config.Drain_uniform (20_000, 40_000))
+        ~consistency:Config.Tso ~seed:!seed ~bound_delta:3_000 ()
+    in
+    if violations > 0 then found := true
+  done;
+  check_bool "reader/writer overlap on unbounded TSO" true !found
+
+(* ------------------------------------------------------------------ *)
+(* FFBL on the Section 6.2 OS adaptation: exclusion oracle             *)
+(* ------------------------------------------------------------------ *)
+
+let test_ffbl_os_adapted_exclusion () =
+  (* Plain TSO with adversarial drains, made safe only by interrupts +
+     the per-core time array. *)
+  for seed = 1 to 8 do
+    let cfg =
+      Config.(
+        with_jitter 0.25
+          (with_seed (Int64.of_int seed)
+             {
+               (with_drain Drain_adversarial (with_consistency Tso default)) with
+               interrupt_period = Some 2_000;
+             }))
+    in
+    let machine = Machine.create cfg in
+    let adapt = Tbtso_hwmodel.Os_adapt.install machine ~ncores:2 in
+    let lock =
+      Ffbl.create machine ~bound:(Tbtso_hwmodel.Os_adapt.bound adapt) ~echo:true
+    in
+    let inside = ref false and violations = ref 0 in
+    let nonowner_done = ref false in
+    ignore
+      (Machine.spawn machine (fun () ->
+           while not !nonowner_done do
+             Ffbl.owner_lock lock;
+             if !inside then incr violations;
+             inside := true;
+             Sim.work 30;
+             inside := false;
+             Ffbl.owner_unlock lock;
+             Sim.work 40
+           done));
+    ignore
+      (Machine.spawn machine (fun () ->
+           for _ = 1 to 10 do
+             Ffbl.nonowner_lock lock;
+             if !inside then incr violations;
+             inside := true;
+             Sim.work 30;
+             inside := false;
+             Ffbl.nonowner_unlock lock;
+             Sim.work 200
+           done;
+           nonowner_done := true));
+    (match Machine.run ~max_ticks:50_000_000 machine with
+    | Machine.All_finished -> ()
+    | _ -> Alcotest.fail "did not finish");
+    check_int (Printf.sprintf "no violations (seed %d)" seed) 0 !violations
+  done
+
+(* ------------------------------------------------------------------ *)
+(* More litmus patterns                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_litmus_load_buffering () =
+  (* LB: T0: r0=x; y=1 || T1: r1=y; x=1 — r0=r1=1 impossible under TSO
+     (loads are not reordered with later stores). *)
+  let open Litmus in
+  List.iter
+    (fun mode ->
+      let outcomes =
+        enumerate ~mode [ [ Load (0, 0); Store (1, 1) ]; [ Load (1, 0); Store (0, 1) ] ]
+      in
+      check_bool "LB forbidden" false
+        (exists outcomes (fun o -> o.regs.(0).(0) = 1 && o.regs.(1).(0) = 1)))
+    [ M_sc; M_tso; M_tbtso 3 ]
+
+let test_litmus_coherence () =
+  (* CoRR: two reads of the same location by one thread never go
+     backwards w.r.t. a single writer's store order. *)
+  let open Litmus in
+  List.iter
+    (fun mode ->
+      let outcomes =
+        enumerate ~mode
+          [ [ Store (0, 1); Store (0, 2) ]; [ Load (0, 0); Load (0, 1) ] ]
+      in
+      check_bool "reads never go backwards" false
+        (exists outcomes (fun o -> o.regs.(1).(0) = 2 && o.regs.(1).(1) = 1));
+      check_bool "final value is the last store" true
+        (for_all outcomes (fun o -> o.mem.(0) = 2)))
+    [ M_sc; M_tso; M_tbtso 3 ]
+
+let test_litmus_three_threads_iriw_style () =
+  (* Two writers to distinct locations, one observer each way: under
+     TSO (single memory order) the two observers cannot disagree about
+     the order of the two stores. *)
+  let open Litmus in
+  let program =
+    [
+      [ Store (0, 1) ];
+      [ Store (1, 1) ];
+      [ Load (0, 0); Load (1, 1) ];
+      [ Load (1, 0); Load (0, 1) ];
+    ]
+  in
+  List.iter
+    (fun mode ->
+      let outcomes = enumerate ~mode ~max_states:4_000_000 program in
+      check_bool "observers agree on store order" false
+        (exists outcomes (fun o ->
+             (* observer 2 sees x then not-yet y; observer 3 sees y then
+                not-yet x: contradictory orders. *)
+             o.regs.(2).(0) = 1 && o.regs.(2).(1) = 0 && o.regs.(3).(0) = 1
+             && o.regs.(3).(1) = 0)))
+    [ M_tso; M_tbtso 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Hazard scan-order soundness (the Figure 1 copy argument)            *)
+(* ------------------------------------------------------------------ *)
+
+let test_scan_order_never_misses_copied_protection () =
+  (* A thread copies a protection from hp0 to hp2 (higher slot, no
+     fence) and then overwrites hp0. A concurrent scanner reading slots
+     in ascending order must observe the value in hp0 or in hp2, under
+     every schedule: TSO FIFO store order guarantees the copy commits
+     before the overwrite. *)
+  for seed = 1 to 40 do
+    let cfg =
+      Config.(
+        with_jitter 0.4
+          (with_seed (Int64.of_int seed) (with_consistency (Tbtso 2_000) default)))
+    in
+    let machine = Machine.create cfg in
+    let dom =
+      Hazard.create_domain machine ~nthreads:2 ~r_max:32 ~free:(fun _ -> ()) ()
+    in
+    let value = 4242 in
+    let missed = ref false in
+    ignore
+      (Machine.spawn machine (fun () ->
+           (* protect in hp0, copy to hp2, overwrite hp0 — all plain
+              stores, as in FFHP. *)
+           Sim.store (Hazard.slot_addr dom ~tid:0 ~slot:0) value;
+           Sim.work (Rng.int (Rng.create (Int64.of_int seed)) 20);
+           Sim.store (Hazard.slot_addr dom ~tid:0 ~slot:2) value;
+           Sim.store (Hazard.slot_addr dom ~tid:0 ~slot:0) 7));
+    ignore
+      (Machine.spawn machine (fun () ->
+           (* Scan ascending; only once thread 0's first store is visible
+              somewhere is the protection "live" for this check. *)
+           Sim.work 15;
+           let s0 = Sim.load (Hazard.slot_addr dom ~tid:0 ~slot:0) in
+           let s1 = Sim.load (Hazard.slot_addr dom ~tid:0 ~slot:1) in
+           let s2 = Sim.load (Hazard.slot_addr dom ~tid:0 ~slot:2) in
+           (* If the overwrite (7) is visible, the copy must be too. *)
+           if s0 = 7 && s1 <> value && s2 <> value then missed := true));
+    ignore (Machine.run machine);
+    check_bool (Printf.sprintf "protection never lost (seed %d)" seed) false !missed
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Ticket lock fairness                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ticket_fifo () =
+  let cfg = Config.with_jitter 0.2 Config.default in
+  let machine = Machine.create cfg in
+  let l = Spinlock.Ticket.create machine in
+  let order = ref [] in
+  (* Stagger arrivals; acquisition order must match arrival order. *)
+  for i = 0 to 3 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           Sim.work (1 + (i * 500));
+           Spinlock.Ticket.lock l;
+           order := i :: !order;
+           Sim.work 1_000;
+           Spinlock.Ticket.unlock l))
+  done;
+  ignore (Machine.run machine);
+  check_bool "FIFO order" true (List.rev !order = [ 0; 1; 2; 3 ])
+
+(* ------------------------------------------------------------------ *)
+(* FFBL flag versioning                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ffbl_versions_advance () =
+  let machine = Machine.create Config.default in
+  let l = Ffbl.create machine ~bound:(Bound.Delta 1_000) ~echo:true in
+  ignore
+    (Machine.spawn machine (fun () ->
+         for _ = 1 to 5 do
+           Ffbl.nonowner_lock l;
+           Sim.work 10;
+           Ffbl.nonowner_unlock l
+         done));
+  ignore (Machine.run machine);
+  (* 5 acquisitions x 2 version bumps each; all full waits (no owner). *)
+  check_int "full waits" 5 (Ffbl.nonowner_full_waits l);
+  check_int "no echo cuts" 0 (Ffbl.nonowner_echo_cuts l)
+
+(* ------------------------------------------------------------------ *)
+(* Inspect: cycle guard                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_inspect_cycle_detection () =
+  let machine = Machine.create Config.default in
+  let mem = Machine.memory machine in
+  let head = Machine.alloc_global machine 8 in
+  let node = Machine.alloc_global machine 8 in
+  (* node points at itself *)
+  Memory.write mem ~tid:(-1) ~at:0 head (Tbtso_structures.Tagged_ptr.pack ~ptr:node ~mark:0);
+  Memory.write mem ~tid:(-1) ~at:0 (node + 1)
+    (Tbtso_structures.Tagged_ptr.pack ~ptr:node ~mark:0);
+  check_bool "cycle detected" true
+    (try
+       ignore (Tbtso_structures.Inspect.list_nodes mem ~head);
+       false
+     with Failure _ -> true)
+
+let () =
+  Alcotest.run "extra"
+    [
+      ( "guards",
+        [
+          Alcotest.test_case "basic reclamation" `Quick test_guards_basic_reclamation;
+          Alcotest.test_case "respects protection" `Quick test_guards_respect_protection;
+          Alcotest.test_case "fence-free list workload" `Quick
+            test_guards_fence_free_and_list_safe;
+        ] );
+      ( "prwlock",
+        [
+          Alcotest.test_case "exclusion under TBTSO" `Quick test_prwlock_exclusion_under_tbtso;
+          Alcotest.test_case "exclusion with slow readers" `Quick
+            test_prwlock_exclusion_with_slow_readers;
+          Alcotest.test_case "readers fence-free" `Quick test_prwlock_readers_fence_free;
+          Alcotest.test_case "readers share" `Quick test_prwlock_readers_share;
+          Alcotest.test_case "echo cuts writer wait" `Quick test_prwlock_echo_cuts_writer_wait;
+          Alcotest.test_case "atomic rwlock exclusion" `Quick
+            test_prwlock_rwlock_atomic_exclusion;
+          Alcotest.test_case "unsound on plain TSO" `Quick test_prwlock_unsound_on_plain_tso;
+        ] );
+      ( "litmus-extra",
+        [
+          Alcotest.test_case "load buffering forbidden" `Quick test_litmus_load_buffering;
+          Alcotest.test_case "coherence" `Quick test_litmus_coherence;
+          Alcotest.test_case "IRIW-style agreement" `Quick test_litmus_three_threads_iriw_style;
+        ] );
+      ( "hazard-order",
+        [
+          Alcotest.test_case "ascending scan never misses copies" `Quick
+            test_scan_order_never_misses_copied_protection;
+        ] );
+      ("fairness", [ Alcotest.test_case "ticket FIFO" `Quick test_ticket_fifo ]);
+      ( "ffbl-os",
+        [
+          Alcotest.test_case "exclusion via Sec 6.2 adaptation" `Quick
+            test_ffbl_os_adapted_exclusion;
+        ] );
+      ("ffbl", [ Alcotest.test_case "versions advance" `Quick test_ffbl_versions_advance ]);
+      ("inspect", [ Alcotest.test_case "cycle detection" `Quick test_inspect_cycle_detection ]);
+    ]

@@ -1,0 +1,159 @@
+(* Machine-level tests of the Section 3 flag-principle building blocks
+   (the litmus checker proves them exhaustively at small scale; these
+   exercise the real Sim-based implementations across many schedules). *)
+
+open Tsim
+open Tbtso_core
+
+let check_bool = Alcotest.(check bool)
+
+let delta = 2_000
+
+let run_pair cfg f0 f1 =
+  let machine = Machine.create cfg in
+  let flags = Flag.create machine in
+  let r0 = ref false and r1 = ref false in
+  ignore (Machine.spawn machine (fun () -> r0 := f0 flags));
+  ignore (Machine.spawn machine (fun () -> r1 := f1 flags));
+  ignore (Machine.run machine);
+  (!r0, !r1)
+
+let seeds = List.init 60 (fun i -> i + 1)
+
+let forall_seeds cfg_of f =
+  List.for_all
+    (fun seed ->
+      let cfg = cfg_of (Int64.of_int seed) in
+      f cfg)
+    seeds
+
+let exists_seed cfg_of f =
+  List.exists
+    (fun seed ->
+      let cfg = cfg_of (Int64.of_int seed) in
+      f cfg)
+    seeds
+
+let tbtso_cfg seed =
+  Config.(
+    with_jitter 0.3
+      (with_seed seed (with_drain Drain_adversarial (with_consistency (Tbtso delta) default))))
+
+let tso_cfg seed =
+  Config.(
+    with_jitter 0.3
+      (with_seed seed (with_drain Drain_adversarial (with_consistency Tso default))))
+
+let test_symmetric_holds () =
+  check_bool "someone always sees a flag" true
+    (forall_seeds tbtso_cfg (fun cfg ->
+         let saw0, saw1 = run_pair cfg Flag.t0_symmetric Flag.t1_symmetric in
+         saw0 || saw1))
+
+let test_tbtso_asymmetric_holds () =
+  check_bool "fence-free t0 is safe given bounded t1" true
+    (forall_seeds tbtso_cfg (fun cfg ->
+         let saw0, saw1 =
+           run_pair cfg Flag.t0_fence_free (fun f -> Flag.t1_bounded f ~bound:(Bound.Delta delta))
+         in
+         saw0 || saw1))
+
+let test_no_wait_unsound () =
+  (* Without the wait, some schedule loses both flags even under TBTSO. *)
+  check_bool "missing wait is observable" true
+    (exists_seed tbtso_cfg (fun cfg ->
+         let saw0, saw1 = run_pair cfg Flag.t0_fence_free Flag.t1_unsound_no_wait in
+         (not saw0) && not saw1))
+
+let test_tso_defeats_wait () =
+  (* Under unbounded TSO the Δ wait cannot help: t0's store can stay
+     buffered past any wait. *)
+  check_bool "unbounded TSO defeats the bounded wait" true
+    (exists_seed tso_cfg (fun cfg ->
+         let saw0, saw1 =
+           run_pair cfg Flag.t0_fence_free (fun f -> Flag.t1_bounded f ~bound:(Bound.Delta delta))
+         in
+         (not saw0) && not saw1))
+
+let test_reset () =
+  let machine = Machine.create Config.default in
+  let flags = Flag.create machine in
+  ignore (Machine.spawn machine (fun () -> ignore (Flag.t0_symmetric flags)));
+  ignore (Machine.run machine);
+  Machine.drain_all machine;
+  Flag.reset flags;
+  (* After reset a fresh symmetric round still works. *)
+  let r = ref false in
+  ignore (Machine.spawn machine (fun () -> r := Flag.t1_symmetric flags));
+  ignore (Machine.run machine);
+  check_bool "t1 misses t0 after reset" false !r
+
+let test_core_array_bound_flag () =
+  (* The adapted x86 bound drives the same asymmetric protocol: plain
+     TSO + timer interrupts + core-time array. *)
+  let period = 500 in
+  let ok =
+    forall_seeds
+      (fun seed ->
+        Config.(
+          with_jitter 0.3
+            (with_seed seed
+               {
+                 (with_drain Drain_adversarial (with_consistency Tso default)) with
+                 interrupt_period = Some period;
+               })))
+      (fun cfg ->
+        let machine = Machine.create cfg in
+        let flags = Flag.create machine in
+        let ncores = 2 in
+        let a_base = Machine.alloc_global machine (ncores * 8) in
+        Machine.set_interrupt_hook machine (fun ~tid ~now ->
+            if tid < ncores then
+              Memory.write (Machine.memory machine) ~tid:(-1) ~at:now (a_base + (tid * 8)) now);
+        let bound = Bound.Core_array { base = a_base; ncores; stride = 8 } in
+        let r0 = ref false and r1 = ref false in
+        ignore (Machine.spawn machine (fun () -> r0 := Flag.t0_fence_free flags));
+        ignore (Machine.spawn machine (fun () -> r1 := Flag.t1_bounded flags ~bound));
+        ignore (Machine.run machine);
+        !r0 || !r1)
+  in
+  check_bool "asymmetric principle holds with core-array bound" true ok
+
+let test_bound_horizon_arithmetic () =
+  check_bool "delta horizon" true (Bound.visible_horizon (Bound.Delta 100) ~now:500 = 400);
+  let s = Format.asprintf "%a" Bound.pp (Bound.Delta 5) in
+  check_bool "pp delta" true (String.length s > 0);
+  let s2 =
+    Format.asprintf "%a" Bound.pp (Bound.Core_array { base = 0; ncores = 4; stride = 8 })
+  in
+  check_bool "pp core array" true (String.length s2 > 0)
+
+let test_wait_visible_delta () =
+  let machine = Machine.create Config.default in
+  let woke = ref 0 in
+  ignore
+    (Machine.spawn machine (fun () ->
+         let t0 = Sim.clock () in
+         Bound.wait_visible (Bound.Delta 10_000) ~since:t0;
+         woke := Sim.clock () - t0));
+  ignore (Machine.run machine);
+  check_bool "waited at least delta" true (!woke >= 10_000)
+
+let () =
+  Alcotest.run "flag"
+    [
+      ( "principle",
+        [
+          Alcotest.test_case "symmetric holds" `Quick test_symmetric_holds;
+          Alcotest.test_case "TBTSO asymmetric holds" `Quick test_tbtso_asymmetric_holds;
+          Alcotest.test_case "no-wait unsound" `Quick test_no_wait_unsound;
+          Alcotest.test_case "TSO defeats wait" `Quick test_tso_defeats_wait;
+          Alcotest.test_case "core-array bound works" `Quick test_core_array_bound_flag;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "bound",
+        [
+          Alcotest.test_case "horizon arithmetic" `Quick test_bound_horizon_arithmetic;
+          Alcotest.test_case "wait_visible delta" `Quick test_wait_visible_delta;
+        ] );
+    ]

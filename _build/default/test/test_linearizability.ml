@@ -1,0 +1,215 @@
+(* Linearizability of the concurrent structures, checked on real
+   machine-timed histories with an exhaustive (memoized) search. *)
+
+open Tsim
+open Tbtso_core
+open Tbtso_structures
+
+let check_bool = Alcotest.(check bool)
+
+module IntSet = Set.Make (Int)
+
+(* --- Sequential specifications --- *)
+
+type set_op = Ins of int | Del of int | Look of int
+
+let set_apply s = function
+  | Ins k -> (IntSet.add k s, not (IntSet.mem k s))
+  | Del k -> (IntSet.remove k s, IntSet.mem k s)
+  | Look k -> (s, IntSet.mem k s)
+
+let set_key s = String.concat "," (List.map string_of_int (IntSet.elements s))
+
+type q_op = Enq of int | Deq
+
+let q_apply s = function
+  | Enq v -> (s @ [ v ], -1)
+  | Deq -> ( match s with [] -> (s, 0) | v :: rest -> (rest, v))
+
+(* Deq result: 0 = empty, otherwise the (nonzero) value. Enq: -1. *)
+let q_key s = String.concat "," (List.map string_of_int s)
+
+type st_op = Push of int | Pop
+
+let st_apply s = function
+  | Push v -> (v :: s, -1)
+  | Pop -> ( match s with [] -> (s, 0) | v :: rest -> (rest, v))
+
+let st_key = q_key
+
+(* --- Checker unit tests on hand-written histories --- *)
+
+let ev tid op result start finish = { Lin_check.tid; op; result; start; finish }
+
+let test_checker_accepts_sequential () =
+  let h = [ ev 0 (Ins 1) true 0 1; ev 0 (Look 1) true 2 3; ev 0 (Del 1) true 4 5 ] in
+  check_bool "sequential history ok" true
+    (Lin_check.check ~init:IntSet.empty ~apply:set_apply ~key_of_state:set_key h)
+
+let test_checker_uses_overlap () =
+  (* Look(1)=true overlaps Ins(1): linearizable only thanks to overlap. *)
+  let h = [ ev 0 (Ins 1) true 0 10; ev 1 (Look 1) true 5 6 ] in
+  check_bool "overlapping reorder ok" true
+    (Lin_check.check ~init:IntSet.empty ~apply:set_apply ~key_of_state:set_key h)
+
+let test_checker_rejects_causality_violation () =
+  (* Look(1)=true strictly BEFORE Ins(1) starts: impossible. *)
+  let h = [ ev 0 (Look 1) true 0 1; ev 1 (Ins 1) true 5 6 ] in
+  check_bool "rejected" false
+    (Lin_check.check ~init:IntSet.empty ~apply:set_apply ~key_of_state:set_key h)
+
+let test_checker_rejects_lost_update () =
+  (* Two non-overlapping successful inserts of the same key. *)
+  let h = [ ev 0 (Ins 7) true 0 1; ev 1 (Ins 7) true 5 6 ] in
+  check_bool "rejected" false
+    (Lin_check.check ~init:IntSet.empty ~apply:set_apply ~key_of_state:set_key h)
+
+let test_checker_rejects_nonfifo_queue () =
+  (* Enq 1 then Enq 2, strictly ordered; a later Deq must not see 2. *)
+  let h = [ ev 0 (Enq 1) (-1) 0 1; ev 0 (Enq 2) (-1) 2 3; ev 1 Deq 2 5 6 ] in
+  check_bool "rejected" false (Lin_check.check ~init:[] ~apply:q_apply ~key_of_state:q_key h)
+
+(* --- Machine histories --- *)
+
+(* Run [nthreads] workers, each performing [per_thread] random ops on a
+   structure, recording (tid, op, result, start, finish) with the machine
+   clock read host-side (zero simulated cost). *)
+let record_history ~seed ~nthreads ~per_thread ~spawn_op =
+  let cfg = Config.(with_jitter 0.35 (with_seed (Int64.of_int seed) default)) in
+  let machine = Machine.create cfg in
+  let heap = Heap.create machine ~words:(1 lsl 14) in
+  let rows = ref [] in
+  spawn_op machine heap ~record:(fun tid op result start finish ->
+      rows := (tid, op, result, start, finish) :: !rows)
+    ~nthreads ~per_thread;
+  (match Machine.run ~max_ticks:50_000_000 machine with
+  | Machine.All_finished -> ()
+  | _ -> Alcotest.fail "history run did not finish");
+  Lin_check.events_of_recorder (List.rev !rows)
+
+let test_michael_list_linearizable () =
+  for seed = 1 to 8 do
+    let history =
+      record_history ~seed ~nthreads:3 ~per_thread:7
+        ~spawn_op:(fun machine heap ~record ~nthreads ~per_thread ->
+          let dom =
+            Hazard.create_domain machine ~nthreads ~r_max:32 ~free:(Heap.free heap) ()
+          in
+          let module L = Michael_list.Make (Ffhp.Policy) in
+          let list = L.create machine heap in
+          for i = 0 to nthreads - 1 do
+            let h = Ffhp.handle dom ~bound:(Bound.Delta (Config.us 500)) ~tid:i in
+            ignore
+              (Machine.spawn machine (fun () ->
+                   let rng = Rng.create (Int64.of_int ((seed * 131) + i)) in
+                   for _ = 1 to per_thread do
+                     let k = Rng.int rng 4 in
+                     let start = Machine.now machine in
+                     let op, result =
+                       match Rng.int rng 3 with
+                       | 0 -> (Ins k, L.insert list h k)
+                       | 1 -> (Del k, L.delete list h k)
+                       | _ -> (Look k, L.lookup list h k)
+                     in
+                     record i op result start (Machine.now machine)
+                   done))
+          done)
+    in
+    check_bool
+      (Printf.sprintf "list history linearizable (seed %d)" seed)
+      true
+      (Lin_check.check ~init:IntSet.empty ~apply:set_apply ~key_of_state:set_key history)
+  done
+
+let test_ms_queue_linearizable () =
+  for seed = 1 to 8 do
+    let history =
+      record_history ~seed ~nthreads:3 ~per_thread:7
+        ~spawn_op:(fun machine heap ~record ~nthreads ~per_thread ->
+          let dom =
+            Hazard.create_domain machine ~nthreads ~r_max:32 ~free:(Heap.free heap) ()
+          in
+          let module Q = Ms_queue.Make (Ffhp.Policy) in
+          let q = Q.create machine heap in
+          for i = 0 to nthreads - 1 do
+            let h = Ffhp.handle dom ~bound:(Bound.Delta (Config.us 500)) ~tid:i in
+            ignore
+              (Machine.spawn machine (fun () ->
+                   let rng = Rng.create (Int64.of_int ((seed * 137) + i)) in
+                   for r = 1 to per_thread do
+                     let start = Machine.now machine in
+                     let op, result =
+                       if Rng.int rng 2 = 0 then begin
+                         let v = (i * 100) + r in
+                         Q.enqueue q h v;
+                         (Enq v, -1)
+                       end
+                       else
+                         ( Deq,
+                           match Q.dequeue q h with Some v -> v | None -> 0 )
+                     in
+                     record i op result start (Machine.now machine)
+                   done))
+          done)
+    in
+    check_bool
+      (Printf.sprintf "queue history linearizable (seed %d)" seed)
+      true
+      (Lin_check.check ~init:[] ~apply:q_apply ~key_of_state:q_key history)
+  done
+
+let test_treiber_stack_linearizable () =
+  for seed = 1 to 8 do
+    let history =
+      record_history ~seed ~nthreads:3 ~per_thread:7
+        ~spawn_op:(fun machine heap ~record ~nthreads ~per_thread ->
+          let dom =
+            Hazard.create_domain machine ~nthreads ~r_max:32 ~free:(Heap.free heap) ()
+          in
+          let module S = Treiber_stack.Make (Ffhp.Policy) in
+          let st = S.create machine heap in
+          for i = 0 to nthreads - 1 do
+            let h = Ffhp.handle dom ~bound:(Bound.Delta (Config.us 500)) ~tid:i in
+            ignore
+              (Machine.spawn machine (fun () ->
+                   let rng = Rng.create (Int64.of_int ((seed * 139) + i)) in
+                   for r = 1 to per_thread do
+                     let start = Machine.now machine in
+                     let op, result =
+                       if Rng.int rng 2 = 0 then begin
+                         let v = (i * 100) + r in
+                         S.push st h v;
+                         (Push v, -1)
+                       end
+                       else
+                         (Pop, match S.pop st h with Some v -> v | None -> 0)
+                     in
+                     record i op result start (Machine.now machine)
+                   done))
+          done)
+    in
+    check_bool
+      (Printf.sprintf "stack history linearizable (seed %d)" seed)
+      true
+      (Lin_check.check ~init:[] ~apply:st_apply ~key_of_state:st_key history)
+  done
+
+let () =
+  Alcotest.run "linearizability"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "accepts sequential" `Quick test_checker_accepts_sequential;
+          Alcotest.test_case "uses overlap" `Quick test_checker_uses_overlap;
+          Alcotest.test_case "rejects causality violation" `Quick
+            test_checker_rejects_causality_violation;
+          Alcotest.test_case "rejects lost update" `Quick test_checker_rejects_lost_update;
+          Alcotest.test_case "rejects non-FIFO queue" `Quick test_checker_rejects_nonfifo_queue;
+        ] );
+      ( "structures",
+        [
+          Alcotest.test_case "Michael list" `Quick test_michael_list_linearizable;
+          Alcotest.test_case "MS queue" `Quick test_ms_queue_linearizable;
+          Alcotest.test_case "Treiber stack" `Quick test_treiber_stack_linearizable;
+        ] );
+    ]

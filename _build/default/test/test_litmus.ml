@@ -1,0 +1,543 @@
+(* Exhaustive litmus tests: these check the memory-model semantics by
+   enumerating every interleaving and drain schedule, including the paper's
+   Section 3 flag-principle claims. *)
+
+open Tsim
+open Litmus
+
+let check_bool = Alcotest.(check bool)
+
+(* Addresses and registers used by the classic tests. *)
+let x = 0
+let y = 1
+let r0 = 0
+let r1 = 1
+
+(* Store-buffering (SB): the litmus test distinguishing TSO from SC.
+     T0: x := 1; r0 := y          T1: y := 1; r1 := x *)
+let sb = [ [ Store (x, 1); Load (y, r0) ]; [ Store (y, 1); Load (x, r1) ] ]
+
+let sb_fenced =
+  [ [ Store (x, 1); Fence; Load (y, r0) ]; [ Store (y, 1); Fence; Load (x, r1) ] ]
+
+let both_zero (o : outcome) = o.regs.(0).(r0) = 0 && o.regs.(1).(r1) = 0
+
+let test_sb_tso_allows_00 () =
+  let outcomes = enumerate ~mode:M_tso sb in
+  check_bool "TSO admits (0,0)" true (exists outcomes both_zero)
+
+let test_sb_sc_forbids_00 () =
+  let outcomes = enumerate ~mode:M_sc sb in
+  check_bool "SC forbids (0,0)" false (exists outcomes both_zero)
+
+let test_sb_fenced_forbids_00 () =
+  List.iter
+    (fun mode ->
+      let outcomes = enumerate ~mode sb_fenced in
+      check_bool "fenced SB forbids (0,0)" false (exists outcomes both_zero))
+    [ M_sc; M_tso; M_tbtso 3 ]
+
+let test_sb_tbtso_allows_00 () =
+  (* The Δ bound alone does not restore SC: without the wait, (0,0)
+     remains observable. *)
+  let outcomes = enumerate ~mode:(M_tbtso 4) sb in
+  check_bool "TBTSO alone admits (0,0)" true (exists outcomes both_zero)
+
+(* Message passing (MP): TSO does not reorder stores with stores or loads
+   with loads, so seeing the flag implies seeing the data.
+     T0: x := 1; y := 1           T1: r0 := y; r1 := x *)
+let mp = [ [ Store (x, 1); Store (y, 1) ]; [ Load (y, r0); Load (x, r1) ] ]
+
+let mp_violation (o : outcome) = o.regs.(1).(r0) = 1 && o.regs.(1).(r1) = 0
+
+let test_mp_tso () =
+  List.iter
+    (fun mode ->
+      let outcomes = enumerate ~mode mp in
+      check_bool "MP violation impossible" false (exists outcomes mp_violation))
+    [ M_sc; M_tso; M_tbtso 2 ]
+
+(* Store-to-load forwarding: a thread always sees its own latest store. *)
+let forwarding = [ [ Store (x, 1); Load (x, r0) ] ]
+
+let test_forwarding () =
+  List.iter
+    (fun mode ->
+      let outcomes = enumerate ~mode forwarding in
+      check_bool "sees own store" true (for_all outcomes (fun o -> o.regs.(0).(r0) = 1)))
+    [ M_sc; M_tso; M_tbtso 2 ]
+
+(* Final memory state: all buffers drain eventually. *)
+let test_final_memory () =
+  List.iter
+    (fun mode ->
+      let outcomes = enumerate ~mode sb in
+      check_bool "memory = (1,1) finally" true
+        (for_all outcomes (fun o -> o.mem.(x) = 1 && o.mem.(y) = 1)))
+    [ M_sc; M_tso; M_tbtso 3 ]
+
+(* --- The paper's Section 3 constructions --- *)
+
+(* Symmetric flag principle (both fence): at least one thread sees the
+   other's flag. *)
+let flag_symmetric =
+  [
+    [ Store (x, 1); Fence; Load (y, r0) ];
+    [ Store (y, 1); Fence; Load (x, r1) ];
+  ]
+
+let test_flag_symmetric () =
+  let outcomes = enumerate ~mode:M_tso flag_symmetric in
+  check_bool "someone sees a flag" true
+    (for_all outcomes (fun o -> o.regs.(0).(r0) = 1 || o.regs.(1).(r1) = 1))
+
+(* TBTSO flag principle (Section 3): T0 is fence-free; T1 fences and then
+   waits Δ time units before looking at T0's flag.
+
+     T0: flag0 := 1;        r0 := flag1
+     T1: flag1 := 1; fence; wait Δ; r1 := flag0
+
+   Claim: under TBTSO[Δ] it is impossible that both threads miss the
+   other's flag. *)
+let tbtso_flag delta =
+  [
+    [ Store (x, 1); Load (y, r0) ];
+    [ Store (y, 1); Fence; Wait delta; Load (x, r1) ];
+  ]
+
+let test_tbtso_flag_principle () =
+  List.iter
+    (fun delta ->
+      let outcomes = enumerate ~mode:(M_tbtso delta) (tbtso_flag delta) in
+      check_bool
+        (Printf.sprintf "flag principle holds for delta=%d" delta)
+        false (exists outcomes both_zero))
+    [ 1; 2; 3; 5 ]
+
+let test_tbtso_flag_principle_breaks_under_tso () =
+  (* The same fence-free program under unbounded TSO: waiting does not
+     help, (0,0) is observable. This is why the Δ bound is essential. *)
+  let outcomes = enumerate ~mode:M_tso (tbtso_flag 5) in
+  check_bool "unbounded TSO defeats the wait" true (exists outcomes both_zero)
+
+let test_tbtso_flag_requires_full_wait () =
+  (* Waiting less than Δ is unsound: with Δ=8 but only a 1-tick wait,
+     (0,0) becomes observable again. (The threshold is not at wait < Δ
+     exactly because every instruction costs a tick of its own, which
+     pads short waits; Δ=8 puts us clearly past it.) *)
+  let delta = 8 in
+  let program =
+    [
+      [ Store (x, 1); Load (y, r0) ];
+      [ Store (y, 1); Fence; Wait 1; Load (x, r1) ];
+    ]
+  in
+  let outcomes = enumerate ~mode:(M_tbtso delta) program in
+  check_bool "short wait is unsound" true (exists outcomes both_zero)
+
+let test_tbtso_flag_requires_fence () =
+  (* Dropping T1's fence is also unsound: T1's own flag store can linger
+     in its buffer through the wait, so the Δ wait no longer covers
+     stores of T0 issued just before T1's store drains. Requires Δ large
+     enough to dominate per-instruction tick slack (Δ ≥ 5 here). *)
+  let delta = 6 in
+  let program =
+    [
+      [ Store (x, 1); Load (y, r0) ];
+      [ Store (y, 1); Wait delta; Load (x, r1) ];
+    ]
+  in
+  let outcomes = enumerate ~mode:(M_tbtso delta) program in
+  check_bool "fence-free slow path is unsound" true (exists outcomes both_zero)
+
+(* Loadeq conditional support. *)
+let test_loadeq () =
+  (* T0: if x = 0 then r0 := 7 else r0 := 9 — encoded with Loadeq skip. *)
+  let program =
+    [ [ Loadeq (x, 0, 1); Store (y, 9); Store (y, 7) ] ]
+    (* if x=0 skip "Store y 9" then execute "Store y 7"; else run both,
+       leaving y = 7 either way... so distinguish via different slots: *)
+  in
+  ignore program;
+  let program =
+    [ [ Loadeq (x, 0, 1); Load (y, r0); Wait 0 ] ]
+    (* if x = 0: skip the load, r0 stays 0. *)
+  in
+  let outcomes = enumerate ~mode:M_sc program in
+  check_bool "branch taken" true (for_all outcomes (fun o -> o.regs.(0).(r0) = 0))
+
+(* --- Property-based model relationships --- *)
+
+let instr_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun a v -> Store (a, 1 + v)) (int_bound 1) (int_bound 2));
+        (4, map2 (fun a r -> Load (a, r)) (int_bound 1) (int_bound 2));
+        (1, return Fence);
+        (1, map (fun d -> Wait (1 + d)) (int_bound 2));
+        (1, map2 (fun a r -> Cas (a, 0, 1, r)) (int_bound 1) (int_bound 2));
+      ])
+
+let program_gen =
+  QCheck.Gen.(
+    map2
+      (fun t0 t1 -> [ t0; t1 ])
+      (list_size (int_range 1 4) instr_gen)
+      (list_size (int_range 1 4) instr_gen))
+
+let program_arb =
+  QCheck.make
+    ~print:(fun p ->
+      String.concat " || "
+        (List.map
+           (fun t ->
+             String.concat "; "
+               (List.map
+                  (function
+                    | Store (a, v) -> Printf.sprintf "st x%d=%d" a v
+                    | Load (a, r) -> Printf.sprintf "r%d=ld x%d" r a
+                    | Loadeq (a, v, s) -> Printf.sprintf "ldeq x%d=%d skip %d" a v s
+                    | Fence -> "fence"
+                    | Wait d -> Printf.sprintf "wait %d" d
+                    | Cas (a, e, d, r) -> Printf.sprintf "r%d=cas x%d %d->%d" r a e d)
+                  t))
+           p))
+    program_gen
+
+let subset o1 o2 = List.for_all (fun o -> List.mem o o2) o1
+
+let prop_sc_subset_tbtso =
+  QCheck.Test.make ~name:"SC outcomes ⊆ TBTSO outcomes" ~count:60 program_arb (fun p ->
+      subset (enumerate ~mode:M_sc p) (enumerate ~mode:(M_tbtso 3) p))
+
+let prop_tbtso_subset_tso =
+  QCheck.Test.make ~name:"TBTSO outcomes ⊆ TSO outcomes" ~count:60 program_arb (fun p ->
+      subset (enumerate ~mode:(M_tbtso 3) p) (enumerate ~mode:M_tso p))
+
+let prop_tbtso_monotone_in_delta =
+  QCheck.Test.make ~name:"TBTSO[Δ1] ⊆ TBTSO[Δ2] for Δ1 ≤ Δ2" ~count:40 program_arb
+    (fun p -> subset (enumerate ~mode:(M_tbtso 2) p) (enumerate ~mode:(M_tbtso 5) p))
+
+(* Run an arbitrary straight-line litmus program on the effects machine
+   and return its outcome in the checker's format. *)
+let machine_outcome ~seed program =
+  let cfg =
+    Config.(
+      with_jitter 0.4 (with_seed (Int64.of_int seed) (with_consistency Tso default)))
+  in
+  let m = Machine.create cfg in
+  let base = Machine.alloc_global m 64 in
+  let addr a = base + (a * 8) in
+  let nthreads = List.length program in
+  let regs = Array.init nthreads (fun _ -> Array.make 4 0) in
+  List.iteri
+    (fun tid instrs ->
+      ignore
+        (Machine.spawn m (fun () ->
+             List.iter
+               (function
+                 | Store (a, v) -> Sim.store (addr a) v
+                 | Load (a, r) -> regs.(tid).(r) <- Sim.load (addr a)
+                 | Loadeq (_, _, _) -> ()
+                 | Fence -> Sim.fence ()
+                 | Wait d -> Sim.stall_for d
+                 | Cas (a, e, d, r) ->
+                     regs.(tid).(r) <-
+                       (if Sim.cas (addr a) ~expected:e ~desired:d then 1 else 0))
+               instrs)))
+    program;
+  ignore (Machine.run m);
+  Machine.drain_all m;
+  let mem = Array.init 4 (fun a -> Memory.read (Machine.memory m) (addr a)) in
+  { regs; mem }
+
+let machine_outcome_hw ~seed program =
+  let cfg =
+    Config.(
+      with_jitter 0.4
+        (with_seed (Int64.of_int seed)
+           (with_drain Drain_adversarial
+              (with_consistency (Tbtso_hw { tau = 50; quiesce = 20 }) default))))
+  in
+  let m = Machine.create cfg in
+  let base = Machine.alloc_global m 64 in
+  let addr a = base + (a * 8) in
+  let nthreads = List.length program in
+  let regs = Array.init nthreads (fun _ -> Array.make 4 0) in
+  List.iteri
+    (fun tid instrs ->
+      ignore
+        (Machine.spawn m (fun () ->
+             List.iter
+               (function
+                 | Store (a, v) -> Sim.store (addr a) v
+                 | Load (a, r) -> regs.(tid).(r) <- Sim.load (addr a)
+                 | Loadeq (_, _, _) -> ()
+                 | Fence -> Sim.fence ()
+                 | Wait d -> Sim.stall_for d
+                 | Cas (a, e, d, r) ->
+                     regs.(tid).(r) <-
+                       (if Sim.cas (addr a) ~expected:e ~desired:d then 1 else 0))
+               instrs)))
+    program;
+  ignore (Machine.run m);
+  Machine.drain_all m;
+  let mem = Array.init 4 (fun a -> Memory.read (Machine.memory m) (addr a)) in
+  { regs; mem }
+
+let prop_hw_machine_subset_of_tso =
+  (* The Section 6.1 mechanism is a refinement of TSO: everything it
+     produces is TSO-reachable. *)
+  QCheck.Test.make ~name:"Tbtso_hw outcomes ⊆ TSO outcomes" ~count:40
+    QCheck.(pair program_arb (int_range 1 1_000_000))
+    (fun (p, seed) -> List.mem (machine_outcome_hw ~seed p) (enumerate ~mode:M_tso p))
+
+let prop_machine_subset_of_checker_random =
+  (* For random programs, every machine execution's outcome must be
+     reachable in the exhaustive checker's TSO state space. *)
+  QCheck.Test.make ~name:"machine outcomes ⊆ checker outcomes (random programs)" ~count:50
+    QCheck.(pair program_arb (int_range 1 1_000_000))
+    (fun (p, seed) ->
+      let o = machine_outcome ~seed p in
+      let reachable = enumerate ~mode:M_tso p in
+      List.mem o reachable)
+
+let prop_machine_agrees_with_checker =
+  (* Randomized machine runs of the SB litmus only produce outcomes the
+     exhaustive checker declares reachable under TSO. *)
+  QCheck.Test.make ~name:"machine outcomes ⊆ checker outcomes (SB)" ~count:40
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let cfg =
+        Config.(
+          with_jitter 0.4
+            (with_seed (Int64.of_int seed) (with_consistency Tso default)))
+      in
+      let m = Machine.create cfg in
+      let g = Machine.alloc_global m 16 in
+      let a = ref (-1) and b = ref (-1) in
+      ignore
+        (Machine.spawn m (fun () ->
+             Sim.store g 1;
+             a := Sim.load (g + 8)));
+      ignore
+        (Machine.spawn m (fun () ->
+             Sim.store (g + 8) 1;
+             b := Sim.load g));
+      ignore (Machine.run m);
+      let reachable = enumerate ~mode:M_tso sb in
+      List.exists
+        (fun (o : outcome) -> o.regs.(0).(r0) = !a && o.regs.(1).(r1) = !b)
+        reachable)
+
+(* --- CAS in the checker --- *)
+
+let test_cas_atomicity () =
+  (* Two CASes 0->own-id on the same cell: exactly one succeeds, under
+     every model. *)
+  let program = [ [ Cas (x, 0, 1, r0) ]; [ Cas (x, 0, 2, r0) ] ] in
+  List.iter
+    (fun mode ->
+      let outcomes = enumerate ~mode program in
+      check_bool "exactly one winner" true
+        (for_all outcomes (fun o -> o.regs.(0).(r0) + o.regs.(1).(r0) = 1));
+      check_bool "memory matches winner" true
+        (for_all outcomes (fun o ->
+             o.mem.(x) = if o.regs.(0).(r0) = 1 then 1 else 2)))
+    [ M_sc; M_tso; M_tbtso 3; M_tsos 1 ]
+
+let test_cas_drains_buffer_litmus () =
+  (* A store followed by a CAS to another cell: observing the CAS's
+     effect implies the earlier store is visible (locked ops flush). *)
+  let program =
+    [ [ Store (x, 1); Cas (y, 0, 1, r0) ]; [ Load (y, r0); Load (x, r1) ] ]
+  in
+  List.iter
+    (fun mode ->
+      let outcomes = enumerate ~mode program in
+      check_bool "y=1 implies x visible" false
+        (exists outcomes (fun o -> o.regs.(1).(r0) = 1 && o.regs.(1).(r1) = 0)))
+    [ M_tso; M_tbtso 3 ]
+
+let test_tas_lock_litmus () =
+  (* One round of test-and-set locking per thread: both cannot win. *)
+  let program =
+    [
+      [ Cas (x, 0, 1, r0); Store (y, 1) ];
+      [ Cas (x, 0, 1, r0); Store (2, 1) (* z *) ];
+    ]
+  in
+  let outcomes = enumerate ~mode:M_tso program in
+  check_bool "mutual exclusion of winners" true
+    (for_all outcomes (fun o -> not (o.regs.(0).(r0) = 1 && o.regs.(1).(r0) = 1)))
+
+(* --- TSO[S]: the spatially bounded model (paper Section 8) --- *)
+
+let test_tsos_flag_principle_still_broken () =
+  (* The paper's core Section 8 argument: a spatial bound cannot make the
+     fence-free flag principle safe, because a quiet thread's store can
+     stay buffered forever. Exhaustively checked. *)
+  List.iter
+    (fun s ->
+      let outcomes = enumerate ~mode:(M_tsos s) (tbtso_flag 5) in
+      check_bool
+        (Printf.sprintf "flag principle broken under TSO[S=%d]" s)
+        true (exists outcomes both_zero))
+    [ 1; 2; 3 ]
+
+let test_tsos_spatial_flush () =
+  (* Where TSO[S] IS stronger than TSO: issuing S further stores forces
+     the oldest one out. T0: x:=1; y:=1; r0:=z || T1: z:=1; fence; r1:=x.
+     Under S=1, enqueueing y commits x, which precedes T0's read of z;
+     so r0 = 0 (read before T1's fenced store) implies T1's later read
+     of x sees 1. Under unbounded TSO both can read 0. *)
+  let program =
+    [
+      [ Store (x, 1); Store (1, 1) (* y *); Load (2, r0) (* z *) ];
+      [ Store (2, 1); Fence; Load (x, r1) ];
+    ]
+  in
+  let bad (o : outcome) = o.regs.(0).(r0) = 0 && o.regs.(1).(r1) = 0 in
+  check_bool "observable under unbounded TSO" true (exists (enumerate ~mode:M_tso program) bad);
+  check_bool "impossible under TSO[S=1]" false
+    (exists (enumerate ~mode:(M_tsos 1) program) bad)
+
+let prop_tsos_subset_tso =
+  QCheck.Test.make ~name:"TSO[S] outcomes ⊆ TSO outcomes" ~count:50 program_arb (fun p ->
+      subset (enumerate ~mode:(M_tsos 2) p) (enumerate ~mode:M_tso p))
+
+let prop_sc_subset_tsos =
+  QCheck.Test.make ~name:"SC outcomes ⊆ TSO[S] outcomes" ~count:50 program_arb (fun p ->
+      subset (enumerate ~mode:M_sc p) (enumerate ~mode:(M_tsos 1) p))
+
+(* --- Litmus file parser --- *)
+
+let test_parse_roundtrip () =
+  let text =
+    "name: demo\n\
+     # a comment\n\
+     thread\n\
+     \tstore x 1\n\
+     \tload y -> r0\n\
+     thread\n\
+     \tstore y 1\n\
+     \tfence\n\
+     \twait 3\n\
+     \tload x r1\n\
+     exists 0:r0 = 0 /\\ 1:r1 = 0\n"
+  in
+  let t = Litmus_parse.parse text in
+  check_bool "name" true (t.name = "demo");
+  check_bool "two threads" true (List.length t.program = 2);
+  check_bool "quantifier" true (t.quantifier = Litmus_parse.Exists);
+  check_bool "two terms" true (List.length t.condition = 2);
+  check_bool "program content" true
+    (t.program
+    = [
+        [ Store (0, 1); Load (1, 0) ];
+        [ Store (1, 1); Fence; Wait 3; Load (0, 1) ];
+      ])
+
+let test_parse_check_agrees_with_enumerate () =
+  let text =
+    "thread\n store x 1\n load y -> r0\nthread\n store y 1\n load x -> r1\n\
+     exists 0:r0 = 0 /\\ 1:r1 = 0\n"
+  in
+  let t = Litmus_parse.parse text in
+  let tso, _ = Litmus_parse.check t ~mode:M_tso in
+  let sc, _ = Litmus_parse.check t ~mode:M_sc in
+  check_bool "TSO observable" true tso;
+  check_bool "SC impossible" false sc
+
+let test_parse_cas () =
+  let text = "thread\n cas x 0 1 -> r0\nforall x = 1\n" in
+  let t = Litmus_parse.parse text in
+  check_bool "cas parsed" true (t.program = [ [ Cas (0, 0, 1, 0) ] ]);
+  let ok, _ = Litmus_parse.check t ~mode:M_tso in
+  check_bool "cas executes" true ok
+
+let test_parse_forall () =
+  let text = "thread\n store x 7\nforall x = 7\n" in
+  let t = Litmus_parse.parse text in
+  check_bool "forall" true (t.quantifier = Litmus_parse.Forall);
+  let ok, _ = Litmus_parse.check t ~mode:M_tso in
+  check_bool "invariant holds" true ok
+
+let check_parse_error text =
+  try
+    ignore (Litmus_parse.parse text);
+    false
+  with Litmus_parse.Parse_error _ -> true
+
+let test_parse_errors () =
+  check_bool "no threads" true (check_parse_error "exists x = 1\n");
+  check_bool "no condition" true (check_parse_error "thread\n store x 1\n");
+  check_bool "bad instruction" true (check_parse_error "thread\n mumble\nexists x = 1\n");
+  check_bool "bad address" true (check_parse_error "thread\n store q 1\nexists x = 1\n");
+  check_bool "bad register" true
+    (check_parse_error "thread\n load x -> r9\nexists x = 1\n");
+  check_bool "orphan instruction" true (check_parse_error "store x 1\nexists x = 1\n");
+  check_bool "duplicate condition" true
+    (check_parse_error "thread\n store x 1\nexists x = 1\nexists x = 1\n")
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "litmus"
+    [
+      ( "classic",
+        [
+          Alcotest.test_case "SB observable under TSO" `Quick test_sb_tso_allows_00;
+          Alcotest.test_case "SB forbidden under SC" `Quick test_sb_sc_forbids_00;
+          Alcotest.test_case "fenced SB forbidden everywhere" `Quick test_sb_fenced_forbids_00;
+          Alcotest.test_case "SB observable under TBTSO" `Quick test_sb_tbtso_allows_00;
+          Alcotest.test_case "MP safe under TSO" `Quick test_mp_tso;
+          Alcotest.test_case "store forwarding" `Quick test_forwarding;
+          Alcotest.test_case "final memory drained" `Quick test_final_memory;
+          Alcotest.test_case "loadeq conditional" `Quick test_loadeq;
+        ] );
+      ( "flag-principle",
+        [
+          Alcotest.test_case "symmetric flag principle" `Quick test_flag_symmetric;
+          Alcotest.test_case "TBTSO flag principle (Section 3)" `Quick
+            test_tbtso_flag_principle;
+          Alcotest.test_case "breaks under unbounded TSO" `Quick
+            test_tbtso_flag_principle_breaks_under_tso;
+          Alcotest.test_case "short wait unsound" `Quick test_tbtso_flag_requires_full_wait;
+          Alcotest.test_case "slow-path fence required" `Quick test_tbtso_flag_requires_fence;
+        ] );
+      ( "cas",
+        [
+          Alcotest.test_case "atomicity" `Quick test_cas_atomicity;
+          Alcotest.test_case "drains buffer" `Quick test_cas_drains_buffer_litmus;
+          Alcotest.test_case "TAS lock" `Quick test_tas_lock_litmus;
+        ] );
+      ( "tsos",
+        [
+          Alcotest.test_case "flag principle still broken" `Quick
+            test_tsos_flag_principle_still_broken;
+          Alcotest.test_case "spatial flush restricts outcomes" `Quick
+            test_tsos_spatial_flush;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "check agrees with enumerate" `Quick
+            test_parse_check_agrees_with_enumerate;
+          Alcotest.test_case "cas syntax" `Quick test_parse_cas;
+          Alcotest.test_case "forall" `Quick test_parse_forall;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+      qsuite "properties"
+        [
+          prop_sc_subset_tbtso;
+          prop_tbtso_subset_tso;
+          prop_tbtso_monotone_in_delta;
+          prop_machine_agrees_with_checker;
+          prop_machine_subset_of_checker_random;
+          prop_tsos_subset_tso;
+          prop_sc_subset_tsos;
+          prop_hw_machine_subset_of_tso;
+        ];
+    ]

@@ -1,0 +1,402 @@
+(* Lock algorithm tests: mutual exclusion (host-side overlap oracle plus
+   a racy shared counter), fence accounting on the owner fast path,
+   echoing, bounded non-owner latency under owner stalls, and the
+   negative result that FFBL is unsound on unbounded TSO. *)
+
+open Tsim
+open Tbtso_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let delta = 5_000
+
+let tbtso_cfg seed =
+  Config.(
+    with_jitter 0.25
+      (with_seed (Int64.of_int seed)
+         (with_drain Drain_adversarial (with_consistency (Tbtso delta) default))))
+
+(* A critical-section harness: host-side overlap oracle + a shared
+   counter incremented non-atomically (load; work; store). Any mutual
+   exclusion failure shows up as an overlap and/or a lost update. *)
+type cs = {
+  counter : int;
+  mutable inside : bool;
+  mutable overlaps : int;
+  mutable entries : int;
+}
+
+let make_cs machine = { counter = Machine.alloc_global machine 8; inside = false; overlaps = 0; entries = 0 }
+
+let cs_body ?(hold = 20) cs =
+  if cs.inside then cs.overlaps <- cs.overlaps + 1;
+  cs.inside <- true;
+  cs.entries <- cs.entries + 1;
+  let v = Sim.load cs.counter in
+  Sim.work hold;
+  if cs.inside then () else cs.overlaps <- cs.overlaps + 1;
+  Sim.store cs.counter (v + 1);
+  cs.inside <- false
+
+let final_counter machine cs =
+  Machine.drain_all machine;
+  Memory.read (Machine.memory machine) cs.counter
+
+(* ------------------------------------------------------------------ *)
+(* Plain spin locks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_ticket_mutual_exclusion () =
+  let machine = Machine.create (tbtso_cfg 1) in
+  let l = Spinlock.Ticket.create machine in
+  let cs = make_cs machine in
+  let nthreads = 6 and per = 40 in
+  for _ = 1 to nthreads do
+    ignore
+      (Machine.spawn machine (fun () ->
+           for _ = 1 to per do
+             Spinlock.Ticket.lock l;
+             cs_body cs;
+             Spinlock.Ticket.unlock l;
+             Sim.work 10
+           done))
+  done;
+  ignore (Machine.run machine);
+  check_int "no overlaps" 0 cs.overlaps;
+  check_int "no lost updates" (nthreads * per) (final_counter machine cs);
+  check_int "acquisitions counted" (nthreads * per) (Spinlock.Ticket.acquisitions l)
+
+let test_tas_mutual_exclusion () =
+  let machine = Machine.create (tbtso_cfg 2) in
+  let l = Spinlock.Tas.create machine in
+  let cs = make_cs machine in
+  let nthreads = 5 and per = 40 in
+  for _ = 1 to nthreads do
+    ignore
+      (Machine.spawn machine (fun () ->
+           for _ = 1 to per do
+             Spinlock.Tas.lock l;
+             cs_body cs;
+             Spinlock.Tas.unlock l;
+             Sim.work 15
+           done))
+  done;
+  ignore (Machine.run machine);
+  check_int "no overlaps" 0 cs.overlaps;
+  check_int "no lost updates" (nthreads * per) (final_counter machine cs)
+
+let test_tas_trylock () =
+  let machine = Machine.create Config.default in
+  let l = Spinlock.Tas.create machine in
+  let got1 = ref false and got2 = ref true in
+  ignore
+    (Machine.spawn machine (fun () ->
+         got1 := Spinlock.Tas.trylock l;
+         got2 := Spinlock.Tas.trylock l;
+         Spinlock.Tas.unlock l));
+  ignore (Machine.run machine);
+  check_bool "first trylock succeeds" true !got1;
+  check_bool "second trylock fails" false !got2
+
+(* ------------------------------------------------------------------ *)
+(* Biased lock harness: one owner + one non-owner thread              *)
+(* ------------------------------------------------------------------ *)
+
+type biased_ops = {
+  olock : unit -> unit;
+  ounlock : unit -> unit;
+  nlock : unit -> unit;
+  nunlock : unit -> unit;
+}
+
+let run_biased cfg ~owner_rounds ~nonowner_rounds ?(owner_gap = 50) ?(nonowner_gap = 200)
+    make_ops =
+  let machine = Machine.create cfg in
+  let cs = make_cs machine in
+  let ops = make_ops machine in
+  let nonowner_done = ref false in
+  ignore
+    (Machine.spawn machine (fun () ->
+         (* The owner keeps passing safe points until the non-owner is
+            done (a vanished owner wedges safe-point locks by design),
+            and performs at least [owner_rounds] acquisitions. *)
+         let rounds = ref 0 in
+         while !rounds < owner_rounds || not !nonowner_done do
+           ops.olock ();
+           cs_body cs;
+           ops.ounlock ();
+           incr rounds;
+           Sim.work owner_gap
+         done));
+  ignore
+    (Machine.spawn machine (fun () ->
+         for _ = 1 to nonowner_rounds do
+           ops.nlock ();
+           cs_body cs;
+           ops.nunlock ();
+           Sim.work nonowner_gap
+         done;
+         nonowner_done := true));
+  let reason = Machine.run ~max_ticks:100_000_000 machine in
+  check_bool "finished" true (reason = Machine.All_finished);
+  check_int "no overlaps" 0 cs.overlaps;
+  check_int "no lost updates" cs.entries (final_counter machine cs);
+  machine
+
+let basic_ops machine =
+  let l = Biased_basic.create machine in
+  {
+    olock = (fun () -> Biased_basic.owner_lock l);
+    ounlock = (fun () -> Biased_basic.owner_unlock l);
+    nlock = (fun () -> Biased_basic.nonowner_lock l);
+    nunlock = (fun () -> Biased_basic.nonowner_unlock l);
+  }
+
+let ffbl_ops ?(echo = true) ?(bound = Bound.Delta delta) () machine =
+  let l = Ffbl.create machine ~bound ~echo in
+  ( l,
+    {
+      olock = (fun () -> Ffbl.owner_lock l);
+      ounlock = (fun () -> Ffbl.owner_unlock l);
+      nlock = (fun () -> Ffbl.nonowner_lock l);
+      nunlock = (fun () -> Ffbl.nonowner_unlock l);
+    } )
+
+let safepoint_ops machine =
+  let l = Safepoint_lock.create machine in
+  ( l,
+    {
+      olock = (fun () -> Safepoint_lock.owner_lock l);
+      ounlock = (fun () -> Safepoint_lock.owner_unlock l);
+      nlock = (fun () -> Safepoint_lock.nonowner_lock l);
+      nunlock = (fun () -> Safepoint_lock.nonowner_unlock l);
+    } )
+
+let test_biased_basic_mutual_exclusion () =
+  for seed = 1 to 10 do
+    ignore
+      (run_biased (tbtso_cfg seed) ~owner_rounds:60 ~nonowner_rounds:25 basic_ops)
+  done
+
+let test_ffbl_mutual_exclusion () =
+  for seed = 1 to 10 do
+    ignore
+      (run_biased (tbtso_cfg seed) ~owner_rounds:60 ~nonowner_rounds:25 (fun m ->
+           snd (ffbl_ops () m)))
+  done
+
+let test_ffbl_mutual_exclusion_no_echo () =
+  for seed = 1 to 5 do
+    ignore
+      (run_biased (tbtso_cfg seed) ~owner_rounds:30 ~nonowner_rounds:10 (fun m ->
+           snd (ffbl_ops ~echo:false () m)))
+  done
+
+let test_safepoint_mutual_exclusion () =
+  for seed = 1 to 10 do
+    ignore
+      (run_biased (tbtso_cfg seed) ~owner_rounds:60 ~nonowner_rounds:25 (fun m ->
+           snd (safepoint_ops m)))
+  done
+
+let test_ffbl_owner_fence_free () =
+  (* Owner thread (tid 0) must execute zero fences and zero atomics on
+     an uncontended lock. *)
+  let machine = Machine.create (tbtso_cfg 3) in
+  let l = Ffbl.create machine ~bound:(Bound.Delta delta) ~echo:true in
+  ignore
+    (Machine.spawn machine (fun () ->
+         for _ = 1 to 100 do
+           Ffbl.owner_lock l;
+           Sim.work 10;
+           Ffbl.owner_unlock l
+         done));
+  ignore (Machine.run machine);
+  let s = Machine.stats machine 0 in
+  check_int "owner fences" 0 s.fences;
+  check_int "owner atomics" 0 s.rmws;
+  check_int "all fast" 100 (Ffbl.owner_fast_acquisitions l)
+
+let test_biased_basic_owner_pays_fence () =
+  let machine = Machine.create (tbtso_cfg 3) in
+  let l = Biased_basic.create machine in
+  ignore
+    (Machine.spawn machine (fun () ->
+         for _ = 1 to 50 do
+           Biased_basic.owner_lock l;
+           Sim.work 10;
+           Biased_basic.owner_unlock l
+         done));
+  ignore (Machine.run machine);
+  let s = Machine.stats machine 0 in
+  check_int "one fence per acquisition" 50 s.fences
+
+let test_ffbl_echo_cuts_wait () =
+  (* Owner arrives constantly; the non-owner's Δ wait should be cut by
+     echoes nearly every time. *)
+  let machine = Machine.create (tbtso_cfg 4) in
+  let l = Ffbl.create machine ~bound:(Bound.Delta delta) ~echo:true in
+  ignore
+    (Machine.spawn machine (fun () ->
+         while not (Sim.stopping ()) do
+           Ffbl.owner_lock l;
+           Sim.work 10;
+           Ffbl.owner_unlock l;
+           Sim.work 20
+         done));
+  let nonowner_done = ref false in
+  ignore
+    (Machine.spawn machine (fun () ->
+         for _ = 1 to 20 do
+           Ffbl.nonowner_lock l;
+           Sim.work 10;
+           Ffbl.nonowner_unlock l;
+           Sim.work 100
+         done;
+         nonowner_done := true));
+  ignore (Machine.run ~stop_when:(fun _ -> !nonowner_done) machine);
+  Machine.request_stop machine;
+  ignore (Machine.run ~max_ticks:10_000_000 machine);
+  Machine.kill_remaining machine;
+  check_bool "echoes cut most waits" true (Ffbl.nonowner_echo_cuts l >= 15)
+
+let test_ffbl_full_wait_without_echo () =
+  (* No echo and an idle owner: the non-owner pays the full Δ wait. *)
+  let machine = Machine.create (tbtso_cfg 5) in
+  let l = Ffbl.create machine ~bound:(Bound.Delta delta) ~echo:false in
+  let latency = ref 0 in
+  ignore
+    (Machine.spawn machine (fun () ->
+         let t0 = Sim.clock () in
+         Ffbl.nonowner_lock l;
+         latency := Sim.clock () - t0;
+         Ffbl.nonowner_unlock l));
+  ignore (Machine.run machine);
+  check_bool "waited about delta" true (!latency >= delta && !latency < 3 * delta);
+  check_int "full wait counted" 1 (Ffbl.nonowner_full_waits l)
+
+let test_ffbl_bounded_latency_despite_owner_stall () =
+  (* THE paper claim (Figure 8, last pattern): the owner stalls outside
+     the critical section; FFBL admits the non-owner within ~Δ while the
+     safe-point lock blocks it for the whole stall. *)
+  let stall = 40 * delta in
+  let nonowner_latency make_ops =
+    let machine = Machine.create (tbtso_cfg 6) in
+    let enter = make_ops machine in
+    ignore
+      (Machine.spawn machine (fun () ->
+           (* Owner: one acquisition, then a long stall outside the CS. *)
+           let olock, ounlock = enter `Owner in
+           olock ();
+           Sim.work 10;
+           ounlock ();
+           Sim.stall_for stall));
+    let latency = ref (-1) in
+    ignore
+      (Machine.spawn machine (fun () ->
+           Sim.work 500;
+           let nlock, nunlock = enter `Nonowner in
+           let t0 = Sim.clock () in
+           nlock ();
+           latency := Sim.clock () - t0;
+           nunlock ()));
+    ignore (Machine.run ~max_ticks:(100 * delta) machine);
+    Machine.kill_remaining machine;
+    !latency
+  in
+  let ffbl_latency =
+    nonowner_latency (fun m ->
+        let l = Ffbl.create m ~bound:(Bound.Delta delta) ~echo:true in
+        function
+        | `Owner -> ((fun () -> Ffbl.owner_lock l), fun () -> Ffbl.owner_unlock l)
+        | `Nonowner -> ((fun () -> Ffbl.nonowner_lock l), fun () -> Ffbl.nonowner_unlock l))
+  in
+  let sp_latency =
+    nonowner_latency (fun m ->
+        let l = Safepoint_lock.create m in
+        function
+        | `Owner ->
+            ((fun () -> Safepoint_lock.owner_lock l), fun () -> Safepoint_lock.owner_unlock l)
+        | `Nonowner ->
+            ( (fun () -> Safepoint_lock.nonowner_lock l),
+              fun () -> Safepoint_lock.nonowner_unlock l ))
+  in
+  check_bool "FFBL latency ~ delta" true (ffbl_latency >= 0 && ffbl_latency <= 3 * delta);
+  check_bool "safe-point lock blocked for the stall" true
+    (sp_latency < 0 || sp_latency >= stall / 2);
+  check_bool "FFBL much faster than safe-point under stall" true
+    (sp_latency < 0 || ffbl_latency * 5 < sp_latency)
+
+let ffbl_tso_scenario cfg ~bound_delta =
+  (* Owner fast-acquires while its flag store sits in the store buffer;
+     the non-owner raises, fences, waits out Δ, reads the owner flag from
+     memory as lowered, and enters. Sound iff the machine actually
+     enforces a drain bound no larger than [bound_delta]. *)
+  let machine = Machine.create cfg in
+  let l = Ffbl.create machine ~bound:(Bound.Delta bound_delta) ~echo:false in
+  let cs = make_cs machine in
+  ignore
+    (Machine.spawn machine (fun () ->
+         Ffbl.owner_lock l;
+         cs_body ~hold:(6 * bound_delta) cs;
+         Ffbl.owner_unlock l));
+  ignore
+    (Machine.spawn machine (fun () ->
+         Sim.work 200;
+         Ffbl.nonowner_lock l;
+         cs_body cs;
+         Ffbl.nonowner_unlock l));
+  ignore (Machine.run ~max_ticks:(100 * bound_delta) machine);
+  Machine.kill_remaining machine;
+  cs.overlaps
+
+let test_ffbl_unsound_on_plain_tso () =
+  let cfg = Config.(with_drain Drain_adversarial (with_consistency Tso default)) in
+  check_bool "mutual exclusion violated under unbounded TSO" true
+    (ffbl_tso_scenario cfg ~bound_delta:500 > 0)
+
+let test_ffbl_same_scenario_safe_under_tbtso () =
+  let cfg =
+    Config.(with_drain Drain_adversarial (with_consistency (Tbtso 500) default))
+  in
+  check_int "no overlap under TBTSO" 0 (ffbl_tso_scenario cfg ~bound_delta:500)
+
+let () =
+  Alcotest.run "locks"
+    [
+      ( "spin",
+        [
+          Alcotest.test_case "ticket mutual exclusion" `Quick test_ticket_mutual_exclusion;
+          Alcotest.test_case "tas mutual exclusion" `Quick test_tas_mutual_exclusion;
+          Alcotest.test_case "tas trylock" `Quick test_tas_trylock;
+        ] );
+      ( "mutual-exclusion",
+        [
+          Alcotest.test_case "biased basic" `Quick test_biased_basic_mutual_exclusion;
+          Alcotest.test_case "ffbl" `Quick test_ffbl_mutual_exclusion;
+          Alcotest.test_case "ffbl no-echo" `Quick test_ffbl_mutual_exclusion_no_echo;
+          Alcotest.test_case "safe-point" `Quick test_safepoint_mutual_exclusion;
+        ] );
+      ( "fence-accounting",
+        [
+          Alcotest.test_case "FFBL owner fence-free" `Quick test_ffbl_owner_fence_free;
+          Alcotest.test_case "basic owner pays fence" `Quick test_biased_basic_owner_pays_fence;
+        ] );
+      ( "echo",
+        [
+          Alcotest.test_case "echo cuts waits" `Quick test_ffbl_echo_cuts_wait;
+          Alcotest.test_case "full wait without echo" `Quick test_ffbl_full_wait_without_echo;
+        ] );
+      ( "availability",
+        [
+          Alcotest.test_case "bounded latency under owner stall" `Quick
+            test_ffbl_bounded_latency_despite_owner_stall;
+        ] );
+      ( "negative",
+        [
+          Alcotest.test_case "FFBL unsound on plain TSO" `Quick test_ffbl_unsound_on_plain_tso;
+          Alcotest.test_case "same scenario safe under TBTSO" `Quick
+            test_ffbl_same_scenario_safe_under_tbtso;
+        ] );
+    ]

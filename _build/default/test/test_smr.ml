@@ -1,0 +1,501 @@
+(* Reclamation-scheme tests: fence elimination, wait-freedom, the Δ
+   safety argument (positive and negative), RCU/DTA/StackTrack behaviour,
+   and the use-after-free oracle. *)
+
+open Tsim
+open Tbtso_core
+open Tbtso_structures
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tbtso_adversarial delta =
+  Config.(with_drain Drain_adversarial (with_consistency (Tbtso delta) default))
+
+let tso_adversarial = Config.(with_drain Drain_adversarial (with_consistency Tso default))
+
+(* ------------------------------------------------------------------ *)
+(* Fence accounting: the headline micro-claim. FFHP readers execute    *)
+(* ZERO fences; HP readers fence once per protected node.              *)
+(* ------------------------------------------------------------------ *)
+
+let run_lookups machine list_ops =
+  ignore
+    (Machine.spawn machine (fun () ->
+         for k = 0 to 49 do
+           ignore (list_ops k)
+         done));
+  ignore (Machine.run machine)
+
+let test_ffhp_readers_fence_free () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:8192 in
+  let dom = Hazard.create_domain machine ~nthreads:1 ~r_max:32 ~free:(Heap.free heap) () in
+  let h = Ffhp.handle dom ~bound:(Bound.Delta 1000) ~tid:0 in
+  let module L = Michael_list.Make (Ffhp.Policy) in
+  let list = L.create machine heap in
+  run_lookups machine (fun k ->
+      if k < 25 then L.insert list h k else L.lookup list h (k - 25));
+  let s = Machine.stats machine 0 in
+  check_int "FFHP executes zero fences" 0 s.fences
+
+let test_hp_readers_pay_fences () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:8192 in
+  let dom = Hazard.create_domain machine ~nthreads:1 ~r_max:32 ~free:(Heap.free heap) () in
+  let h = Hp.handle dom ~tid:0 in
+  let module L = Michael_list.Make (Hp.Policy) in
+  let list = L.create machine heap in
+  run_lookups machine (fun k ->
+      if k < 25 then L.insert list h k else L.lookup list h (k - 25));
+  let s = Machine.stats machine 0 in
+  check_bool "HP fences scale with traversal" true (s.fences > 50)
+
+(* ------------------------------------------------------------------ *)
+(* The Δ safety argument, hand-crafted (Section 4.2):                  *)
+(* a reader protects a node with an UNFENCED hazard write and sleeps;  *)
+(* a reclaimer removes the node, waits out Δ, and reclaims.            *)
+(* Under TBTSO[Δ] the hazard write is visible by then -> safe.         *)
+(* Under unbounded TSO the write can stay buffered forever -> UAF.     *)
+(* ------------------------------------------------------------------ *)
+
+let delta_scenario cfg ~bound_delta =
+  let machine = Machine.create cfg in
+  let heap = Heap.create machine ~words:4096 in
+  let dom = Hazard.create_domain machine ~nthreads:2 ~r_max:7 ~free:(Heap.free heap) () in
+  let head = Machine.alloc_global machine 8 in
+  let node = Heap.alloc heap 2 in
+  Memory.write (Machine.memory machine) ~tid:(-1) ~at:0 head node;
+  let reader = Ffhp.handle dom ~bound:(Bound.Delta bound_delta) ~tid:0 in
+  let reclaimer = Ffhp.handle dom ~bound:(Bound.Delta bound_delta) ~tid:1 in
+  let reader_value = ref (-1) in
+  ignore
+    (Machine.spawn machine (fun () ->
+         let ptr = Sim.load head in
+         (* FFHP protect: plain store, no fence. *)
+         Ffhp.Policy.protect reader ~slot:0 ~ptr;
+         (* Validate: the node is still in the structure. *)
+         if Ffhp.Policy.validate reader ~src:head ~expected:ptr then begin
+           (* Get delayed (e.g. descheduled) before touching the node. *)
+           Sim.stall_until (4 * bound_delta);
+           reader_value := Sim.load ptr
+         end));
+  ignore
+    (Machine.spawn machine (fun () ->
+         Sim.work 200;
+         (* Remove the node; the atomic makes the removal visible. *)
+         ignore (Sim.xchg head 0);
+         Ffhp.Policy.retire reclaimer node;
+         (* Push rcount to R with dummies so the reclaim loop runs. *)
+         for _ = 1 to 6 do
+           let d = Heap.alloc heap 2 in
+           Ffhp.Policy.retire reclaimer d
+         done));
+  Machine.run machine
+
+let test_ffhp_safe_under_tbtso () =
+  let delta = 1000 in
+  (match delta_scenario (tbtso_adversarial delta) ~bound_delta:delta with
+  | Machine.All_finished -> ()
+  | _ -> Alcotest.fail "run did not finish");
+  ()
+
+let test_ffhp_unsafe_under_plain_tso () =
+  (* Same code, same Δ belief — but the machine does not enforce the
+     bound: the hazard write stays buffered, the scan misses it, the
+     node is freed under the reader. *)
+  let delta = 1000 in
+  check_bool "UAF detected" true
+    (try
+       ignore (delta_scenario tso_adversarial ~bound_delta:delta);
+       false
+     with Memory.Use_after_free { addr = _; _ } -> true)
+
+let test_ffhp_unsafe_with_underestimated_delta () =
+  (* TBTSO[Δ] hardware but the algorithm configured with Δ/10: the
+     reclaimer trusts visibility too early. *)
+  let delta = 2000 in
+  check_bool "UAF detected" true
+    (try
+       ignore (delta_scenario (tbtso_adversarial delta) ~bound_delta:(delta / 10));
+       false
+     with Memory.Use_after_free _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* FFHP wait-freedom and accounting                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_ffhp_reclaim_bounded_rounds () =
+  let delta = 500 in
+  let machine = Machine.create (tbtso_adversarial delta) in
+  let heap = Heap.create machine ~words:(1 lsl 15) in
+  let dom = Hazard.create_domain machine ~nthreads:1 ~r_max:16 ~free:(Heap.free heap) () in
+  let h = Ffhp.handle dom ~bound:(Bound.Delta delta) ~tid:0 in
+  ignore
+    (Machine.spawn machine (fun () ->
+         (* Retire 200 unlinked nodes; every R-th retire reclaims. *)
+         for _ = 1 to 200 do
+           let n = Heap.alloc heap 2 in
+           Ffhp.Policy.retire h n;
+           Sim.work 5
+         done));
+  ignore (Machine.run machine);
+  check_bool "retired bounded by R" true (Ffhp.retired_pending h < 16 + 1);
+  check_bool "reclaimed most" true (Ffhp.reclaimed h >= 184);
+  check_bool "wait-free: rounds bounded" true (Ffhp.max_reclaim_rounds h <= delta / 50 + 2);
+  check_bool "some reclaims freed nothing (waited on Δ)" true (Ffhp.empty_reclaims h >= 0)
+
+let test_hp_reclaim_keeps_protected () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:4096 in
+  let dom = Hazard.create_domain machine ~nthreads:1 ~r_max:8 ~free:(Heap.free heap) () in
+  let h = Hp.handle dom ~tid:0 in
+  let protected_node = ref 0 in
+  ignore
+    (Machine.spawn machine (fun () ->
+         let p = Heap.alloc heap 2 in
+         protected_node := p;
+         Hp.Policy.protect h ~slot:0 ~ptr:p;
+         Hp.Policy.retire h p;
+         for _ = 1 to 9 do
+           Hp.Policy.retire h (Heap.alloc heap 2)
+         done));
+  ignore (Machine.run machine);
+  (* The protected node must have survived every reclaim. *)
+  check_bool "protected node survives" false (Memory.is_poisoned (Machine.memory machine) !protected_node);
+  (* r_max=8: the reclaim at the 8th retire frees the 7 unprotected
+     retirees; the last 2 retires stay below R. *)
+  check_bool "others freed" true (Hp.reclaimed h >= 7)
+
+(* ------------------------------------------------------------------ *)
+(* The x86-adapted bound (Section 6.2): per-core time array            *)
+(* ------------------------------------------------------------------ *)
+
+let test_ffhp_with_core_array_bound () =
+  (* Plain TSO with adversarial drains — unsafe for Delta bounds — but
+     periodic timer interrupts flush buffers and stamp the core-time
+     array, making the Core_array bound sound. *)
+  let period = 2000 in
+  let cfg = { tso_adversarial with Config.interrupt_period = Some period } in
+  let machine = Machine.create cfg in
+  let heap = Heap.create machine ~words:(1 lsl 14) in
+  let nthreads = 3 in
+  let a_base = Machine.alloc_global machine (nthreads * 8) in
+  Machine.set_interrupt_hook machine (fun ~tid ~now ->
+      if tid < nthreads then
+        Memory.write (Machine.memory machine) ~tid:(-1) ~at:now (a_base + (tid * 8)) now);
+  let bound = Bound.Core_array { base = a_base; ncores = nthreads; stride = 8 } in
+  let dom =
+    Hazard.create_domain machine ~nthreads ~r_max:24 ~free:(Heap.free heap) ()
+  in
+  let handles = Array.init nthreads (fun tid -> Ffhp.handle dom ~bound ~tid) in
+  let module L = Michael_list.Make (Ffhp.Policy) in
+  let list = L.create machine heap in
+  for i = 0 to nthreads - 1 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           let rng = Rng.create (Int64.of_int (50 + i)) in
+           for _ = 1 to 150 do
+             let k = Rng.int rng 20 in
+             match Rng.int rng 3 with
+             | 0 -> ignore (L.insert list handles.(i) k)
+             | 1 -> ignore (L.delete list handles.(i) k)
+             | _ -> ignore (L.lookup list handles.(i) k)
+           done))
+  done;
+  (match Machine.run machine with
+  | Machine.All_finished -> ()
+  | _ -> Alcotest.fail "did not finish");
+  Machine.drain_all machine;
+  let keys = Inspect.list_keys (Machine.memory machine) ~head:(L.head list) in
+  check_bool "list intact" true (Inspect.sorted_and_unique keys)
+
+let test_ffhp_on_operational_hardware () =
+  (* FFHP running on the Section 6.1 mechanism rather than the axiomatic
+     model: safe with Bound.Delta (tau + quiesce + slack). *)
+  let tau = 1_000 and quiesce = 300 in
+  let cfg =
+    Config.(
+      with_jitter 0.2
+        (with_drain Drain_adversarial
+           (with_consistency (Tbtso_hw { tau; quiesce }) default)))
+  in
+  let machine = Machine.create cfg in
+  let heap = Heap.create machine ~words:(1 lsl 14) in
+  let nthreads = 3 in
+  let dom = Hazard.create_domain machine ~nthreads ~r_max:24 ~free:(Heap.free heap) () in
+  let bound = Bound.Delta (tau + quiesce + 2) in
+  let handles = Array.init nthreads (fun tid -> Ffhp.handle dom ~bound ~tid) in
+  let module L = Michael_list.Make (Ffhp.Policy) in
+  let list = L.create machine heap in
+  for i = 0 to nthreads - 1 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           let rng = Rng.create (Int64.of_int (90 + i)) in
+           for _ = 1 to 150 do
+             let k = Rng.int rng 16 in
+             match Rng.int rng 3 with
+             | 0 -> ignore (L.insert list handles.(i) k)
+             | 1 -> ignore (L.delete list handles.(i) k)
+             | _ -> ignore (L.lookup list handles.(i) k)
+           done))
+  done;
+  (match Machine.run machine with
+  | Machine.All_finished -> ()
+  | _ -> Alcotest.fail "did not finish");
+  Machine.drain_all machine;
+  check_bool "list intact" true
+    (Inspect.sorted_and_unique
+       (Inspect.list_keys (Machine.memory machine) ~head:(L.head list)));
+  check_bool "mechanism engaged" true (Machine.quiescence_events machine >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* RCU                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rcu_reclaims () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:(1 lsl 14) in
+  let dom = Rcu.create_domain machine ~nthreads:2 ~free:(Heap.free heap) in
+  let handles = Array.init 2 (fun tid -> Rcu.handle dom ~tid) in
+  let module L = Michael_list.Make (Rcu.Policy) in
+  let list = L.create machine heap in
+  for i = 0 to 1 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           let rng = Rng.create (Int64.of_int (77 + i)) in
+           (* Keep the active phase time-based so several reclaim periods
+              elapse regardless of per-op cost calibration. *)
+           while Sim.clock () < 300_000 do
+             let k = Rng.int rng 16 in
+             (match Rng.int rng 3 with
+             | 0 -> ignore (L.insert list handles.(i) k)
+             | 1 -> ignore (L.delete list handles.(i) k)
+             | _ -> ignore (L.lookup list handles.(i) k));
+             Rcu.Policy.quiescent handles.(i)
+           done;
+           Sim.stall_for 100_000;
+           Rcu.Policy.quiescent handles.(i)))
+  done;
+  Rcu.spawn_reclaimer machine dom ~period:5_000;
+  let stop_when m = Machine.now m > 500_000 in
+  ignore (Machine.run ~stop_when machine);
+  Machine.request_stop machine;
+  ignore (Machine.run ~max_ticks:2_000_000 machine);
+  Machine.kill_remaining machine;
+  check_bool "grace periods advanced" true (Rcu.grace_periods dom > 3);
+  check_bool "most deferred objects freed" true (Rcu.deferred dom < 32)
+
+let test_rcu_stalled_reader_blocks_reclamation () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:(1 lsl 14) in
+  let dom = Rcu.create_domain machine ~nthreads:2 ~free:(Heap.free heap) in
+  let updater = Rcu.handle dom ~tid:0 in
+  let module L = Michael_list.Make (Rcu.Policy) in
+  let list = L.create machine heap in
+  (* Thread 0: updater churning nodes, announcing quiescent states. *)
+  ignore
+    (Machine.spawn machine (fun () ->
+         for round = 1 to 100 do
+           ignore (L.insert list updater (round mod 8));
+           ignore (L.delete list updater (round mod 8));
+           Rcu.Policy.quiescent updater
+         done));
+  (* Thread 1: reader stalled INSIDE an operation (never announces). *)
+  ignore (Machine.spawn machine (fun () -> Sim.stall_for 10_000_000));
+  Rcu.spawn_reclaimer machine dom ~period:2_000;
+  ignore (Machine.run ~stop_when:(fun m -> Machine.now m > 2_000_000) machine);
+  let blocked = Rcu.deferred dom in
+  check_bool "reclamation blocked by stalled reader" true (blocked > 50);
+  Machine.request_stop machine;
+  ignore (Machine.run ~max_ticks:30_000_000 machine);
+  Machine.kill_remaining machine
+
+(* ------------------------------------------------------------------ *)
+(* DTA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_dta_fast_path_costs () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:8192 in
+  let dom = Dta.create_domain machine ~nthreads:1 ~batch:1 ~free:(Heap.free heap) in
+  let h = Dta.handle dom ~tid:0 in
+  let module L = Michael_list.Make (Dta.Policy) in
+  let list = L.create machine heap in
+  ignore
+    (Machine.spawn machine (fun () ->
+         for k = 0 to 19 do
+           ignore (L.insert list h k)
+         done;
+         for k = 0 to 19 do
+           ignore (L.lookup list h k)
+         done));
+  ignore (Machine.run machine);
+  let s = Machine.stats machine 0 in
+  (* Every operation pays a fence and an anchor CAS on top of the
+     structural RMWs. *)
+  check_bool "fences >= ops" true (s.fences >= 40);
+  check_bool "rmws >= ops (anchor CAS)" true (s.rmws >= 40)
+
+let test_dta_reclaims_and_stays_safe () =
+  let cfg = Config.with_jitter 0.2 Config.default in
+  let machine = Machine.create cfg in
+  let heap = Heap.create machine ~words:(1 lsl 14) in
+  let nthreads = 3 in
+  let dom = Dta.create_domain machine ~nthreads ~batch:1 ~free:(Heap.free heap) in
+  let handles = Array.init nthreads (fun tid -> Dta.handle dom ~tid) in
+  let module L = Michael_list.Make (Dta.Policy) in
+  let list = L.create machine heap in
+  for i = 0 to nthreads - 1 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           let rng = Rng.create (Int64.of_int (31 + i)) in
+           for _ = 1 to 200 do
+             let k = Rng.int rng 16 in
+             match Rng.int rng 3 with
+             | 0 -> ignore (L.insert list handles.(i) k)
+             | 1 -> ignore (L.delete list handles.(i) k)
+             | _ -> ignore (L.lookup list handles.(i) k)
+           done))
+  done;
+  ignore (Machine.run machine);
+  check_bool "deferred drained" true (Dta.deferred dom < 16)
+
+(* ------------------------------------------------------------------ *)
+(* StackTrack                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_stacktrack_splits_long_operations () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:(1 lsl 14) in
+  let dom = Stacktrack.create_domain machine ~nthreads:1 ~capacity:16 ~free:(Heap.free heap) in
+  let h = Stacktrack.handle dom ~tid:0 in
+  let module L = Michael_list.Make (Stacktrack.Policy) in
+  let list = L.create machine heap in
+  ignore
+    (Machine.spawn machine (fun () ->
+         for k = 0 to 63 do
+           ignore (L.insert list h k)
+         done;
+         (* Long traversals: looking up high keys walks 64 nodes with a
+            16-read capacity -> forced splits. *)
+         for k = 56 to 63 do
+           ignore (L.lookup list h k)
+         done));
+  ignore (Machine.run machine);
+  check_bool "capacity splits occurred" true (Stacktrack.splits h > 8);
+  check_bool "transactions committed" true (Stacktrack.commits h > 70)
+
+let test_stacktrack_concurrent_safe () =
+  let cfg = Config.with_jitter 0.25 Config.default in
+  let machine = Machine.create cfg in
+  let heap = Heap.create machine ~words:(1 lsl 14) in
+  let nthreads = 3 in
+  let dom =
+    Stacktrack.create_domain machine ~nthreads ~capacity:12 ~free:(Heap.free heap)
+  in
+  let handles = Array.init nthreads (fun tid -> Stacktrack.handle dom ~tid) in
+  let module L = Michael_list.Make (Stacktrack.Policy) in
+  let list = L.create machine heap in
+  for i = 0 to nthreads - 1 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           let rng = Rng.create (Int64.of_int (13 + i)) in
+           for _ = 1 to 200 do
+             let k = Rng.int rng 24 in
+             match Rng.int rng 3 with
+             | 0 -> ignore (L.insert list handles.(i) k)
+             | 1 -> ignore (L.delete list handles.(i) k)
+             | _ -> ignore (L.lookup list handles.(i) k)
+           done))
+  done;
+  ignore (Machine.run machine);
+  Machine.drain_all machine;
+  let keys = Inspect.list_keys (Machine.memory machine) ~head:(L.head list) in
+  check_bool "list intact" true (Inspect.sorted_and_unique keys);
+  check_bool "deferred bounded" true (Stacktrack.deferred dom < 64)
+
+(* ------------------------------------------------------------------ *)
+(* Unsafe immediate free: the problem SMR solves                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_unsafe_free_triggers_uaf () =
+  (* A reader traverses while a deleter frees immediately: across a few
+     seeds the use-after-free oracle must fire at least once. *)
+  let fired = ref false in
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  List.iter
+    (fun seed ->
+      if not !fired then begin
+        let cfg = Config.(with_jitter 0.3 (with_seed (Int64.of_int seed) default)) in
+        let machine = Machine.create cfg in
+        let heap = Heap.create machine ~words:(1 lsl 14) in
+        let h = Naive.Unsafe_free.handle ~free:(Heap.free heap) in
+        let module L = Michael_list.Make (Naive.Unsafe_free.Policy) in
+        let list = L.create machine heap in
+        ignore
+          (Machine.spawn machine (fun () ->
+               for round = 0 to 60 do
+                 for k = 0 to 15 do
+                   ignore (L.insert list h ((round * 16) + k mod 16))
+                 done;
+                 for k = 0 to 15 do
+                   ignore (L.delete list h ((round * 16) + k mod 16))
+                 done
+               done));
+        ignore
+          (Machine.spawn machine (fun () ->
+               for _ = 0 to 2000 do
+                 ignore (L.lookup list h 7)
+               done));
+        try ignore (Machine.run machine) with
+        | Memory.Use_after_free _ -> fired := true
+        | Machine.Thread_failure _ -> fired := true
+        | Heap.Double_free _ -> fired := true
+      end)
+    seeds;
+  check_bool "immediate free is unsafe under concurrency" true !fired
+
+let () =
+  Alcotest.run "smr"
+    [
+      ( "fence-accounting",
+        [
+          Alcotest.test_case "FFHP readers fence-free" `Quick test_ffhp_readers_fence_free;
+          Alcotest.test_case "HP readers pay fences" `Quick test_hp_readers_pay_fences;
+        ] );
+      ( "delta-safety",
+        [
+          Alcotest.test_case "safe under TBTSO" `Quick test_ffhp_safe_under_tbtso;
+          Alcotest.test_case "unsafe under plain TSO" `Quick test_ffhp_unsafe_under_plain_tso;
+          Alcotest.test_case "unsafe with underestimated delta" `Quick
+            test_ffhp_unsafe_with_underestimated_delta;
+        ] );
+      ( "ffhp",
+        [
+          Alcotest.test_case "reclaim bounded rounds" `Quick test_ffhp_reclaim_bounded_rounds;
+          Alcotest.test_case "core-array bound (x86 adaptation)" `Quick
+            test_ffhp_with_core_array_bound;
+          Alcotest.test_case "operational hardware (Sec 6.1 mechanism)" `Quick
+            test_ffhp_on_operational_hardware;
+        ] );
+      ("hp", [ Alcotest.test_case "keeps protected nodes" `Quick test_hp_reclaim_keeps_protected ]);
+      ( "rcu",
+        [
+          Alcotest.test_case "reclaims via grace periods" `Quick test_rcu_reclaims;
+          Alcotest.test_case "stalled reader blocks reclamation" `Quick
+            test_rcu_stalled_reader_blocks_reclamation;
+        ] );
+      ( "dta",
+        [
+          Alcotest.test_case "fast path pays fence+CAS" `Quick test_dta_fast_path_costs;
+          Alcotest.test_case "reclaims safely" `Quick test_dta_reclaims_and_stays_safe;
+        ] );
+      ( "stacktrack",
+        [
+          Alcotest.test_case "splits long operations" `Quick test_stacktrack_splits_long_operations;
+          Alcotest.test_case "concurrent safety" `Quick test_stacktrack_concurrent_safe;
+        ] );
+      ( "unsafe-baseline",
+        [ Alcotest.test_case "immediate free UAFs" `Quick test_unsafe_free_triggers_uaf ] );
+    ]

@@ -1,0 +1,496 @@
+(* Treiber stack and Michael-Scott queue under the SMR policies:
+   sequential semantics, concurrent no-loss/no-duplication, fence
+   accounting, ABA safety, and the use-after-free oracle. *)
+
+open Tsim
+open Tbtso_core
+open Tbtso_structures
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+module IntSet = Set.Make (Int)
+
+let make_ffhp machine heap ~nthreads =
+  let dom =
+    Hazard.create_domain machine ~nthreads ~r_max:(max 32 ((nthreads * 3) + 8))
+      ~free:(Heap.free heap) ()
+  in
+  Array.init nthreads (fun tid -> Ffhp.handle dom ~bound:(Bound.Delta (Config.us 500)) ~tid)
+
+let make_hp machine heap ~nthreads =
+  let dom =
+    Hazard.create_domain machine ~nthreads ~r_max:(max 32 ((nthreads * 3) + 8))
+      ~free:(Heap.free heap) ()
+  in
+  Array.init nthreads (fun tid -> Hp.handle dom ~tid)
+
+(* ------------------------------------------------------------------ *)
+(* Treiber stack                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Stack_ffhp = Treiber_stack.Make (Ffhp.Policy)
+module Stack_hp = Treiber_stack.Make (Hp.Policy)
+module Stack_ebr = Treiber_stack.Make (Ebr.Policy)
+
+let test_stack_sequential () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:8192 in
+  let handles = make_ffhp machine heap ~nthreads:1 in
+  let s = Stack_ffhp.create machine heap in
+  ignore
+    (Machine.spawn machine (fun () ->
+         assert (Stack_ffhp.pop s handles.(0) = None);
+         for v = 1 to 50 do
+           Stack_ffhp.push s handles.(0) v
+         done;
+         assert (Stack_ffhp.peek s handles.(0) = Some 50);
+         for v = 50 downto 1 do
+           assert (Stack_ffhp.pop s handles.(0) = Some v)
+         done;
+         assert (Stack_ffhp.pop s handles.(0) = None)));
+  (match Machine.run machine with
+  | Machine.All_finished -> ()
+  | _ -> Alcotest.fail "did not finish");
+  ()
+
+let test_stack_concurrent_no_loss () =
+  (* Unique values: every pushed value is popped exactly once or remains
+     on the stack. *)
+  for seed = 1 to 6 do
+    let cfg = Config.(with_jitter 0.3 (with_seed (Int64.of_int seed) default)) in
+    let machine = Machine.create cfg in
+    let heap = Heap.create machine ~words:(1 lsl 14) in
+    let nthreads = 4 in
+    let handles = make_ffhp machine heap ~nthreads in
+    let s = Stack_ffhp.create machine heap in
+    let popped = Array.make nthreads [] in
+    for i = 0 to nthreads - 1 do
+      ignore
+        (Machine.spawn machine (fun () ->
+             for round = 1 to 60 do
+               Stack_ffhp.push s handles.(i) ((i * 1000) + round);
+               if round mod 2 = 0 then
+                 match Stack_ffhp.pop s handles.(i) with
+                 | Some v -> popped.(i) <- v :: popped.(i)
+                 | None -> ()
+             done))
+    done;
+    ignore (Machine.run machine);
+    Machine.drain_all machine;
+    (* Remaining stack contents. *)
+    let mem = Machine.memory machine in
+    let rec walk node acc =
+      if node = 0 then acc else walk (Memory.read mem (node + 1)) (Memory.read mem node :: acc)
+    in
+    let remaining = walk (Memory.read mem (Stack_ffhp.head s)) [] in
+    let all_popped = Array.to_list popped |> List.concat in
+    let seen = all_popped @ remaining in
+    check_int "nothing lost, nothing duplicated" (nthreads * 60) (List.length seen);
+    check_int "all distinct" (nthreads * 60) (IntSet.cardinal (IntSet.of_list seen))
+  done
+
+let test_stack_ffhp_fence_free () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:8192 in
+  let handles = make_ffhp machine heap ~nthreads:1 in
+  let s = Stack_ffhp.create machine heap in
+  ignore
+    (Machine.spawn machine (fun () ->
+         for v = 1 to 40 do
+           Stack_ffhp.push s handles.(0) v
+         done;
+         for _ = 1 to 40 do
+           ignore (Stack_ffhp.pop s handles.(0))
+         done));
+  ignore (Machine.run machine);
+  check_int "zero fences" 0 (Machine.stats machine 0).fences
+
+let test_stack_hp_pays_fences () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:8192 in
+  let handles = make_hp machine heap ~nthreads:1 in
+  let s = Stack_hp.create machine heap in
+  ignore
+    (Machine.spawn machine (fun () ->
+         for v = 1 to 40 do
+           Stack_hp.push s handles.(0) v
+         done;
+         for _ = 1 to 40 do
+           ignore (Stack_hp.pop s handles.(0))
+         done));
+  ignore (Machine.run machine);
+  check_bool "one fence per protected pop" true ((Machine.stats machine 0).fences >= 40)
+
+let test_stack_reclaims () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:8192 in
+  let handles = make_ffhp machine heap ~nthreads:1 in
+  let s = Stack_ffhp.create machine heap in
+  ignore
+    (Machine.spawn machine (fun () ->
+         for round = 1 to 200 do
+           Stack_ffhp.push s handles.(0) round;
+           ignore (Stack_ffhp.pop s handles.(0))
+         done;
+         (* Let the Δ horizon pass, then force a reclaim cycle. *)
+         Sim.stall_for (Config.us 600);
+         for round = 1 to 40 do
+           Stack_ffhp.push s handles.(0) round;
+           ignore (Stack_ffhp.pop s handles.(0))
+         done));
+  ignore (Machine.run machine);
+  check_bool "nodes were reclaimed" true (Heap.frees heap > 150)
+
+let test_stack_ebr () =
+  let cfg = Config.with_jitter 0.2 Config.default in
+  let machine = Machine.create cfg in
+  let heap = Heap.create machine ~words:(1 lsl 14) in
+  let nthreads = 3 in
+  let dom = Ebr.create_domain machine ~nthreads ~batch:8 ~free:(Heap.free heap) in
+  let handles = Array.init nthreads (fun tid -> Ebr.handle dom ~tid) in
+  let s = Stack_ebr.create machine heap in
+  for i = 0 to nthreads - 1 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           for round = 1 to 100 do
+             Stack_ebr.push s handles.(i) round;
+             ignore (Stack_ebr.pop s handles.(i))
+           done))
+  done;
+  (match Machine.run machine with
+  | Machine.All_finished -> ()
+  | _ -> Alcotest.fail "did not finish");
+  check_bool "EBR reclaimed" true (Heap.frees heap > 100)
+
+(* ------------------------------------------------------------------ *)
+(* Michael-Scott queue                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Queue_ffhp = Ms_queue.Make (Ffhp.Policy)
+module Queue_hp = Ms_queue.Make (Hp.Policy)
+
+let test_queue_sequential_fifo () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:8192 in
+  let handles = make_ffhp machine heap ~nthreads:1 in
+  let q = Queue_ffhp.create machine heap in
+  ignore
+    (Machine.spawn machine (fun () ->
+         assert (Queue_ffhp.dequeue q handles.(0) = None);
+         for v = 1 to 50 do
+           Queue_ffhp.enqueue q handles.(0) v
+         done;
+         for v = 1 to 50 do
+           assert (Queue_ffhp.dequeue q handles.(0) = Some v)
+         done;
+         assert (Queue_ffhp.dequeue q handles.(0) = None);
+         (* Interleaved: stays FIFO. *)
+         Queue_ffhp.enqueue q handles.(0) 100;
+         Queue_ffhp.enqueue q handles.(0) 101;
+         assert (Queue_ffhp.dequeue q handles.(0) = Some 100);
+         Queue_ffhp.enqueue q handles.(0) 102;
+         assert (Queue_ffhp.dequeue q handles.(0) = Some 101);
+         assert (Queue_ffhp.dequeue q handles.(0) = Some 102)));
+  (match Machine.run machine with
+  | Machine.All_finished -> ()
+  | _ -> Alcotest.fail "did not finish");
+  ()
+
+let test_queue_concurrent_no_loss () =
+  for seed = 1 to 6 do
+    let cfg = Config.(with_jitter 0.3 (with_seed (Int64.of_int seed) default)) in
+    let machine = Machine.create cfg in
+    let heap = Heap.create machine ~words:(1 lsl 14) in
+    let nthreads = 4 in
+    let handles = make_ffhp machine heap ~nthreads in
+    let q = Queue_ffhp.create machine heap in
+    let dequeued = Array.make nthreads [] in
+    for i = 0 to nthreads - 1 do
+      ignore
+        (Machine.spawn machine (fun () ->
+             for round = 1 to 60 do
+               Queue_ffhp.enqueue q handles.(i) ((i * 1000) + round);
+               if round mod 2 = 0 then
+                 match Queue_ffhp.dequeue q handles.(i) with
+                 | Some v -> dequeued.(i) <- v :: dequeued.(i)
+                 | None -> ()
+             done))
+    done;
+    ignore (Machine.run machine);
+    Machine.drain_all machine;
+    let mem = Machine.memory machine in
+    (* Remaining queue contents: walk from the dummy's successor. *)
+    let rec walk node acc =
+      if node = 0 then acc else walk (Memory.read mem (node + 1)) (Memory.read mem node :: acc)
+    in
+    let dummy = Memory.read mem (Queue_ffhp.head_cell q) in
+    let remaining = walk (Memory.read mem (dummy + 1)) [] in
+    let all = List.concat (Array.to_list dequeued) @ remaining in
+    check_int "nothing lost, nothing duplicated" (nthreads * 60) (List.length all);
+    check_int "all distinct" (nthreads * 60) (IntSet.cardinal (IntSet.of_list all))
+  done
+
+let test_queue_per_producer_fifo () =
+  (* FIFO per producer: a consumer must see each producer's values in
+     order. *)
+  let cfg = Config.(with_jitter 0.25 (with_seed 3L default)) in
+  let machine = Machine.create cfg in
+  let heap = Heap.create machine ~words:(1 lsl 14) in
+  let handles = make_ffhp machine heap ~nthreads:3 in
+  let q = Queue_ffhp.create machine heap in
+  for i = 0 to 1 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           for round = 1 to 80 do
+             Queue_ffhp.enqueue q handles.(i) ((i * 1000) + round);
+             Sim.work 10
+           done))
+  done;
+  let consumed = ref [] in
+  ignore
+    (Machine.spawn machine (fun () ->
+         let got = ref 0 in
+         while !got < 160 do
+           match Queue_ffhp.dequeue q handles.(2) with
+           | Some v ->
+               consumed := v :: !consumed;
+               incr got
+           | None -> Sim.work 20
+         done));
+  (match Machine.run ~max_ticks:50_000_000 machine with
+  | Machine.All_finished -> ()
+  | _ -> Alcotest.fail "did not finish");
+  let seq = List.rev !consumed in
+  let check_producer i =
+    let mine = List.filter (fun v -> v / 1000 = i) seq in
+    let sorted = List.sort compare mine in
+    check_bool (Printf.sprintf "producer %d in order" i) true (mine = sorted);
+    check_int (Printf.sprintf "producer %d complete" i) 80 (List.length mine)
+  in
+  check_producer 0;
+  check_producer 1
+
+let test_queue_ffhp_fence_free () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:8192 in
+  let handles = make_ffhp machine heap ~nthreads:1 in
+  let q = Queue_ffhp.create machine heap in
+  ignore
+    (Machine.spawn machine (fun () ->
+         for v = 1 to 40 do
+           Queue_ffhp.enqueue q handles.(0) v
+         done;
+         for _ = 1 to 40 do
+           ignore (Queue_ffhp.dequeue q handles.(0))
+         done));
+  ignore (Machine.run machine);
+  check_int "zero fences" 0 (Machine.stats machine 0).fences
+
+let test_queue_no_uaf_under_adversarial_tbtso () =
+  let cfg =
+    Config.(
+      with_jitter 0.3
+        (with_drain Drain_adversarial (with_consistency (Tbtso 2_000) default)))
+  in
+  let machine = Machine.create cfg in
+  let heap = Heap.create machine ~words:(1 lsl 14) in
+  let nthreads = 3 in
+  let dom =
+    Hazard.create_domain machine ~nthreads ~r_max:24 ~free:(Heap.free heap) ()
+  in
+  let handles = Array.init nthreads (fun tid -> Ffhp.handle dom ~bound:(Bound.Delta 2_000) ~tid) in
+  let q = Queue_ffhp.create machine heap in
+  for i = 0 to nthreads - 1 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           for round = 1 to 120 do
+             Queue_ffhp.enqueue q handles.(i) round;
+             ignore (Queue_ffhp.dequeue q handles.(i))
+           done))
+  done;
+  match Machine.run machine with
+  | Machine.All_finished -> ()
+  | _ -> Alcotest.fail "did not finish"
+
+
+(* ------------------------------------------------------------------ *)
+(* Skiplist                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Skip_ebr = Skiplist.Make (Ebr.Policy)
+module Skip_leak = Skiplist.Make (Naive.Leak.Policy)
+
+(* Driver-side level-0 walk: keys of unmarked nodes in order. *)
+let skiplist_keys mem head0 =
+  let rec walk link acc =
+    let tag = Memory.read mem link in
+    let node = Tbtso_structures.Tagged_ptr.ptr tag in
+    if node = 0 then List.rev acc
+    else
+      let key = Memory.read mem node in
+      let n0 = Memory.read mem (node + 2) in
+      let acc =
+        if Tbtso_structures.Tagged_ptr.mark n0 = 0 then key :: acc else acc
+      in
+      walk (node + 2) acc
+  in
+  walk head0 []
+
+let test_skiplist_rejects_hazard_policies () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:4096 in
+  let module S = Skiplist.Make (Ffhp.Policy) in
+  Alcotest.(check bool)
+    "FFHP rejected" true
+    (try
+       ignore (S.create machine heap);
+       false
+     with Invalid_argument _ -> true)
+
+let test_skiplist_sequential () =
+  let machine = Machine.create Config.default in
+  let heap = Heap.create machine ~words:(1 lsl 14) in
+  let dom = Ebr.create_domain machine ~nthreads:1 ~batch:8 ~free:(Heap.free heap) in
+  let h = Ebr.handle dom ~tid:0 in
+  let s = Skip_ebr.create machine heap in
+  ignore
+    (Machine.spawn machine (fun () ->
+         assert (not (Skip_ebr.lookup s h 5));
+         for k = 0 to 60 do
+           assert (Skip_ebr.insert s h k)
+         done;
+         assert (not (Skip_ebr.insert s h 30));
+         for k = 0 to 60 do
+           assert (Skip_ebr.lookup s h k)
+         done;
+         assert (not (Skip_ebr.lookup s h 99));
+         for k = 0 to 60 do
+           if k mod 3 = 0 then assert (Skip_ebr.delete s h k)
+         done;
+         assert (not (Skip_ebr.delete s h 33));
+         for k = 0 to 60 do
+           assert (Skip_ebr.lookup s h k = (k mod 3 <> 0))
+         done));
+  (match Machine.run machine with
+  | Machine.All_finished -> ()
+  | _ -> Alcotest.fail "did not finish");
+  Machine.drain_all machine;
+  let keys = skiplist_keys (Machine.memory machine) (Skip_ebr.head_cell s) in
+  check_bool "sorted unique" true (Tbtso_structures.Inspect.sorted_and_unique keys);
+  check_int "survivors" 40 (List.length keys)
+
+let test_skiplist_concurrent_invariants () =
+  for seed = 1 to 6 do
+    let cfg = Config.(with_jitter 0.3 (with_seed (Int64.of_int seed) default)) in
+    let machine = Machine.create cfg in
+    let heap = Heap.create machine ~words:(1 lsl 15) in
+    let nthreads = 4 in
+    let dom = Ebr.create_domain machine ~nthreads ~batch:8 ~free:(Heap.free heap) in
+    let handles = Array.init nthreads (fun tid -> Ebr.handle dom ~tid) in
+    let s = Skip_ebr.create machine heap in
+    let universe = 32 in
+    let succ = Array.make universe 0 in
+    for i = 0 to nthreads - 1 do
+      ignore
+        (Machine.spawn machine (fun () ->
+             let rng = Rng.create (Int64.of_int ((seed * 211) + i)) in
+             for _ = 1 to 150 do
+               let k = Rng.int rng universe in
+               match Rng.int rng 3 with
+               | 0 -> if Skip_ebr.insert s handles.(i) k then succ.(k) <- succ.(k) + 1
+               | 1 -> if Skip_ebr.delete s handles.(i) k then succ.(k) <- succ.(k) - 1
+               | _ -> ignore (Skip_ebr.lookup s handles.(i) k)
+             done))
+    done;
+    (match Machine.run ~max_ticks:100_000_000 machine with
+    | Machine.All_finished -> ()
+    | _ -> Alcotest.fail "did not finish");
+    Machine.drain_all machine;
+    let keys = skiplist_keys (Machine.memory machine) (Skip_ebr.head_cell s) in
+    check_bool "sorted unique" true (Tbtso_structures.Inspect.sorted_and_unique keys);
+    for k = 0 to universe - 1 do
+      check_bool
+        (Printf.sprintf "key %d alternation (seed %d)" k seed)
+        true
+        (succ.(k) = 0 || succ.(k) = 1);
+      check_bool
+        (Printf.sprintf "key %d membership (seed %d)" k seed)
+        true
+        (List.mem k keys = (succ.(k) = 1))
+    done;
+    check_bool "reclaimed some towers" true (Heap.frees heap > 0)
+  done
+
+let test_skiplist_linearizable () =
+  for seed = 1 to 6 do
+    let cfg = Config.(with_jitter 0.35 (with_seed (Int64.of_int seed) default)) in
+    let machine = Machine.create cfg in
+    let heap = Heap.create machine ~words:(1 lsl 14) in
+    let nthreads = 3 in
+    let dom = Ebr.create_domain machine ~nthreads ~batch:8 ~free:(Heap.free heap) in
+    let s = Skip_ebr.create machine heap in
+    let rows = ref [] in
+    for i = 0 to nthreads - 1 do
+      let h = Ebr.handle dom ~tid:i in
+      ignore
+        (Machine.spawn machine (fun () ->
+             let rng = Rng.create (Int64.of_int ((seed * 223) + i)) in
+             for _ = 1 to 7 do
+               let k = Rng.int rng 4 in
+               let start = Machine.now machine in
+               let op, result =
+                 match Rng.int rng 3 with
+                 | 0 -> (`Ins k, Skip_ebr.insert s h k)
+                 | 1 -> (`Del k, Skip_ebr.delete s h k)
+                 | _ -> (`Look k, Skip_ebr.lookup s h k)
+               in
+               rows := (i, op, result, start, Machine.now machine) :: !rows
+             done))
+    done;
+    (match Machine.run ~max_ticks:100_000_000 machine with
+    | Machine.All_finished -> ()
+    | _ -> Alcotest.fail "did not finish");
+    let apply st = function
+      | `Ins k -> (IntSet.add k st, not (IntSet.mem k st))
+      | `Del k -> (IntSet.remove k st, IntSet.mem k st)
+      | `Look k -> (st, IntSet.mem k st)
+    in
+    let key st = String.concat "," (List.map string_of_int (IntSet.elements st)) in
+    check_bool
+      (Printf.sprintf "linearizable (seed %d)" seed)
+      true
+      (Lin_check.check ~init:IntSet.empty ~apply ~key_of_state:key
+         (Lin_check.events_of_recorder (List.rev !rows)))
+  done
+
+let () =
+  Alcotest.run "stack_queue"
+    [
+      ( "treiber",
+        [
+          Alcotest.test_case "sequential LIFO" `Quick test_stack_sequential;
+          Alcotest.test_case "concurrent no loss" `Quick test_stack_concurrent_no_loss;
+          Alcotest.test_case "FFHP fence-free" `Quick test_stack_ffhp_fence_free;
+          Alcotest.test_case "HP pays fences" `Quick test_stack_hp_pays_fences;
+          Alcotest.test_case "reclaims" `Quick test_stack_reclaims;
+          Alcotest.test_case "EBR variant" `Quick test_stack_ebr;
+        ] );
+      ( "skiplist",
+        [
+          Alcotest.test_case "rejects hazard policies" `Quick
+            test_skiplist_rejects_hazard_policies;
+          Alcotest.test_case "sequential set" `Quick test_skiplist_sequential;
+          Alcotest.test_case "concurrent invariants" `Quick test_skiplist_concurrent_invariants;
+          Alcotest.test_case "linearizable" `Quick test_skiplist_linearizable;
+        ] );
+      ( "ms_queue",
+        [
+          Alcotest.test_case "sequential FIFO" `Quick test_queue_sequential_fifo;
+          Alcotest.test_case "concurrent no loss" `Quick test_queue_concurrent_no_loss;
+          Alcotest.test_case "per-producer FIFO" `Quick test_queue_per_producer_fifo;
+          Alcotest.test_case "FFHP fence-free" `Quick test_queue_ffhp_fence_free;
+          Alcotest.test_case "no UAF under adversarial TBTSO" `Quick
+            test_queue_no_uaf_under_adversarial_tbtso;
+        ] );
+    ]

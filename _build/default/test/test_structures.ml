@@ -1,0 +1,365 @@
+(* Tests for Michael's list and the hash table under every SMR policy:
+   sequential model conformance, concurrent set invariants, and the
+   use-after-free oracle. *)
+
+open Tsim
+open Tbtso_core
+open Tbtso_structures
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+module IntSet = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Harness: build a machine + heap + policy handles, run thread bodies *)
+(* ------------------------------------------------------------------ *)
+
+type setup = { machine : Machine.t; heap : Heap.t }
+
+let make_setup ?(cfg = Config.default) ?(heap_words = 1 lsl 16) () =
+  let machine = Machine.create cfg in
+  let heap = Heap.create machine ~words:heap_words in
+  { machine; heap }
+
+(* Policy-parameterized battery: we instantiate the same tests for HP,
+   FFHP and Leak. *)
+module type POLICY_SETUP = sig
+  module P : Smr.POLICY
+
+  val name : string
+
+  (* Create per-thread handles; called driver-side before spawning. *)
+  val handles : setup -> nthreads:int -> P.t array
+end
+
+module Hp_setup = struct
+  module P = Hp.Policy
+
+  let name = "hp"
+
+  let handles s ~nthreads =
+    let dom =
+      Hazard.create_domain s.machine ~nthreads ~r_max:(max 16 ((nthreads * 3) + 8))
+        ~free:(Heap.free s.heap) ()
+    in
+    Array.init nthreads (fun tid -> Hp.handle dom ~tid)
+end
+
+module Ffhp_setup = struct
+  module P = Ffhp.Policy
+
+  let name = "ffhp"
+
+  let handles s ~nthreads =
+    let dom =
+      Hazard.create_domain s.machine ~nthreads ~r_max:(max 16 ((nthreads * 3) + 8))
+        ~free:(Heap.free s.heap) ()
+    in
+    let bound =
+      match Machine.config s.machine with
+      | { Config.consistency = Tbtso d; _ } -> Bound.Delta d
+      | _ -> Bound.Delta 500
+    in
+    Array.init nthreads (fun tid -> Ffhp.handle dom ~bound ~tid)
+end
+
+module Leak_setup = struct
+  module P = Naive.Leak.Policy
+
+  let name = "leak"
+
+  let handles _ ~nthreads = Array.init nthreads (fun _ -> Naive.Leak.handle ())
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sequential model conformance                                        *)
+(* ------------------------------------------------------------------ *)
+
+type op = Op_insert of int | Op_delete of int | Op_lookup of int
+
+let op_gen =
+  QCheck.Gen.(
+    map2
+      (fun c k -> match c with 0 -> Op_insert k | 1 -> Op_delete k | _ -> Op_lookup k)
+      (int_bound 2) (int_range 0 30))
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Op_insert k -> Printf.sprintf "I%d" k
+             | Op_delete k -> Printf.sprintf "D%d" k
+             | Op_lookup k -> Printf.sprintf "L%d" k)
+           ops))
+    QCheck.Gen.(list_size (int_range 1 60) op_gen)
+
+let sequential_conformance (module PS : POLICY_SETUP) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: single-thread ops match Set model" PS.name)
+    ~count:100 ops_arb
+    (fun ops ->
+      let s = make_setup () in
+      let module L = Michael_list.Make (PS.P) in
+      let list = L.create s.machine s.heap in
+      let handles = PS.handles s ~nthreads:1 in
+      let results = ref [] in
+      ignore
+        (Machine.spawn s.machine (fun () ->
+             List.iter
+               (fun op ->
+                 let r =
+                   match op with
+                   | Op_insert k -> L.insert list handles.(0) k
+                   | Op_delete k -> L.delete list handles.(0) k
+                   | Op_lookup k -> L.lookup list handles.(0) k
+                 in
+                 results := r :: !results)
+               ops));
+      ignore (Machine.run s.machine);
+      let model = ref IntSet.empty in
+      let expected =
+        List.map
+          (fun op ->
+            match op with
+            | Op_insert k ->
+                let r = not (IntSet.mem k !model) in
+                model := IntSet.add k !model;
+                r
+            | Op_delete k ->
+                let r = IntSet.mem k !model in
+                model := IntSet.remove k !model;
+                r
+            | Op_lookup k -> IntSet.mem k !model)
+          ops
+      in
+      let got = List.rev !results in
+      let mem = Machine.memory s.machine in
+      let final = Inspect.list_keys mem ~head:(L.head list) in
+      got = expected
+      && Inspect.sorted_and_unique final
+      && IntSet.equal (IntSet.of_list final) !model)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent set invariants                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* N threads hammer a small key universe. Afterwards: the list is sorted
+   and duplicate-free; for every key, successful inserts and deletes
+   alternate (diff in {0,1}) and the diff equals final membership. *)
+let concurrent_invariants (module PS : POLICY_SETUP) ~cfg ~nthreads ~ops_per_thread ~seed ()
+    =
+  let cfg = Config.with_seed (Int64.of_int seed) cfg in
+  let s = make_setup ~cfg () in
+  let module L = Michael_list.Make (PS.P) in
+  let list = L.create s.machine s.heap in
+  let handles = PS.handles s ~nthreads in
+  let universe = 24 in
+  let succ_ins = Array.make universe 0 and succ_del = Array.make universe 0 in
+  for i = 0 to nthreads - 1 do
+    ignore
+      (Machine.spawn s.machine (fun () ->
+           let rng = Rng.create (Int64.of_int ((seed * 97) + i)) in
+           for _ = 1 to ops_per_thread do
+             let k = Rng.int rng universe in
+             (match Rng.int rng 3 with
+             | 0 -> if L.insert list handles.(i) k then succ_ins.(k) <- succ_ins.(k) + 1
+             | 1 -> if L.delete list handles.(i) k then succ_del.(k) <- succ_del.(k) + 1
+             | _ -> ignore (L.lookup list handles.(i) k));
+             PS.P.quiescent handles.(i)
+           done))
+  done;
+  ignore (Machine.run s.machine);
+  Machine.drain_all s.machine;
+  let mem = Machine.memory s.machine in
+  let final = Inspect.list_keys mem ~head:(L.head list) in
+  check_bool "sorted and unique" true (Inspect.sorted_and_unique final);
+  let present = IntSet.of_list final in
+  for k = 0 to universe - 1 do
+    let diff = succ_ins.(k) - succ_del.(k) in
+    check_bool (Printf.sprintf "key %d: alternation (diff=%d)" k diff) true
+      (diff = 0 || diff = 1);
+    check_bool
+      (Printf.sprintf "key %d: membership matches" k)
+      (diff = 1) (IntSet.mem k present)
+  done
+
+let concurrent_suite (module PS : POLICY_SETUP) =
+  List.map
+    (fun (label, cfg, nthreads, seed) ->
+      Alcotest.test_case (Printf.sprintf "%s: concurrent %s" PS.name label) `Quick
+        (concurrent_invariants (module PS) ~cfg ~nthreads ~ops_per_thread:120 ~seed))
+    [
+      ("tbtso 2t", Config.default, 2, 1);
+      ("tbtso 4t", Config.with_jitter 0.3 Config.default, 4, 2);
+      ( "tbtso adversarial drains 4t",
+        Config.(
+          with_jitter 0.2 (with_drain Drain_adversarial (with_consistency (Tbtso 2000) default))),
+        4, 3 );
+      ("sc 3t", Config.(with_jitter 0.3 (with_consistency Sc default)), 3, 4);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Hash table                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_hash_table_sequential () =
+  let s = make_setup () in
+  let module H = Hash_table.Make (Ffhp_setup.P) in
+  let ht = H.create s.machine s.heap ~buckets:16 in
+  let handles = Ffhp_setup.handles s ~nthreads:1 in
+  ignore
+    (Machine.spawn s.machine (fun () ->
+         for k = 0 to 99 do
+           assert (H.insert ht handles.(0) k)
+         done;
+         for k = 0 to 99 do
+           assert (H.lookup ht handles.(0) k)
+         done;
+         assert (not (H.lookup ht handles.(0) 100));
+         for k = 0 to 99 do
+           if k mod 2 = 0 then assert (H.delete ht handles.(0) k)
+         done;
+         for k = 0 to 99 do
+           assert (H.lookup ht handles.(0) k = (k mod 2 = 1))
+         done));
+  ignore (Machine.run s.machine)
+
+let test_hash_table_bucket_spread () =
+  let s = make_setup () in
+  let module H = Hash_table.Make (Naive.Leak.Policy) in
+  let ht = H.create s.machine s.heap ~buckets:64 in
+  let counts = Array.make 64 0 in
+  for k = 0 to 4095 do
+    let b = H.bucket_of_key ht k in
+    check_bool "bucket in range" true (b >= 0 && b < 64);
+    counts.(b) <- counts.(b) + 1
+  done;
+  Array.iter (fun c -> check_bool "no empty/overloaded bucket" true (c > 16 && c < 256)) counts
+
+let test_hash_table_concurrent () =
+  let cfg = Config.with_jitter 0.2 Config.default in
+  let s = make_setup ~cfg () in
+  let module H = Hash_table.Make (Ffhp_setup.P) in
+  let ht = H.create s.machine s.heap ~buckets:8 in
+  let nthreads = 4 in
+  let handles = Ffhp_setup.handles s ~nthreads in
+  let universe = 64 in
+  let succ = Array.make universe 0 in
+  for i = 0 to nthreads - 1 do
+    ignore
+      (Machine.spawn s.machine (fun () ->
+           let rng = Rng.create (Int64.of_int (1000 + i)) in
+           for _ = 1 to 150 do
+             let k = Rng.int rng universe in
+             match Rng.int rng 3 with
+             | 0 -> if H.insert ht handles.(i) k then succ.(k) <- succ.(k) + 1
+             | 1 -> if H.delete ht handles.(i) k then succ.(k) <- succ.(k) - 1
+             | _ -> ignore (H.lookup ht handles.(i) k)
+           done))
+  done;
+  ignore (Machine.run s.machine);
+  Machine.drain_all s.machine;
+  let mem = Machine.memory s.machine in
+  for k = 0 to universe - 1 do
+    let b = H.bucket_of_key ht k in
+    let keys = Inspect.list_keys mem ~head:(H.List.head (H.bucket_list ht b)) in
+    check_bool "alternation" true (succ.(k) = 0 || succ.(k) = 1);
+    check_int
+      (Printf.sprintf "key %d final membership" k)
+      succ.(k)
+      (if List.mem k keys then 1 else 0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Tagged pointers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_tagged_ptr_roundtrip () =
+  List.iter
+    (fun (p, m) ->
+      let x = Tagged_ptr.pack ~ptr:p ~mark:m in
+      check_int "ptr" p (Tagged_ptr.ptr x);
+      check_int "mark" m (Tagged_ptr.mark x))
+    [ (0, 0); (0, 1); (42, 0); (42, 1); (1 lsl 19, 1) ];
+  check_int "null is 0" 0 Tagged_ptr.null
+
+(* ------------------------------------------------------------------ *)
+(* Inspect                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sorted_and_unique () =
+  check_bool "empty" true (Inspect.sorted_and_unique []);
+  check_bool "single" true (Inspect.sorted_and_unique [ 5 ]);
+  check_bool "sorted" true (Inspect.sorted_and_unique [ 1; 2; 9 ]);
+  check_bool "dup" false (Inspect.sorted_and_unique [ 1; 1 ]);
+  check_bool "unsorted" false (Inspect.sorted_and_unique [ 2; 1 ])
+
+(* Skiplist single-thread model conformance (EBR policy; the skiplist
+   requires whole-operation protection). *)
+let skiplist_conformance =
+  QCheck.Test.make ~name:"skiplist: single-thread ops match Set model" ~count:80 ops_arb
+    (fun ops ->
+      let s = make_setup () in
+      let module SL = Skiplist.Make (Ebr.Policy) in
+      let dom = Ebr.create_domain s.machine ~nthreads:1 ~batch:8 ~free:(Heap.free s.heap) in
+      let h = Ebr.handle dom ~tid:0 in
+      let sl = SL.create s.machine s.heap in
+      let results = ref [] in
+      ignore
+        (Machine.spawn s.machine (fun () ->
+             List.iter
+               (fun op ->
+                 let r =
+                   match op with
+                   | Op_insert k -> SL.insert sl h k
+                   | Op_delete k -> SL.delete sl h k
+                   | Op_lookup k -> SL.lookup sl h k
+                 in
+                 results := r :: !results)
+               ops));
+      ignore (Machine.run s.machine);
+      let model = ref IntSet.empty in
+      let expected =
+        List.map
+          (fun op ->
+            match op with
+            | Op_insert k ->
+                let r = not (IntSet.mem k !model) in
+                model := IntSet.add k !model;
+                r
+            | Op_delete k ->
+                let r = IntSet.mem k !model in
+                model := IntSet.remove k !model;
+                r
+            | Op_lookup k -> IntSet.mem k !model)
+          ops
+      in
+      List.rev !results = expected)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "structures"
+    [
+      ("tagged_ptr", [ Alcotest.test_case "roundtrip" `Quick test_tagged_ptr_roundtrip ]);
+      ("inspect", [ Alcotest.test_case "sorted_and_unique" `Quick test_sorted_and_unique ]);
+      qsuite "model"
+        [
+          sequential_conformance (module Hp_setup);
+          sequential_conformance (module Ffhp_setup);
+          sequential_conformance (module Leak_setup);
+          skiplist_conformance;
+        ];
+      ("concurrent-hp", concurrent_suite (module Hp_setup));
+      ("concurrent-ffhp", concurrent_suite (module Ffhp_setup));
+      ("concurrent-leak", concurrent_suite (module Leak_setup));
+      ( "hash_table",
+        [
+          Alcotest.test_case "sequential" `Quick test_hash_table_sequential;
+          Alcotest.test_case "bucket spread" `Quick test_hash_table_bucket_spread;
+          Alcotest.test_case "concurrent" `Quick test_hash_table_concurrent;
+        ] );
+    ]

@@ -1,0 +1,1083 @@
+(* Tests for the simulator substrate: RNG, store buffer, memory, cache,
+   heap, and the abstract machine's TSO/TBTSO semantics. *)
+
+open Tsim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.bits a) (Rng.bits b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits a = Rng.bits b then incr same
+  done;
+  check_bool "different seeds diverge" true (!same < 4)
+
+let test_rng_bounds () =
+  let r = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17);
+    let w = Rng.int_in r 5 9 in
+    check_bool "in closed range" true (w >= 5 && w <= 9);
+    let f = Rng.float r in
+    check_bool "float range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_geometric_cap () =
+  let r = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Rng.geometric r ~p:0.01 ~cap:5 in
+    check_bool "capped" true (v >= 0 && v <= 5)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 11L in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits a = Rng.bits b then incr same
+  done;
+  check_bool "split streams diverge" true (!same < 4)
+
+(* ------------------------------------------------------------------ *)
+(* Store buffer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let entry ?(t = 0) addr value : Store_buffer.entry =
+  { addr; value; enqueued_at = t; ready_at = t; rfo_until = 0 }
+
+let test_sb_fifo () =
+  let b = Store_buffer.create () in
+  check_bool "empty" true (Store_buffer.is_empty b);
+  for i = 1 to 20 do
+    Store_buffer.enqueue b (entry ~t:i i (i * 10))
+  done;
+  check_int "length" 20 (Store_buffer.length b);
+  for i = 1 to 20 do
+    let e = Store_buffer.dequeue_oldest b in
+    check_int "fifo addr" i e.addr;
+    check_int "fifo value" (i * 10) e.value
+  done;
+  check_bool "empty again" true (Store_buffer.is_empty b)
+
+let test_sb_forwarding_newest () =
+  let b = Store_buffer.create () in
+  Store_buffer.enqueue b (entry 5 1);
+  Store_buffer.enqueue b (entry 6 2);
+  Store_buffer.enqueue b (entry 5 3);
+  check_bool "newest wins" true (Store_buffer.newest_value b 5 = Some 3);
+  check_bool "other addr" true (Store_buffer.newest_value b 6 = Some 2);
+  check_bool "miss" true (Store_buffer.newest_value b 7 = None)
+
+let test_sb_interleaved_wraparound () =
+  (* Exercise the ring buffer across the initial capacity boundary. *)
+  let b = Store_buffer.create () in
+  for round = 0 to 5 do
+    for i = 0 to 6 do
+      Store_buffer.enqueue b (entry ((round * 7) + i) i)
+    done;
+    for i = 0 to 6 do
+      let e = Store_buffer.dequeue_oldest b in
+      check_int "wrap order" i e.value
+    done
+  done
+
+let test_sb_oldest_time () =
+  let b = Store_buffer.create () in
+  check_bool "none" true (Store_buffer.oldest_enqueue_time b = None);
+  Store_buffer.enqueue b (entry ~t:3 1 1);
+  Store_buffer.enqueue b (entry ~t:9 2 2);
+  check_bool "oldest" true (Store_buffer.oldest_enqueue_time b = Some 3)
+
+let test_sb_dequeue_empty () =
+  let b = Store_buffer.create () in
+  Alcotest.check_raises "raises" (Invalid_argument "Store_buffer.dequeue_oldest: empty")
+    (fun () -> ignore (Store_buffer.dequeue_oldest b))
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_mem_rw () =
+  let m = Memory.create ~words:1024 in
+  Memory.write m ~tid:0 ~at:0 100 42;
+  check_int "read back" 42 (Memory.read m 100)
+
+let test_mem_alloc_alignment () =
+  let m = Memory.create ~words:1024 in
+  let a = Memory.alloc_global m 3 in
+  let b = Memory.alloc_global m 3 in
+  check_int "line aligned" 0 (a mod 8);
+  check_int "line aligned" 0 (b mod 8);
+  check_bool "disjoint lines" true (Memory.line_of a <> Memory.line_of b);
+  check_bool "nonzero (null reserved)" true (a > 0)
+
+let test_mem_alloc_exhaustion () =
+  let m = Memory.create ~words:64 in
+  check_bool "raises OOM" true
+    (try
+       ignore (Memory.alloc_global m 512);
+       false
+     with Memory.Out_of_memory _ -> true)
+
+let test_mem_poison () =
+  let m = Memory.create ~words:1024 in
+  Memory.poison m 10 ~len:4;
+  check_bool "poisoned" true (Memory.is_poisoned m 12);
+  check_bool "boundary" false (Memory.is_poisoned m 14);
+  Memory.unpoison m 10 ~len:4;
+  check_bool "unpoisoned" false (Memory.is_poisoned m 12)
+
+let test_mem_line_version () =
+  let m = Memory.create ~words:1024 in
+  let v0 = Memory.line_version m 100 in
+  Memory.write m ~tid:3 ~at:5 100 1;
+  check_bool "version bumped" true (Memory.line_version m 100 > v0);
+  check_int "owner recorded" 3 (Memory.line_owner m 100);
+  (* Same line: addresses 96..103 share line version. *)
+  let v1 = Memory.line_version m 96 in
+  Memory.write m ~tid:0 ~at:6 103 1;
+  check_bool "same line bumped" true (Memory.line_version m 96 > v1)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_hit_miss () =
+  let c = Cache.create ~bits:4 in
+  check_bool "cold miss" false (Cache.access c ~line:5 ~version:0);
+  check_bool "hit" true (Cache.access c ~line:5 ~version:0);
+  check_bool "version invalidates" false (Cache.access c ~line:5 ~version:1);
+  check_bool "hit after refill" true (Cache.access c ~line:5 ~version:1);
+  check_int "misses" 2 (Cache.misses c);
+  check_int "hits" 2 (Cache.hits c)
+
+let test_cache_conflict () =
+  let c = Cache.create ~bits:2 in
+  (* lines 1 and 5 conflict in a 4-set cache *)
+  ignore (Cache.access c ~line:1 ~version:0);
+  ignore (Cache.access c ~line:5 ~version:0);
+  check_bool "evicted" false (Cache.access c ~line:1 ~version:0)
+
+(* ------------------------------------------------------------------ *)
+(* Machine: basic instruction semantics                                *)
+(* ------------------------------------------------------------------ *)
+
+let sc_config = Config.(with_consistency Sc default)
+
+let tso_adversarial =
+  Config.(with_drain Drain_adversarial (with_consistency Tso default))
+
+let tbtso ?(delta = 200) () =
+  Config.(with_drain Drain_adversarial (with_consistency (Tbtso delta) default))
+
+let run_machine ?max_ticks cfg threads =
+  let m = Machine.create cfg in
+  let globals = Machine.alloc_global m 16 in
+  List.iter (fun f -> ignore (Machine.spawn m (fun () -> f globals))) threads;
+  let reason = match max_ticks with
+    | None -> Machine.run m
+    | Some n -> Machine.run ~max_ticks:n m
+  in
+  (m, reason)
+
+let test_machine_store_load_forwarding () =
+  (* Under adversarial TSO drains, a thread still reads its own store. *)
+  let result = ref (-1) in
+  let _, reason =
+    run_machine tso_adversarial
+      [ (fun g ->
+          Sim.store g 7;
+          result := Sim.load g) ]
+  in
+  check_bool "finished" true (reason = Machine.All_finished);
+  check_int "forwarded" 7 !result
+
+let test_machine_fence_publishes () =
+  let observed = ref (-1) in
+  let _, _ =
+    run_machine tso_adversarial
+      [
+        (fun g ->
+          Sim.store g 9;
+          Sim.fence ();
+          (* signal via an atomic (drains are adversarial) *)
+          ignore (Sim.xchg (g + 8) 1));
+        (fun g ->
+          Sim.spin_while (fun () -> Sim.load (g + 8) = 0);
+          observed := Sim.load g);
+      ]
+  in
+  check_int "fence made store visible" 9 !observed
+
+let test_machine_sb_reordering_observable_tso () =
+  (* Classic SB litmus on the machine: with adversarial drains both loads
+     can miss both stores. *)
+  let r0 = ref (-1) and r1 = ref (-1) in
+  let _, _ =
+    run_machine tso_adversarial
+      [
+        (fun g ->
+          Sim.store g 1;
+          r0 := Sim.load (g + 8));
+        (fun g ->
+          Sim.store (g + 8) 1;
+          r1 := Sim.load g);
+      ]
+  in
+  check_int "t0 missed t1's store" 0 !r0;
+  check_int "t1 missed t0's store" 0 !r1
+
+let test_machine_sb_never_reorders_sc () =
+  (* Under SC, at least one thread sees the other's flag, whatever the
+     interleaving: check across many seeds. *)
+  for seed = 1 to 40 do
+    let cfg = Config.with_seed (Int64.of_int seed) sc_config in
+    let cfg = Config.with_jitter 0.4 cfg in
+    let r0 = ref (-1) and r1 = ref (-1) in
+    let _, _ =
+      run_machine cfg
+        [
+          (fun g ->
+            Sim.store g 1;
+            r0 := Sim.load (g + 8));
+          (fun g ->
+            Sim.store (g + 8) 1;
+            r1 := Sim.load g);
+        ]
+    in
+    check_bool "SC forbids (0,0)" false (!r0 = 0 && !r1 = 0)
+  done
+
+let test_machine_tbtso_bounds_visibility () =
+  (* With adversarial drains under TBTSO[Δ], a store becomes visible to
+     another thread no later than Δ ticks after issue. *)
+  let delta = 200 in
+  let seen_at = ref (-1) and stored_at = ref (-1) in
+  let _, _ =
+    run_machine (tbtso ~delta ())
+      [
+        (fun g ->
+          stored_at := Sim.clock ();
+          Sim.store g 1;
+          (* Keep the thread busy so it never fences on exit paths. *)
+          Sim.work 10_000);
+        (fun g ->
+          Sim.spin_while (fun () -> Sim.load g = 0);
+          seen_at := Sim.clock ());
+      ]
+  in
+  check_bool "visible" true (!seen_at >= 0);
+  (* Slack: clock-read latencies on both sides, a cache miss on the
+     reader's observing load, and scheduling granularity. *)
+  check_bool "within delta" true
+    (!seen_at - !stored_at
+    <= delta + Config.default_costs.cache_miss + (2 * Config.default_costs.clock_read) + 10)
+
+let test_machine_tso_unbounded_invisibility () =
+  (* Same program under plain TSO with adversarial drains: the reader
+     spins forever; the run must hit max_ticks with the store invisible. *)
+  let m = Machine.create tso_adversarial in
+  let g = Machine.alloc_global m 16 in
+  ignore
+    (Machine.spawn m (fun () ->
+         Sim.store g 1;
+         Sim.work 1_000_000));
+  let saw = ref false in
+  ignore
+    (Machine.spawn m (fun () ->
+         Sim.spin_while (fun () -> Sim.load g = 0 && not (Sim.stopping ()));
+         if Sim.load g <> 0 then saw := true));
+  let reason = Machine.run ~max_ticks:5_000 m in
+  check_bool "timed out" true (reason = Machine.Max_ticks);
+  Machine.request_stop m;
+  ignore (Machine.run ~max_ticks:10_000 m);
+  Machine.kill_remaining m;
+  check_bool "store stayed buffered" false !saw
+
+let test_machine_cas () =
+  let ok = ref false and fail = ref true and final = ref 0 in
+  let _, _ =
+    run_machine sc_config
+      [
+        (fun g ->
+          Sim.store g 5;
+          ok := Sim.cas g ~expected:5 ~desired:6;
+          fail := Sim.cas g ~expected:5 ~desired:7;
+          final := Sim.load g);
+      ]
+  in
+  check_bool "cas success" true !ok;
+  check_bool "cas failure" false !fail;
+  check_int "final value" 6 !final
+
+let test_machine_cas_drains_buffer () =
+  (* x86 locked ops flush the store buffer: after a CAS, earlier stores
+     are visible to other threads even with adversarial drains. *)
+  let observed = ref (-1) in
+  let _, _ =
+    run_machine tso_adversarial
+      [
+        (fun g ->
+          Sim.store g 3;
+          ignore (Sim.cas (g + 8) ~expected:0 ~desired:1));
+        (fun g ->
+          Sim.spin_while (fun () -> Sim.load (g + 8) = 0);
+          observed := Sim.load g);
+      ]
+  in
+  check_int "earlier store visible after CAS" 3 !observed
+
+let test_machine_faa_xchg () =
+  let r1 = ref (-1) and r2 = ref (-1) and final = ref (-1) in
+  let _, _ =
+    run_machine sc_config
+      [
+        (fun g ->
+          r1 := Sim.faa g 5;
+          r2 := Sim.xchg g 100;
+          final := Sim.load g);
+      ]
+  in
+  check_int "faa returns old" 0 !r1;
+  check_int "xchg returns old" 5 !r2;
+  check_int "final" 100 !final
+
+let test_machine_faa_atomic_under_contention () =
+  let cfg = Config.with_jitter 0.3 Config.default in
+  let m = Machine.create cfg in
+  let g = Machine.alloc_global m 8 in
+  let n_threads = 8 and per_thread = 50 in
+  for _ = 1 to n_threads do
+    ignore
+      (Machine.spawn m (fun () ->
+           for _ = 1 to per_thread do
+             ignore (Sim.faa g 1)
+           done))
+  done;
+  ignore (Machine.run m);
+  check_int "all increments landed" (n_threads * per_thread) (Memory.read (Machine.memory m) g)
+
+let test_machine_clock_monotonic () =
+  let ts = ref [] in
+  let _, _ =
+    run_machine sc_config
+      [
+        (fun _ ->
+          for _ = 1 to 10 do
+            ts := Sim.clock () :: !ts
+          done);
+      ]
+  in
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> a > b && strictly_increasing rest
+    | _ -> true
+  in
+  check_bool "clock strictly increases" true (strictly_increasing !ts)
+
+let test_machine_work_costs_time () =
+  let t0 = ref 0 and t1 = ref 0 in
+  let _, _ =
+    run_machine sc_config
+      [
+        (fun _ ->
+          t0 := Sim.clock ();
+          Sim.work 500;
+          t1 := Sim.clock ());
+      ]
+  in
+  check_bool "work consumed >= 500 ticks" true (!t1 - !t0 >= 500)
+
+let test_machine_stall_until () =
+  let t1 = ref 0 in
+  let _, _ =
+    run_machine sc_config
+      [
+        (fun _ ->
+          Sim.stall_until 10_000;
+          t1 := Sim.clock ());
+      ]
+  in
+  check_bool "woke after target" true (!t1 >= 10_000)
+
+let test_machine_stall_for () =
+  let t0 = ref 0 and t1 = ref 0 in
+  let _, _ =
+    run_machine sc_config
+      [
+        (fun _ ->
+          t0 := Sim.clock ();
+          Sim.stall_for 777;
+          t1 := Sim.clock ());
+      ]
+  in
+  check_bool "relative stall" true (!t1 - !t0 >= 777)
+
+let test_machine_thread_failure () =
+  let m = Machine.create sc_config in
+  ignore (Machine.spawn m (fun () -> failwith "boom"));
+  check_bool "failure surfaces" true
+    (try
+       ignore (Machine.run m);
+       false
+     with Machine.Thread_failure { tid = 0; exn = Failure msg } -> msg = "boom")
+
+let test_machine_uaf_detection () =
+  let m = Machine.create Config.default in
+  let h = Heap.create m ~words:256 in
+  let block = Heap.alloc h 4 in
+  ignore
+    (Machine.spawn m (fun () ->
+         Sim.store block 1;
+         Sim.fence ();
+         (* Driver frees underneath us via a label hook shim; here we free
+            directly from thread code for simplicity. *)
+         Heap.free h block;
+         ignore (Sim.load block)));
+  check_bool "UAF raises" true
+    (try
+       ignore (Machine.run m);
+       false
+     with
+     | Machine.Thread_failure { exn = Memory.Use_after_free _; _ }
+     | Memory.Use_after_free _ -> true)
+
+let test_machine_uaf_on_buffered_store_commit () =
+  (* A store issued while the block is live but drained after free is a
+     real SMR race; the machine flags it at commit time. *)
+  let m = Machine.create (tbtso ~delta:1000 ()) in
+  let h = Heap.create m ~words:256 in
+  let block = Heap.alloc h 4 in
+  let aux = Machine.alloc_global m 8 in
+  ignore
+    (Machine.spawn m (fun () ->
+         Sim.store block 1;
+         (* Adversarial drains: the store sits buffered while the thread
+            stays alive doing unrelated work. *)
+         Sim.work 100;
+         Sim.store aux 1));
+  check_bool "commit-time UAF" true
+    (try
+       (* Free the block from the driver while the store is in flight. *)
+       ignore (Machine.run ~max_ticks:2 m);
+       Heap.free h block;
+       (* The exit drain at thread completion commits the stale store. *)
+       ignore (Machine.run m);
+       false
+     with Memory.Use_after_free _ -> true)
+
+let test_machine_interrupts_flush () =
+  (* Timer interrupts model kernel entries that drain store buffers
+     (Section 6.2): even with adversarial drains the store becomes
+     visible within an interrupt period. *)
+  let period = 400 in
+  let cfg = { (tbtso ~delta:1_000_000 ()) with Config.interrupt_period = Some period } in
+  let m = Machine.create cfg in
+  let g = Machine.alloc_global m 16 in
+  let stored_at = ref (-1) and seen_at = ref (-1) in
+  ignore
+    (Machine.spawn m (fun () ->
+         stored_at := Sim.clock ();
+         Sim.store g 1;
+         Sim.work 100_000));
+  ignore
+    (Machine.spawn m (fun () ->
+         Sim.spin_while (fun () -> Sim.load g = 0);
+         seen_at := Sim.clock ()));
+  ignore (Machine.run ~max_ticks:50_000 m);
+  Machine.kill_remaining m;
+  check_bool "seen" true (!seen_at >= 0);
+  check_bool "within period + slack" true (!seen_at - !stored_at <= period + 300)
+
+let test_machine_interrupt_hook () =
+  (* Period must exceed the interrupt service cost or the thread can
+     never run between interrupts. *)
+  let cfg = { sc_config with Config.interrupt_period = Some 1000 } in
+  let m = Machine.create cfg in
+  let count = ref 0 in
+  Machine.set_interrupt_hook m (fun ~tid:_ ~now:_ -> incr count);
+  ignore
+    (Machine.spawn m (fun () ->
+         (* Stay alive ~10 interrupt periods. *)
+         while Sim.clock () < 10_000 do
+           Sim.work 100
+         done));
+  ignore (Machine.run m);
+  check_bool "hook fired repeatedly" true (!count >= 8)
+
+let test_machine_stats () =
+  let m = Machine.create Config.default in
+  let g = Machine.alloc_global m 16 in
+  ignore
+    (Machine.spawn m (fun () ->
+         Sim.store g 1;
+         ignore (Sim.load g);
+         ignore (Sim.cas g ~expected:1 ~desired:2);
+         Sim.fence ();
+         ignore (Sim.clock ())));
+  ignore (Machine.run m);
+  let s = Machine.stats m 0 in
+  check_int "loads" 1 s.loads;
+  check_int "stores" 1 s.stores;
+  check_int "rmws" 1 s.rmws;
+  check_int "fences" 1 s.fences;
+  check_int "clock reads" 1 s.clock_reads;
+  check_int "drains" 1 s.drains
+
+let test_machine_label_hook () =
+  let m = Machine.create sc_config in
+  let labels = ref [] in
+  Machine.set_label_hook m (fun ~tid ~now:_ s -> labels := (tid, s) :: !labels);
+  ignore (Machine.spawn m (fun () -> Sim.label "hello"));
+  ignore (Machine.run m);
+  check_bool "label captured" true (!labels = [ (0, "hello") ])
+
+let test_machine_clock_jump_is_fast () =
+  (* A 50M-tick stall must complete quickly thanks to clock jumping. *)
+  let t_start = Unix.gettimeofday () in
+  let _, _ = run_machine sc_config [ (fun _ -> Sim.stall_until 50_000_000) ] in
+  check_bool "fast forward" true (Unix.gettimeofday () -. t_start < 1.0)
+
+let test_machine_drain_all () =
+  let m = Machine.create tso_adversarial in
+  let g = Machine.alloc_global m 16 in
+  ignore (Machine.spawn m (fun () -> Sim.store g 5));
+  ignore (Machine.run m);
+  (* Thread finished but its store may still be buffered. *)
+  Machine.drain_all m;
+  check_int "drained" 5 (Memory.read (Machine.memory m) g)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let with_heap f =
+  let m = Machine.create Config.default in
+  let h = Heap.create m ~words:4096 in
+  f m h
+
+let test_heap_alloc_free_reuse () =
+  with_heap (fun _ h ->
+      let a = Heap.alloc h 4 in
+      Heap.free h a;
+      let b = Heap.alloc h 4 in
+      check_int "reused" a b)
+
+let test_heap_alignment () =
+  with_heap (fun _ h ->
+      let a = Heap.alloc h 3 in
+      let b = Heap.alloc h 3 in
+      check_int "2-aligned" 0 (a mod 2);
+      check_int "2-aligned" 0 (b mod 2);
+      check_bool "disjoint" true (b >= a + 3 || a >= b + 3))
+
+let test_heap_zeroing () =
+  with_heap (fun m h ->
+      let a = Heap.alloc h 4 in
+      Memory.write (Machine.memory m) ~tid:0 ~at:0 a 99;
+      Heap.free h a;
+      let b = Heap.alloc h 4 in
+      check_int "same block" a b;
+      check_int "zeroed on realloc" 0 (Memory.read (Machine.memory m) b))
+
+let test_heap_double_free () =
+  with_heap (fun _ h ->
+      let a = Heap.alloc h 4 in
+      Heap.free h a;
+      check_bool "double free raises" true
+        (try
+           Heap.free h a;
+           false
+         with Heap.Double_free _ -> true))
+
+let test_heap_bad_free () =
+  with_heap (fun _ h ->
+      check_bool "bad free raises" true
+        (try
+           Heap.free h 424242;
+           false
+         with Heap.Bad_free _ -> true))
+
+let test_heap_accounting () =
+  with_heap (fun _ h ->
+      let a = Heap.alloc h 10 in
+      let b = Heap.alloc h 6 in
+      check_int "live blocks" 2 (Heap.live_blocks h);
+      check_int "live words" 16 (Heap.live_words h);
+      check_int "peak" 16 (Heap.peak_words h);
+      Heap.free h a;
+      check_int "live after free" 6 (Heap.live_words h);
+      check_int "peak sticky" 16 (Heap.peak_words h);
+      Heap.free h b;
+      check_int "allocations" 2 (Heap.allocations h);
+      check_int "frees" 2 (Heap.frees h))
+
+let test_heap_block_size () =
+  with_heap (fun _ h ->
+      let a = Heap.alloc h 7 in
+      check_int "size" 7 (Heap.block_size h a);
+      Heap.free h a;
+      check_bool "gone" true
+        (try
+           ignore (Heap.block_size h a);
+           false
+         with Heap.Bad_free _ -> true))
+
+let test_heap_poison_lifecycle () =
+  with_heap (fun m h ->
+      let mem = Machine.memory m in
+      let a = Heap.alloc h 4 in
+      check_bool "live block unpoisoned" false (Memory.is_poisoned mem a);
+      Heap.free h a;
+      check_bool "freed block poisoned" true (Memory.is_poisoned mem (a + 3));
+      let b = Heap.alloc h 4 in
+      check_bool "realloc unpoisons" false (Memory.is_poisoned mem (b + 3)))
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_sb_model =
+  (* The ring-buffer store buffer behaves like a plain FIFO list model. *)
+  QCheck.Test.make ~name:"store_buffer matches list model" ~count:300
+    QCheck.(list (pair (int_bound 7) (int_bound 100)))
+    (fun ops ->
+      let b = Store_buffer.create () in
+      let model = ref [] in
+      List.iteri
+        (fun i (addr, v) ->
+          if v mod 3 = 0 && !model <> [] then begin
+            let e = Store_buffer.dequeue_oldest b in
+            match !model with
+            | (ma, mv) :: rest ->
+                model := rest;
+                if e.addr <> ma || e.value <> mv then QCheck.Test.fail_report "dequeue mismatch"
+            | [] -> ()
+          end
+          else begin
+            Store_buffer.enqueue b
+              { addr; value = v; enqueued_at = i; ready_at = i; rfo_until = 0 };
+            model := !model @ [ (addr, v) ]
+          end)
+        ops;
+      (* forwarding agrees with model *)
+      List.for_all
+        (fun a ->
+          let expect =
+            List.fold_left (fun acc (ma, mv) -> if ma = a then Some mv else acc) None !model
+          in
+          Store_buffer.newest_value b a = expect)
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+let prop_heap_no_overlap =
+  QCheck.Test.make ~name:"heap blocks never overlap" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 40) (int_range 1 8))
+    (fun sizes ->
+      let m = Machine.create Config.default in
+      let h = Heap.create m ~words:8192 in
+      let blocks = List.map (fun n -> (Heap.alloc h n, n)) sizes in
+      let rec pairwise = function
+        | [] -> true
+        | (a, na) :: rest ->
+            List.for_all (fun (b, nb) -> a + na <= b || b + nb <= a) rest && pairwise rest
+      in
+      pairwise blocks)
+
+let prop_machine_counter_deterministic =
+  (* Same seed -> identical final state and tick count. *)
+  QCheck.Test.make ~name:"machine runs are deterministic" ~count:20
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let run () =
+        let cfg = Config.with_seed (Int64.of_int seed) (Config.with_jitter 0.2 Config.default) in
+        let m = Machine.create cfg in
+        let g = Machine.alloc_global m 8 in
+        for _ = 1 to 4 do
+          ignore
+            (Machine.spawn m (fun () ->
+                 for _ = 1 to 20 do
+                   ignore (Sim.faa g 1);
+                   Sim.store (g + 1) (Sim.tid ());
+                   ignore (Sim.load (g + 1))
+                 done))
+        done;
+        ignore (Machine.run m);
+        (Machine.now m, Memory.read (Machine.memory m) g)
+      in
+      run () = run ())
+
+(* ------------------------------------------------------------------ *)
+(* RFO (read-for-ownership) cost model                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rfo_delays_fenced_store () =
+  (* A fence after a store to a line another thread has read must wait
+     out the ownership upgrade; the same store without a foreign reader
+     commits quickly. *)
+  let run ~with_reader =
+    let cfg = Config.(with_drain (Drain_fixed 0) default) in
+    let m = Machine.create cfg in
+    let g = Machine.alloc_global m 16 in
+    let elapsed = ref 0 in
+    if with_reader then
+      ignore
+        (Machine.spawn m (fun () ->
+             (* Touch the line, then leave. *)
+             ignore (Sim.load g);
+             Sim.work 5));
+    ignore
+      (Machine.spawn m (fun () ->
+           Sim.work 20 (* let the reader touch the line first *);
+           let t0 = Sim.clock () in
+           Sim.store g 1;
+           Sim.fence ();
+           elapsed := Sim.clock () - t0));
+    ignore (Machine.run m);
+    !elapsed
+  in
+  let quiet = run ~with_reader:false in
+  let contended = run ~with_reader:true in
+  check_bool "RFO adds about a miss of latency" true
+    (contended - quiet >= Config.default_costs.cache_miss - 2)
+
+let test_rfo_hidden_without_fence () =
+  (* The same contended store with no fence: the store buffer hides the
+     upgrade latency from the issuing thread entirely. *)
+  let cfg = Config.(with_drain (Drain_fixed 0) default) in
+  let m = Machine.create cfg in
+  let g = Machine.alloc_global m 16 in
+  let elapsed = ref 0 in
+  ignore
+    (Machine.spawn m (fun () ->
+         ignore (Sim.load g);
+         Sim.work 5));
+  ignore
+    (Machine.spawn m (fun () ->
+         Sim.work 20;
+         let t0 = Sim.clock () in
+         Sim.store g 1;
+         elapsed := Sim.clock () - t0;
+         Sim.work 200));
+  ignore (Machine.run m);
+  check_bool "unfenced store is cheap despite contention" true
+    (!elapsed <= Config.default_costs.store + 3)
+
+let test_rfo_store_still_commits () =
+  (* The RFO delays the drain but the value still reaches memory. *)
+  let cfg = Config.(with_drain (Drain_fixed 0) default) in
+  let m = Machine.create cfg in
+  let g = Machine.alloc_global m 16 in
+  ignore (Machine.spawn m (fun () -> ignore (Sim.load g)));
+  ignore
+    (Machine.spawn m (fun () ->
+         Sim.work 10;
+         Sim.store g 42));
+  ignore (Machine.run m);
+  check_int "committed" 42 (Memory.read (Machine.memory m) g)
+
+(* ------------------------------------------------------------------ *)
+(* TSO[S] machine mode                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_tsos_capacity () =
+  (* With adversarial drains and S=2, a third store must push the first
+     to memory before issuing. *)
+  let cfg =
+    Config.(with_drain Drain_adversarial (with_consistency (Tso_spatial 2) default))
+  in
+  let m = Machine.create cfg in
+  let g = Machine.alloc_global m 32 in
+  ignore
+    (Machine.spawn m (fun () ->
+         Sim.store g 1;
+         Sim.store (g + 8) 2;
+         Sim.store (g + 16) 3;
+         Sim.work 100));
+  ignore (Machine.run ~max_ticks:10_000 m);
+  Machine.kill_remaining m;
+  let mem = Machine.memory m in
+  check_int "first store forced out" 1 (Memory.read mem g);
+  (* The younger two may legitimately still be buffered. *)
+  check_bool "no overflow beyond S" true
+    (Memory.read mem (g + 8) = 0 || Memory.read mem (g + 8) = 2)
+
+let test_tsos_spatial_flush_machine () =
+  (* A reader eventually sees the oldest store once the writer issues S
+     more, even though drains are adversarial and there is no Δ. *)
+  let cfg =
+    Config.(with_drain Drain_adversarial (with_consistency (Tso_spatial 1) default))
+  in
+  let m = Machine.create cfg in
+  let g = Machine.alloc_global m 32 in
+  let seen = ref false in
+  ignore
+    (Machine.spawn m (fun () ->
+         Sim.store g 1;
+         (* Still buffered (S=1 allows one entry). *)
+         Sim.work 200;
+         (* This store forces g's entry to commit. *)
+         Sim.store (g + 8) 1;
+         Sim.work 2_000));
+  ignore
+    (Machine.spawn m (fun () ->
+         Sim.spin_while (fun () -> Sim.load g = 0 && not (Sim.stopping ()));
+         seen := Sim.load g = 1));
+  ignore (Machine.run ~max_ticks:5_000 m);
+  Machine.request_stop m;
+  ignore (Machine.run ~max_ticks:5_000 m);
+  Machine.kill_remaining m;
+  check_bool "old store became visible via the spatial bound" true !seen
+
+(* ------------------------------------------------------------------ *)
+(* Tbtso_hw: the Section 6.1 bail-out mechanism, operationally         *)
+(* ------------------------------------------------------------------ *)
+
+let hw_cfg ?(tau = 300) ?(quiesce = 100) drain =
+  Config.(with_drain drain (with_consistency (Tbtso_hw { tau; quiesce }) default))
+
+let test_hw_bound_emerges () =
+  (* Adversarial drains: nothing drains voluntarily, yet the bail-out
+     bounds visibility by tau + quiesce + slack. *)
+  let tau = 300 and quiesce = 100 in
+  let m = Machine.create (hw_cfg ~tau ~quiesce Config.Drain_adversarial) in
+  let g = Machine.alloc_global m 16 in
+  let stored_at = ref (-1) and seen_at = ref (-1) in
+  ignore
+    (Machine.spawn m (fun () ->
+         stored_at := Sim.clock ();
+         Sim.store g 1;
+         Sim.work 10_000));
+  ignore
+    (Machine.spawn m (fun () ->
+         Sim.spin_while (fun () -> Sim.load g = 0);
+         seen_at := Sim.clock ()));
+  ignore (Machine.run ~max_ticks:20_000 m);
+  Machine.kill_remaining m;
+  check_bool "visible" true (!seen_at >= 0);
+  check_bool "bounded by tau+quiesce" true
+    (!seen_at - !stored_at <= tau + quiesce + Config.default_costs.cache_miss + 30);
+  check_bool "a bail-out happened" true (Machine.quiescence_events m >= 1)
+
+let test_hw_timeout_rarely_expires () =
+  (* Under the normal (geometric) drain distribution stores propagate
+     well inside tau, so the expensive mechanism never fires — the
+     design goal of Section 6.1 ("a timeout that expires rarely"). *)
+  let m =
+    Machine.create (hw_cfg ~tau:2_000 ~quiesce:500 (Config.Drain_geometric { p = 0.5; cap = 200 }))
+  in
+  let g = Machine.alloc_global m 16 in
+  for i = 0 to 3 do
+    ignore
+      (Machine.spawn m (fun () ->
+           for k = 1 to 500 do
+             Sim.store (g + (i mod 2 * 8)) k;
+             ignore (Sim.load g);
+             Sim.work 5
+           done))
+  done;
+  ignore (Machine.run m);
+  check_int "no bail-outs" 0 (Machine.quiescence_events m)
+
+let test_hw_quiescence_freezes_execution () =
+  (* During the quiescence window no instruction executes: a spinning
+     counter shows a gap of at least [quiesce] ticks. *)
+  let tau = 200 and quiesce = 400 in
+  let m = Machine.create (hw_cfg ~tau ~quiesce Config.Drain_adversarial) in
+  let g = Machine.alloc_global m 16 in
+  let gaps = ref 0 in
+  ignore
+    (Machine.spawn m (fun () ->
+         Sim.store g 1;
+         Sim.work 5_000));
+  ignore
+    (Machine.spawn m (fun () ->
+         let last = ref (Sim.clock ()) in
+         for _ = 1 to 300 do
+           let now = Sim.clock () in
+           if now - !last > quiesce - 10 then incr gaps;
+           last := now
+         done));
+  ignore (Machine.run ~max_ticks:20_000 m);
+  Machine.kill_remaining m;
+  check_bool "observed the freeze" true (!gaps >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_records_sequence () =
+  let m = Machine.create Config.(with_consistency Sc default) in
+  let g = Machine.alloc_global m 16 in
+  let tr = Trace.create () in
+  Trace.attach tr m;
+  ignore
+    (Machine.spawn m (fun () ->
+         Sim.store g 5;
+         ignore (Sim.load g);
+         ignore (Sim.cas g ~expected:5 ~desired:6);
+         Sim.fence ();
+         Sim.label "done"));
+  ignore (Machine.run m);
+  let whats = List.map (fun (e : Trace.event) -> e.what) (Trace.events tr) in
+  check_bool "sequence" true
+    (whats
+    = [
+        Trace.T_store { addr = g; value = 5 };
+        Trace.T_load { addr = g; value = 5 };
+        Trace.T_rmw { addr = g; old_value = 5; new_value = 6 };
+        Trace.T_fence;
+        Trace.T_label "done";
+      ]);
+  let times = List.map (fun (e : Trace.event) -> e.at) (Trace.events tr) in
+  check_bool "timestamps nondecreasing" true
+    (List.sort compare times = times)
+
+let test_trace_ring_overflow () =
+  let m = Machine.create Config.(with_consistency Sc default) in
+  let g = Machine.alloc_global m 8 in
+  let tr = Trace.create ~capacity:16 () in
+  Trace.attach tr m;
+  ignore
+    (Machine.spawn m (fun () ->
+         for i = 1 to 40 do
+           Sim.store g i
+         done));
+  ignore (Machine.run m);
+  check_int "capacity kept" 16 (Trace.length tr);
+  check_int "dropped counted" 24 (Trace.dropped tr);
+  (* The ring keeps the newest events. *)
+  (match List.rev (Trace.events tr) with
+  | { Trace.what = Trace.T_store { value = 40; _ }; _ } :: _ -> ()
+  | _ -> Alcotest.fail "newest event missing");
+  Trace.clear tr;
+  check_int "cleared" 0 (Trace.length tr)
+
+let test_trace_filter () =
+  let m = Machine.create Config.(with_consistency Sc default) in
+  let g = Machine.alloc_global m 16 in
+  let tr = Trace.create () in
+  Trace.attach tr m;
+  ignore (Machine.spawn m (fun () -> Sim.store g 1));
+  ignore (Machine.spawn m (fun () -> Sim.store (g + 8) 2));
+  ignore (Machine.run m);
+  check_int "by tid" 1 (List.length (Trace.filter tr ~tid:0 ()));
+  check_int "by addr" 1 (List.length (Trace.filter tr ~addr:(g + 8) ()));
+  check_int "both" 0 (List.length (Trace.filter tr ~tid:0 ~addr:(g + 8) ()));
+  let s = Format.asprintf "%a" Trace.pp tr in
+  check_bool "pp nonempty" true (String.length s > 10)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "tsim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "geometric cap" `Quick test_rng_geometric_cap;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        ] );
+      ( "store_buffer",
+        [
+          Alcotest.test_case "fifo" `Quick test_sb_fifo;
+          Alcotest.test_case "forwarding newest" `Quick test_sb_forwarding_newest;
+          Alcotest.test_case "ring wraparound" `Quick test_sb_interleaved_wraparound;
+          Alcotest.test_case "oldest time" `Quick test_sb_oldest_time;
+          Alcotest.test_case "dequeue empty raises" `Quick test_sb_dequeue_empty;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "read write" `Quick test_mem_rw;
+          Alcotest.test_case "alloc alignment" `Quick test_mem_alloc_alignment;
+          Alcotest.test_case "alloc exhaustion" `Quick test_mem_alloc_exhaustion;
+          Alcotest.test_case "poison" `Quick test_mem_poison;
+          Alcotest.test_case "line versions" `Quick test_mem_line_version;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "conflict" `Quick test_cache_conflict;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "store-load forwarding" `Quick test_machine_store_load_forwarding;
+          Alcotest.test_case "fence publishes" `Quick test_machine_fence_publishes;
+          Alcotest.test_case "SB reordering observable under TSO" `Quick
+            test_machine_sb_reordering_observable_tso;
+          Alcotest.test_case "SB never reorders under SC" `Quick
+            test_machine_sb_never_reorders_sc;
+          Alcotest.test_case "TBTSO bounds visibility" `Quick test_machine_tbtso_bounds_visibility;
+          Alcotest.test_case "TSO unbounded invisibility" `Quick
+            test_machine_tso_unbounded_invisibility;
+          Alcotest.test_case "cas" `Quick test_machine_cas;
+          Alcotest.test_case "cas drains buffer" `Quick test_machine_cas_drains_buffer;
+          Alcotest.test_case "faa xchg" `Quick test_machine_faa_xchg;
+          Alcotest.test_case "faa atomic under contention" `Quick
+            test_machine_faa_atomic_under_contention;
+          Alcotest.test_case "clock monotonic" `Quick test_machine_clock_monotonic;
+          Alcotest.test_case "work costs time" `Quick test_machine_work_costs_time;
+          Alcotest.test_case "stall until" `Quick test_machine_stall_until;
+          Alcotest.test_case "stall for" `Quick test_machine_stall_for;
+          Alcotest.test_case "thread failure" `Quick test_machine_thread_failure;
+          Alcotest.test_case "UAF detection" `Quick test_machine_uaf_detection;
+          Alcotest.test_case "UAF on buffered commit" `Quick
+            test_machine_uaf_on_buffered_store_commit;
+          Alcotest.test_case "interrupts flush buffers" `Quick test_machine_interrupts_flush;
+          Alcotest.test_case "interrupt hook" `Quick test_machine_interrupt_hook;
+          Alcotest.test_case "stats" `Quick test_machine_stats;
+          Alcotest.test_case "label hook" `Quick test_machine_label_hook;
+          Alcotest.test_case "clock jump fast-forward" `Quick test_machine_clock_jump_is_fast;
+          Alcotest.test_case "drain all" `Quick test_machine_drain_all;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "alloc free reuse" `Quick test_heap_alloc_free_reuse;
+          Alcotest.test_case "alignment" `Quick test_heap_alignment;
+          Alcotest.test_case "zeroing" `Quick test_heap_zeroing;
+          Alcotest.test_case "double free" `Quick test_heap_double_free;
+          Alcotest.test_case "bad free" `Quick test_heap_bad_free;
+          Alcotest.test_case "accounting" `Quick test_heap_accounting;
+          Alcotest.test_case "block size" `Quick test_heap_block_size;
+          Alcotest.test_case "poison lifecycle" `Quick test_heap_poison_lifecycle;
+        ] );
+      ( "tbtso-hw",
+        [
+          Alcotest.test_case "bound emerges from bail-out" `Quick test_hw_bound_emerges;
+          Alcotest.test_case "timeout rarely expires" `Quick test_hw_timeout_rarely_expires;
+          Alcotest.test_case "quiescence freezes execution" `Quick
+            test_hw_quiescence_freezes_execution;
+        ] );
+      ( "tso-spatial",
+        [
+          Alcotest.test_case "buffer capacity enforced" `Quick test_tsos_capacity;
+          Alcotest.test_case "spatial flush makes old stores visible" `Quick
+            test_tsos_spatial_flush_machine;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records sequence" `Quick test_trace_records_sequence;
+          Alcotest.test_case "ring overflow" `Quick test_trace_ring_overflow;
+          Alcotest.test_case "filter and pp" `Quick test_trace_filter;
+        ] );
+      ( "rfo",
+        [
+          Alcotest.test_case "fenced store pays upgrade" `Quick test_rfo_delays_fenced_store;
+          Alcotest.test_case "unfenced store hides upgrade" `Quick test_rfo_hidden_without_fence;
+          Alcotest.test_case "store still commits" `Quick test_rfo_store_still_commits;
+        ] );
+      qsuite "properties" [ prop_sb_model; prop_heap_no_overlap; prop_machine_counter_deterministic ];
+    ]

@@ -1,0 +1,98 @@
+(* Checker throughput benchmark: states/second of the exhaustive litmus
+   explorer, and before-vs-after timings of the scaled explorer against
+   the retained naive reference enumerator at paper-scale Δ.
+
+   The workloads are the programs the repo's claims rest on: SB, MP and
+   the Section 3 flag protocol (2- and 3-thread forms), at
+   Δ ∈ {4, 100, 500}. The reference enumerator is skipped where it is
+   known not to terminate within the state budget.
+
+   Usage: dune exec bench/checker_bench.exe *)
+
+open Tsim
+open Litmus
+
+let x = 0
+let y = 1
+let z = 2
+
+let sb = [ [ Store (x, 1); Load (y, 0) ]; [ Store (y, 1); Load (x, 0) ] ]
+let mp = [ [ Store (x, 1); Store (y, 1) ]; [ Load (y, 0); Load (x, 1) ] ]
+
+let flag d =
+  [
+    [ Store (x, 1); Load (y, 0) ];
+    [ Store (y, 1); Fence; Wait d; Load (x, 0) ];
+  ]
+
+let flag3 d =
+  [
+    [ Store (x, 1); Load (y, 0) ];
+    [ Store (y, 1); Fence; Wait d; Load (x, 0) ];
+    [ Store (z, 1); Load (x, 2) ];
+  ]
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let pf fmt = Printf.printf fmt
+
+let run_case ~name ~mode ~reference program =
+  let r, dt = time (fun () -> explore ~mode program) in
+  let rate =
+    if dt > 0.0 then float_of_int r.stats.visited /. dt else infinity
+  in
+  pf "%-28s %9d states %s %8.3fs %12.0f st/s" name r.stats.visited
+    (if r.complete then " " else "!")
+    dt rate;
+  (if reference then
+     match
+       time (fun () ->
+           try Some (enumerate_reference ~mode program) with Failure _ -> None)
+     with
+     | Some outs, rdt ->
+         let agree = outs = r.outcomes in
+         pf "   ref %8.3fs (%5.1fx)%s" rdt
+           (if dt > 0.0 then rdt /. dt else infinity)
+           (if agree then "" else "  OUTCOME MISMATCH!")
+     | None, rdt -> pf "   ref >budget after %.1fs" rdt);
+  pf "\n%!"
+
+let () =
+  pf "Checker throughput (states/s), explorer vs reference enumerator\n";
+  pf "('!' marks an exploration cut off by the state budget)\n\n";
+  List.iter
+    (fun delta ->
+      pf "-- Δ = %d --\n" delta;
+      run_case ~name:"SB sc" ~mode:M_sc ~reference:true sb;
+      run_case ~name:"SB tso" ~mode:M_tso ~reference:true sb;
+      run_case
+        ~name:(Printf.sprintf "SB tbtso:%d" delta)
+        ~mode:(M_tbtso delta) ~reference:(delta <= 100) sb;
+      run_case
+        ~name:(Printf.sprintf "MP tbtso:%d" delta)
+        ~mode:(M_tbtso delta) ~reference:(delta <= 100) mp;
+      run_case
+        ~name:(Printf.sprintf "flag(Δ) tbtso:%d" delta)
+        ~mode:(M_tbtso delta)
+        ~reference:(delta <= 100)
+        (flag delta);
+      run_case
+        ~name:(Printf.sprintf "flag3(Δ) tbtso:%d" delta)
+        ~mode:(M_tbtso delta)
+          (* the 3-thread flag at Δ=100 takes the reference ~20 s; only
+             diff it at toy scale *)
+        ~reference:(delta <= 4)
+        (flag3 delta);
+      pf "\n")
+    [ 4; 100; 500 ];
+  pf "-- pathological waits --\n";
+  run_case ~name:"wait 1M (quiet)" ~mode:M_tso ~reference:false
+    [ [ Wait 1_000_000 ] ];
+  run_case ~name:"wait 1M vs racing SB" ~mode:(M_tbtso 4) ~reference:false
+    [
+      [ Wait 1_000_000; Store (x, 1); Load (y, 0) ];
+      [ Store (y, 1); Load (x, 0) ];
+    ]

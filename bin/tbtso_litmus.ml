@@ -2,7 +2,7 @@
    TBTSO[Δ].
 
    Usage:
-     tbtso_litmus check FILE... [--mode sc,tso,tbtso:4]
+     tbtso_litmus check FILE... [--mode sc,tso,tbtso:4] [--max-states N] [--stats]
      tbtso_litmus demo
 
    See Tsim.Litmus_parse for the file format; sample files live in
@@ -30,7 +30,24 @@ let mode_name = function
   | Litmus.M_tbtso d -> Printf.sprintf "TBTSO[%d]" d
   | Litmus.M_tsos s -> Printf.sprintf "TSO[S=%d]" s
 
-let check_one ~modes path =
+(* A verdict line for one (file, mode) pair. Budget exhaustion is a
+   reported result, never an exception: an [exists] witness found in a
+   partial exploration is still definitive, everything else degrades to
+   "inconclusive". *)
+let report t mode (r : Litmus_parse.check_result) =
+  let verdict =
+    match (t.Litmus_parse.quantifier, r.complete, r.holds) with
+    | Litmus_parse.Exists, _, true -> "witness OBSERVABLE"
+    | Litmus_parse.Exists, true, false -> "witness impossible"
+    | Litmus_parse.Exists, false, false -> "INCONCLUSIVE (state budget exceeded)"
+    | Litmus_parse.Forall, true, true -> "invariant holds"
+    | Litmus_parse.Forall, true, false -> "invariant VIOLATED"
+    | Litmus_parse.Forall, false, _ -> "INCONCLUSIVE (state budget exceeded)"
+  in
+  Printf.printf "  %-12s %4d outcomes   %s\n" (mode_name mode) r.outcome_count verdict;
+  Format.printf "  %-12s [%a]@." "" Litmus.pp_stats r.stats
+
+let check_one ~modes ~max_states path =
   let text =
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -41,14 +58,7 @@ let check_one ~modes path =
   let t = Litmus_parse.parse text in
   Printf.printf "%s (%s):\n" t.name path;
   List.iter
-    (fun mode ->
-      let answer, outcomes = Litmus_parse.check t ~mode in
-      let verdict =
-        match t.quantifier with
-        | Litmus_parse.Exists -> if answer then "witness OBSERVABLE" else "witness impossible"
-        | Litmus_parse.Forall -> if answer then "invariant holds" else "invariant VIOLATED"
-      in
-      Printf.printf "  %-12s %4d outcomes   %s\n" (mode_name mode) outcomes verdict)
+    (fun mode -> report t mode (Litmus_parse.check ~max_states t ~mode))
     modes;
   print_newline ()
 
@@ -79,22 +89,37 @@ let files_arg =
   let doc = "Litmus files to check." in
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
 
+let max_states_arg =
+  let doc =
+    "State budget per (file, mode) exploration; exceeding it reports an \
+     inconclusive verdict instead of an answer."
+  in
+  Arg.(
+    value
+    & opt int Litmus.default_max_states
+    & info [ "max-states" ] ~docv:"N" ~doc)
+
 let check_cmd =
-  let run modes files =
-    try
-      List.iter (check_one ~modes) files;
-      0
-    with
-    | Litmus_parse.Parse_error { line; message } ->
-        Printf.eprintf "parse error at line %d: %s\n" line message;
-        1
-    | Sys_error msg ->
-        Printf.eprintf "%s\n" msg;
-        1
+  let run modes max_states files =
+    if max_states < 1 then begin
+      Printf.eprintf "--max-states must be at least 1\n";
+      1
+    end
+    else
+      try
+        List.iter (check_one ~modes ~max_states) files;
+        0
+      with
+      | Litmus_parse.Parse_error { line; message } ->
+          Printf.eprintf "parse error at line %d: %s\n" line message;
+          1
+      | Sys_error msg ->
+          Printf.eprintf "%s\n" msg;
+          1
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Exhaustively check litmus files under the chosen memory models")
-    Term.(const run $ modes_arg $ files_arg)
+    Term.(const run $ modes_arg $ max_states_arg $ files_arg)
 
 let demo_cmd =
   let run () =
@@ -102,10 +127,7 @@ let demo_cmd =
     print_newline ();
     let t = Litmus_parse.parse demo_text in
     List.iter
-      (fun mode ->
-        let answer, outcomes = Litmus_parse.check t ~mode in
-        Printf.printf "  %-12s %4d outcomes   witness %s\n" (mode_name mode) outcomes
-          (if answer then "OBSERVABLE" else "impossible"))
+      (fun mode -> report t mode (Litmus_parse.check t ~mode))
       [ Litmus.M_sc; Litmus.M_tso; Litmus.M_tbtso 4 ];
     0
   in

@@ -24,6 +24,520 @@ type tstate = {
 
 type state = { mem_v : int array; threads : tstate array }
 
+type stats = {
+  visited : int;
+  dedup_hits : int;
+  max_frontier : int;
+  time_leaps : int;
+  sleep_skips : int;
+  elapsed : float;
+}
+
+type result = { outcomes : outcome list; complete : bool; stats : stats }
+
+let forward buf addr =
+  (* Newest matching entry wins; [buf] is oldest-first. *)
+  List.fold_left (fun acc e -> if e.addr = addr then Some e.value else acc) None buf
+
+(* [k] ticks pass: decrement waits and slacks. Returns None if some
+   buffered store can no longer meet its deadline (pruned execution).
+   [age_by 1] is exactly the reference semantics' per-action aging; a
+   single [age_by k] is observationally equal to [k] single steps. *)
+let age_by k state =
+  let ok = ref true in
+  let threads =
+    Array.map
+      (fun t ->
+        let buf =
+          List.map
+            (fun e ->
+              if e.slack = max_int then e
+              else if e.slack < k then begin
+                ok := false;
+                e
+              end
+              else { e with slack = e.slack - k })
+            t.buf
+        in
+        { t with wait = (if t.wait > k then t.wait - k else 0); buf })
+      state.threads
+  in
+  if !ok then Some { state with threads } else None
+
+let age state = age_by 1 state
+
+(* --- Compact state keys ---
+
+   States are encoded into an [int array] (memory cells, then per thread:
+   pc, wait, buffer length, registers, buffer entries) and hashed with
+   FNV-1a over the whole array. The reference implementation below builds
+   a fresh string per state instead; on the hot path that string
+   formatting dominated the profile. *)
+
+module Key = struct
+  type t = int array
+
+  let equal (a : int array) (b : int array) =
+    let la = Array.length a in
+    la = Array.length b
+    &&
+    let i = ref 0 in
+    while !i < la && Array.unsafe_get a !i = Array.unsafe_get b !i do
+      incr i
+    done;
+    !i = la
+
+  let hash (a : int array) =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to Array.length a - 1 do
+      h := (!h lxor Array.unsafe_get a i) * 0x01000193 land max_int
+    done;
+    !h
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+let encode_state s =
+  let n = ref (Array.length s.mem_v) in
+  Array.iter
+    (fun t -> n := !n + 3 + Array.length t.regs_v + (3 * List.length t.buf))
+    s.threads;
+  let k = Array.make !n 0 in
+  let i = ref 0 in
+  let put v =
+    Array.unsafe_set k !i v;
+    incr i
+  in
+  Array.iter put s.mem_v;
+  Array.iter
+    (fun t ->
+      put t.pc;
+      put t.wait;
+      put (List.length t.buf);
+      Array.iter put t.regs_v;
+      List.iter
+        (fun e ->
+          put e.addr;
+          put e.value;
+          put e.slack)
+        t.buf)
+    s.threads;
+  k
+
+let default_max_states = 2_000_000
+
+let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
+  let t0 = Sys.time () in
+  let programs = Array.of_list (List.map Array.of_list programs0) in
+  let n = Array.length programs in
+  let slack_of_store =
+    match mode with M_tbtso d -> d | M_sc | M_tso | M_tsos _ -> max_int
+  in
+  let buffer_capacity =
+    match mode with M_tsos s -> s | M_sc | M_tso | M_tbtso _ -> max_int
+  in
+  (* [suffix.(i).(pc)]: upper bound on the aging steps thread [i] can
+     still cause from [pc] — one per instruction, plus one per future
+     store (its drain), plus the full duration of every future wait
+     (each tick of idling must be covered by some active wait). *)
+  let suffix =
+    Array.map
+      (fun prog ->
+        let len = Array.length prog in
+        let s = Array.make (len + 1) 0 in
+        for pc = len - 1 downto 0 do
+          s.(pc) <-
+            s.(pc + 1)
+            + (match prog.(pc) with
+              | Store _ -> 2
+              | Wait d -> 1 + d
+              | Load _ | Loadeq _ | Fence | Cas _ -> 1)
+        done;
+        s)
+      programs
+  in
+  (* [actions.(i).(pc)]: real actions (instructions + drains of future
+     stores) thread [i] can still perform from [pc] — like [suffix] but
+     without wait durations. *)
+  let actions =
+    Array.map
+      (fun prog ->
+        let len = Array.length prog in
+        let s = Array.make (len + 1) 0 in
+        for pc = len - 1 downto 0 do
+          s.(pc) <-
+            s.(pc + 1)
+            + (match prog.(pc) with
+              | Store _ -> 2
+              | Load _ | Loadeq _ | Fence | Cas _ | Wait _ -> 1)
+        done;
+        s)
+      programs
+  in
+  (* [stores.(i).(pc)]: stores thread [i] can still buffer from [pc] —
+     each is a potential Δ-deadline window. *)
+  let stores =
+    Array.map
+      (fun prog ->
+        let len = Array.length prog in
+        let s = Array.make (len + 1) 0 in
+        for pc = len - 1 downto 0 do
+          s.(pc) <-
+            (s.(pc + 1)
+            + match prog.(pc) with
+              | Store _ -> 1
+              | Load _ | Loadeq _ | Fence | Cas _ | Wait _ -> 0)
+        done;
+        s)
+      programs
+  in
+  let clamp_pc i pc =
+    let len = Array.length programs.(i) in
+    if pc > len then len else pc
+  in
+  (* Upper bound on the number of aging steps any continuation of [st]
+     can take before the whole program terminates (or dead-ends). *)
+  let horizon st =
+    let h = ref 0 in
+    Array.iteri
+      (fun i t ->
+        h := !h + t.wait + List.length t.buf + suffix.(i).(clamp_pc i t.pc))
+      st.threads;
+    !h
+  in
+  (* Cap on observable wait magnitudes. Timing feasibility is a system of
+     difference constraints: unit costs per action (at most [R] of them
+     remain), one ≤ Δ drain window per buffered or future store (at most
+     [nwin] of them), lower bounds from waits, and idle padding that only
+     stretches spans a wait already covers. A wait enters such a
+     constraint cycle as a lower bound, so its exact length is observable
+     only up to the largest upper-bound total a cycle can cross:
+     [R + Δ·nwin]. Beyond [R + Δ·(nwin + 1) + 1] every cycle keeps its
+     sign when the wait shrinks to the cap, so the outcome set is
+     unchanged — this is what collapses "Wait 1,000,000 while another
+     thread races" from O(wait) states to a handful. *)
+  let max_slack = match mode with M_tbtso d -> d | M_sc | M_tso | M_tsos _ -> 0 in
+  let wait_cap st =
+    let r = ref 1 in
+    let nwin = ref 1 in
+    Array.iteri
+      (fun i t ->
+        let pc = clamp_pc i t.pc in
+        r := !r + List.length t.buf + actions.(i).(pc);
+        nwin := !nwin + List.length t.buf + stores.(i).(pc))
+      st.threads;
+    !r + (max_slack * !nwin)
+  in
+  (* Time-leap aging, part 2: counters far enough in the future are
+     unobservable, so saturate them — an entry whose slack is at least
+     the remaining horizon can never miss its deadline (slack becomes
+     [max_int]), and a wait beyond [wait_cap] is cut down to it. This
+     collapses the O(Δ) chains of states that differ only in a
+     harmlessly large counter (and makes short programs under
+     TBTSO[big Δ] explore the same state space as plain TSO). *)
+  let canon st =
+    let changed = ref false in
+    let cap = wait_cap st in
+    let threads =
+      Array.map
+        (fun t ->
+          if t.wait > cap then begin
+            changed := true;
+            { t with wait = cap }
+          end
+          else t)
+        st.threads
+    in
+    let st = if !changed then { st with threads } else st in
+    let h = horizon st in
+    let changed = ref false in
+    let threads =
+      Array.map
+        (fun t ->
+          let dirty =
+            List.exists (fun e -> e.slack <> max_int && e.slack >= h) t.buf
+          in
+          if not dirty then t
+          else begin
+            changed := true;
+            let buf =
+              List.map
+                (fun e ->
+                  if e.slack <> max_int && e.slack >= h then
+                    { e with slack = max_int }
+                  else e)
+                t.buf
+            in
+            { t with buf }
+          end)
+        st.threads
+    in
+    if !changed then { st with threads } else st
+  in
+  let init =
+    {
+      mem_v = Array.make addrs 0;
+      threads =
+        Array.init n (fun _ ->
+            { pc = 0; regs_v = Array.make regs 0; wait = 0; buf = [] });
+    }
+  in
+  let seen : int Ktbl.t = Ktbl.create 4096 in
+  let outcomes = Hashtbl.create 64 in
+  let visited = ref 0 in
+  let dedup_hits = ref 0 in
+  let max_frontier = ref 0 in
+  let frontier = ref 0 in
+  let time_leaps = ref 0 in
+  let sleep_skips = ref 0 in
+  let exhausted = ref false in
+  (* Worklist items: a state plus a sleep set — a bitmask of threads
+     whose drain action need not be explored from here because an
+     equivalent (commuted) interleaving was already explored. *)
+  let stack = ref [ (canon init, 0) ] in
+  frontier := 1;
+  max_frontier := 1;
+  let push st sleep =
+    stack := (st, sleep) :: !stack;
+    incr frontier;
+    if !frontier > !max_frontier then max_frontier := !frontier
+  in
+  let with_thread st i t =
+    let threads = Array.copy st.threads in
+    threads.(i) <- t;
+    { st with threads }
+  in
+  let expand st sleep =
+    (* Terminal state: all threads completed, all buffers empty. *)
+    if
+      Array.for_all (fun (t : tstate) -> t.buf = [] && t.wait = 0) st.threads
+      && Array.for_all2
+           (fun (t : tstate) prog -> t.pc >= Array.length prog)
+           st.threads programs
+    then
+      let o =
+        {
+          regs = Array.map (fun t -> Array.copy t.regs_v) st.threads;
+          mem = Array.copy st.mem_v;
+        }
+      in
+      Hashtbl.replace outcomes o ()
+    else begin
+      (* Drain actions, in thread order, with a sleep-set/commutativity
+         reduction: drains by distinct threads to distinct addresses
+         commute exactly, so after exploring drain(i) we add it to the
+         sleep set of later siblings' children and never explore the
+         reversed order of an independent pair. *)
+      let explored = ref sleep in
+      for i = 0 to n - 1 do
+        match st.threads.(i).buf with
+        | [] -> ()
+        | e :: _ ->
+            if sleep land (1 lsl i) <> 0 then incr sleep_skips
+            else begin
+              (match age st with
+              | None -> ()
+              | Some aged ->
+                  let t = aged.threads.(i) in
+                  let e', rest' =
+                    match t.buf with e' :: r -> (e', r) | [] -> assert false
+                  in
+                  let mem_v = Array.copy aged.mem_v in
+                  mem_v.(e'.addr) <- e'.value;
+                  let child =
+                    { (with_thread aged i { t with buf = rest' }) with mem_v }
+                  in
+                  (* Children inherit every already-explored drain that is
+                     independent of this one (other thread, other cell). *)
+                  let csleep = ref 0 in
+                  for j = 0 to n - 1 do
+                    if j <> i && !explored land (1 lsl j) <> 0 then
+                      match st.threads.(j).buf with
+                      | ej :: _ when ej.addr <> e.addr ->
+                          csleep := !csleep lor (1 lsl j)
+                      | _ -> ()
+                  done;
+                  push (canon child) !csleep);
+              explored := !explored lor (1 lsl i)
+            end
+      done;
+      (* Instruction actions. Instructions may create fresh counters
+         (store deadlines, waits), so their children start with an empty
+         sleep set — conservative, but unconditionally sound. *)
+      for i = 0 to n - 1 do
+        let t = st.threads.(i) in
+        if t.wait = 0 && t.pc < Array.length programs.(i) then begin
+          let step f =
+            match age st with
+            | None -> ()
+            | Some aged -> push (canon (f aged)) 0
+          in
+          match programs.(i).(t.pc) with
+          | Store (a, v) ->
+              (* Under TSO[S] a store is enabled only when the buffer has
+                 room (spatial bound). *)
+              if List.length t.buf < buffer_capacity then
+                step (fun st ->
+                    let t = st.threads.(i) in
+                    if mode = M_sc then begin
+                      let mem_v = Array.copy st.mem_v in
+                      mem_v.(a) <- v;
+                      { (with_thread st i { t with pc = t.pc + 1 }) with mem_v }
+                    end
+                    else
+                      let buf =
+                        t.buf @ [ { addr = a; value = v; slack = slack_of_store } ]
+                      in
+                      with_thread st i { t with pc = t.pc + 1; buf })
+          | Load (a, r) ->
+              step (fun st ->
+                  let t = st.threads.(i) in
+                  let v =
+                    match forward t.buf a with Some v -> v | None -> st.mem_v.(a)
+                  in
+                  let regs_v = Array.copy t.regs_v in
+                  regs_v.(r) <- v;
+                  with_thread st i { t with pc = t.pc + 1; regs_v })
+          | Loadeq (a, v0, skip) ->
+              step (fun st ->
+                  let t = st.threads.(i) in
+                  let v =
+                    match forward t.buf a with Some v -> v | None -> st.mem_v.(a)
+                  in
+                  let pc = if v = v0 then t.pc + 1 + skip else t.pc + 1 in
+                  with_thread st i { t with pc })
+          | Fence ->
+              if t.buf = [] then
+                step (fun st ->
+                    let t = st.threads.(i) in
+                    with_thread st i { t with pc = t.pc + 1 })
+          | Cas (a, expected, desired, r) ->
+              (* x86 locked RMW: requires an empty store buffer (it is
+                 drained first) and acts directly on memory. *)
+              if t.buf = [] then
+                step (fun st ->
+                    let t = st.threads.(i) in
+                    let cur = st.mem_v.(a) in
+                    let regs_v = Array.copy t.regs_v in
+                    let mem_v = Array.copy st.mem_v in
+                    if cur = expected then begin
+                      mem_v.(a) <- desired;
+                      regs_v.(r) <- 1
+                    end
+                    else regs_v.(r) <- 0;
+                    { (with_thread st i { t with pc = t.pc + 1; regs_v }) with
+                      mem_v
+                    })
+          | Wait d ->
+              step (fun st ->
+                  let t = st.threads.(i) in
+                  with_thread st i { t with pc = t.pc + 1; wait = d })
+        end
+      done;
+      (* Idle: time passes with nobody executing an instruction. Needed so
+         that waiting threads can unblock; only enabled while someone
+         waits, to keep the state space finite.
+
+         Time-leap aging, part 1: when no thread can execute an
+         instruction (every unfinished thread is mid-wait), the only
+         actions besides idling are drains — and a drain after j idle
+         ticks reaches exactly the state of draining now and idling j
+         ticks.  So instead of idling one tick at a time through a quiet
+         stretch we leap straight to the next wakeup, pruning the branch
+         if a deadline would expire strictly inside the leap (exactly
+         what tick-by-tick idling would conclude). *)
+      if Array.exists (fun t -> t.wait > 0) st.threads then begin
+        let can_instr = ref false in
+        for i = 0 to n - 1 do
+          let t = st.threads.(i) in
+          if t.wait = 0 && t.pc < Array.length programs.(i) then can_instr := true
+        done;
+        let k =
+          if !can_instr then 1
+          else
+            Array.fold_left
+              (fun acc t -> if t.wait > 0 && t.wait < acc then t.wait else acc)
+              max_int st.threads
+        in
+        match age_by k st with
+        | None -> ()
+        | Some aged ->
+            if k > 1 then incr time_leaps;
+            (* Idling commutes with every drain, so the accumulated sleep
+               set survives the idle step unchanged. *)
+            push (canon aged) !explored
+      end
+    end
+  in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | (st, sleep) :: rest ->
+        stack := rest;
+        decr frontier;
+        let key = encode_state st in
+        (match Ktbl.find_opt seen key with
+        | None ->
+            if !visited >= max_states then begin
+              (* Budget exhausted: report a typed partial result instead
+                 of failing from deep inside the exploration. *)
+              exhausted := true;
+              continue := false;
+              stack := []
+            end
+            else begin
+              incr visited;
+              Ktbl.add seen key sleep;
+              expand st sleep
+            end
+        | Some prev ->
+            (* Already explored. If the previous visit slept on a strict
+               subset of our sleep set it explored everything we would;
+               otherwise re-expand with the intersection (the standard
+               sleep-set state-matching rule). *)
+            if prev land lnot sleep = 0 then incr dedup_hits
+            else begin
+              let merged = prev land sleep in
+              Ktbl.replace seen key merged;
+              expand st merged
+            end)
+  done;
+  let all = Hashtbl.fold (fun o () acc -> o :: acc) outcomes [] in
+  let outcomes = List.sort compare all in
+  {
+    outcomes;
+    complete = not !exhausted;
+    stats =
+      {
+        visited = !visited;
+        dedup_hits = !dedup_hits;
+        max_frontier = !max_frontier;
+        time_leaps = !time_leaps;
+        sleep_skips = !sleep_skips;
+        elapsed = Sys.time () -. t0;
+      };
+  }
+
+let explore ~mode ?(addrs = 4) ?(regs = 4) ?(max_states = default_max_states)
+    programs =
+  enumerate_core ~mode ~addrs ~regs ~max_states programs
+
+let enumerate ~mode ?(addrs = 4) ?(regs = 4) ?(max_states = default_max_states)
+    programs =
+  let r = enumerate_core ~mode ~addrs ~regs ~max_states programs in
+  if not r.complete then
+    failwith
+      (Printf.sprintf "Litmus.enumerate: state space exceeds %d states" max_states);
+  r.outcomes
+
+(* --- Reference enumerator ---
+
+   The original recursive, tick-by-tick, string-keyed implementation,
+   kept verbatim as the differential-testing oracle: the optimized
+   checker above must produce the identical outcome set on every
+   program.  Do not "improve" this one. *)
+
 let key_of_state s =
   let b = Buffer.create 64 in
   Array.iter
@@ -55,33 +569,8 @@ let key_of_state s =
     s.threads;
   Buffer.contents b
 
-let forward buf addr =
-  (* Newest matching entry wins; [buf] is oldest-first. *)
-  List.fold_left (fun acc e -> if e.addr = addr then Some e.value else acc) None buf
-
-(* One tick passes: decrement waits and slacks. Returns None if some
-   buffered store can no longer meet its deadline (pruned execution). *)
-let age state =
-  let ok = ref true in
-  let threads =
-    Array.map
-      (fun t ->
-        let buf =
-          List.map
-            (fun e ->
-              if e.slack = max_int then e
-              else begin
-                if e.slack <= 0 then ok := false;
-                { e with slack = e.slack - 1 }
-              end)
-            t.buf
-        in
-        { t with wait = (if t.wait > 0 then t.wait - 1 else 0); buf })
-      state.threads
-  in
-  if !ok then Some { state with threads } else None
-
-let enumerate ~mode ?(addrs = 4) ?(regs = 4) ?(max_states = 2_000_000) programs =
+let enumerate_reference ~mode ?(addrs = 4) ?(regs = 4)
+    ?(max_states = default_max_states) programs =
   let programs = Array.of_list (List.map Array.of_list programs) in
   let n = Array.length programs in
   let init =
@@ -98,7 +587,9 @@ let enumerate ~mode ?(addrs = 4) ?(regs = 4) ?(max_states = 2_000_000) programs 
   let slack_of_store =
     match mode with M_tbtso d -> d | M_sc | M_tso | M_tsos _ -> max_int
   in
-  let buffer_capacity = match mode with M_tsos s -> s | M_sc | M_tso | M_tbtso _ -> max_int in
+  let buffer_capacity =
+    match mode with M_tsos s -> s | M_sc | M_tso | M_tbtso _ -> max_int
+  in
   let rec explore state =
     let key = key_of_state state in
     if not (Hashtbl.mem seen key) then begin
@@ -106,7 +597,8 @@ let enumerate ~mode ?(addrs = 4) ?(regs = 4) ?(max_states = 2_000_000) programs 
       incr visited;
       if !visited > max_states then
         failwith
-          (Printf.sprintf "Litmus.enumerate: state space exceeds %d states" max_states);
+          (Printf.sprintf "Litmus.enumerate: state space exceeds %d states"
+             max_states);
       let progressed = ref false in
       let step f =
         (* Apply an action: first age the state by one tick, then mutate. *)
@@ -152,7 +644,9 @@ let enumerate ~mode ?(addrs = 4) ?(regs = 4) ?(max_states = 2_000_000) programs 
                       { (with_thread st i { t with pc = t.pc + 1 }) with mem_v }
                     end
                     else
-                      let buf = t.buf @ [ { addr = a; value = v; slack = slack_of_store } ] in
+                      let buf =
+                        t.buf @ [ { addr = a; value = v; slack = slack_of_store } ]
+                      in
                       with_thread st i { t with pc = t.pc + 1; buf })
           | Load (a, r) ->
               step (fun st ->
@@ -190,7 +684,9 @@ let enumerate ~mode ?(addrs = 4) ?(regs = 4) ?(max_states = 2_000_000) programs 
                       regs_v.(r) <- 1
                     end
                     else regs_v.(r) <- 0;
-                    { (with_thread st i { t with pc = t.pc + 1; regs_v }) with mem_v })
+                    { (with_thread st i { t with pc = t.pc + 1; regs_v }) with
+                      mem_v
+                    })
           | Wait d ->
               step (fun st ->
                   let t = st.threads.(i) in
@@ -206,9 +702,7 @@ let enumerate ~mode ?(addrs = 4) ?(regs = 4) ?(max_states = 2_000_000) programs 
       if
         (not !progressed)
         && Array.for_all
-             (fun (t : tstate) ->
-               t.buf = []
-               && t.wait = 0)
+             (fun (t : tstate) -> t.buf = [] && t.wait = 0)
              state.threads
         && Array.for_all2
              (fun (t : tstate) prog -> t.pc >= Array.length prog)
@@ -242,3 +736,7 @@ let pp_outcome fmt o =
     o.regs;
   Format.fprintf fmt "] mem=(%s)"
     (String.concat "," (Array.to_list (Array.map string_of_int o.mem)))
+
+let pp_stats fmt s =
+  Format.fprintf fmt "%d states, %d dedup, frontier %d, %d leaps, %d sleeps, %.3fs"
+    s.visited s.dedup_hits s.max_frontier s.time_leaps s.sleep_skips s.elapsed

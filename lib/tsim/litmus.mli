@@ -13,7 +13,27 @@
     machine where at most one action executes per time unit. Under
     TBTSO[Δ] any execution in which a buffered store cannot be drained by
     its [enqueue + Δ] deadline is pruned, which is exactly the paper's
-    admissibility condition. *)
+    admissibility condition.
+
+    The checker is an iterative explicit-state explorer with three
+    scaling devices, all of which preserve the outcome set exactly:
+
+    - {b time-leap aging}: instead of idling one tick at a time through a
+      quiet stretch (every unfinished thread mid-wait), the explorer
+      jumps straight to the next wakeup; a deadline further away than
+      any continuation can reach is saturated to "no deadline"; and a
+      wait longer than every remaining deadline and action is capped, so
+      the exact value of a harmlessly large counter never splits states.
+      This is what makes paper-scale bounds (Δ = 500 and beyond)
+      checkable: state counts become independent of Δ for quiet periods.
+    - {b compact state keys}: states are deduplicated through an integer
+      encoding with an FNV-1a hash rather than freshly built strings.
+    - {b sleep sets}: store-buffer drains by different threads to
+      different addresses commute, so only one order of each independent
+      pair is explored.
+
+    {!enumerate_reference} retains the original recursive tick-by-tick
+    enumerator as a differential-testing oracle. *)
 
 type mode =
   | M_sc
@@ -41,14 +61,66 @@ type outcome = {
   mem : int array;  (** Final memory, all buffers drained. *)
 }
 
+type stats = {
+  visited : int;  (** Distinct states expanded. *)
+  dedup_hits : int;  (** Arrivals at an already-covered state. *)
+  max_frontier : int;  (** Peak worklist depth. *)
+  time_leaps : int;  (** Multi-tick idle jumps taken. *)
+  sleep_skips : int;  (** Drain actions pruned by the sleep sets. *)
+  elapsed : float;  (** CPU seconds spent exploring. *)
+}
+
+type result = {
+  outcomes : outcome list;  (** Deduplicated and sorted. *)
+  complete : bool;
+      (** [false] when [max_states] was reached: [outcomes] is then the
+          (sound but possibly incomplete) set found so far. *)
+  stats : stats;
+}
+
+val default_max_states : int
+(** 2 million states. *)
+
+val explore :
+  mode:mode ->
+  ?addrs:int ->
+  ?regs:int ->
+  ?max_states:int ->
+  instr list list ->
+  result
+(** All reachable outcomes, with exploration statistics. [addrs] and
+    [regs] default to 4. Never raises on state-budget exhaustion: a
+    partial exploration is reported through [complete = false]. *)
+
 val enumerate :
-  mode:mode -> ?addrs:int -> ?regs:int -> ?max_states:int -> instr list list -> outcome list
-(** All reachable outcomes, deduplicated and sorted. [addrs] and [regs]
-    default to 4. @raise Failure if more than [max_states] (default 2M)
-    distinct states are visited. *)
+  mode:mode ->
+  ?addrs:int ->
+  ?regs:int ->
+  ?max_states:int ->
+  instr list list ->
+  outcome list
+(** [(explore ...).outcomes], for callers that only want the set.
+    @raise Failure if more than [max_states] (default
+    {!default_max_states}) distinct states are visited. *)
+
+val enumerate_reference :
+  mode:mode ->
+  ?addrs:int ->
+  ?regs:int ->
+  ?max_states:int ->
+  instr list list ->
+  outcome list
+(** The original recursive, tick-by-tick, string-keyed enumerator, kept
+    as the differential-testing oracle for {!explore}: both must return
+    the identical outcome set on every program. Needs stack and state
+    space linear in wait durations and Δ, so only suitable for small
+    bounds. @raise Failure as {!enumerate}. *)
 
 val exists : outcome list -> (outcome -> bool) -> bool
 
 val for_all : outcome list -> (outcome -> bool) -> bool
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One-line rendering of exploration statistics. *)

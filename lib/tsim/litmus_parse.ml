@@ -140,9 +140,23 @@ let satisfies t (o : Litmus.outcome) =
       | Mem_eq (addr, v) -> o.mem.(addr) = v)
     t.condition
 
-let check t ~mode =
-  let outcomes = Litmus.enumerate ~mode t.program in
-  let n = List.length outcomes in
-  match t.quantifier with
-  | Exists -> (List.exists (satisfies t) outcomes, n)
-  | Forall -> (List.for_all (satisfies t) outcomes, n)
+type check_result = {
+  holds : bool;
+  outcome_count : int;
+  complete : bool;
+  stats : Litmus.stats;
+}
+
+let check ?(max_states = Litmus.default_max_states) t ~mode =
+  let r = Litmus.explore ~mode ~max_states t.program in
+  let holds =
+    match t.quantifier with
+    | Exists -> List.exists (satisfies t) r.outcomes
+    | Forall -> List.for_all (satisfies t) r.outcomes
+  in
+  {
+    holds;
+    outcome_count = List.length r.outcomes;
+    complete = r.complete;
+    stats = r.stats;
+  }

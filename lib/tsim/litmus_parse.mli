@@ -48,7 +48,21 @@ val parse : string -> t
 
 val satisfies : t -> Litmus.outcome -> bool
 
-val check : t -> mode:Litmus.mode -> bool * int
-(** [check t ~mode] enumerates outcomes and returns
-    [(query answer, number of distinct outcomes)]: for [Exists], whether
-    a witness exists; for [Forall], whether the condition is invariant. *)
+type check_result = {
+  holds : bool;
+      (** For [Exists], whether a witness outcome exists; for [Forall],
+          whether the condition is invariant over all outcomes. *)
+  outcome_count : int;  (** Distinct final outcomes found. *)
+  complete : bool;
+      (** [false] when exploration hit [max_states]: [holds] then refers
+          to the partial outcome set only. An [Exists] witness found in a
+          partial exploration is still definitive; a [Forall] or a
+          failed [Exists] is inconclusive. *)
+  stats : Litmus.stats;
+}
+
+val check : ?max_states:int -> t -> mode:Litmus.mode -> check_result
+(** [check t ~mode] exhaustively enumerates outcomes under [mode] (up to
+    [max_states] distinct states, default
+    {!Litmus.default_max_states}) and evaluates the file's condition.
+    Never raises on budget exhaustion — see [complete]. *)

@@ -28,6 +28,7 @@ type thread_stats = {
   cache_misses : int;
   drains : int;
   forced_drains : int;
+  exit_drains : int;
 }
 
 type mstats = {
@@ -39,7 +40,14 @@ type mstats = {
   mutable cache_misses : int;
   mutable drains : int;
   mutable forced_drains : int;
+  mutable exit_drains : int;
 }
+
+(* Why a commit happened: the scheduler's own pace, a model obligation
+   (Δ deadline, interrupt, quiescence), or end-of-run cleanup. [drains]
+   counts all three; the latter two also count in their own field, so
+   voluntary = drains - forced_drains - exit_drains. *)
+type drain_kind = D_voluntary | D_forced | D_exit
 
 type thread = {
   tid : int;
@@ -134,6 +142,7 @@ let fresh_stats () =
     cache_misses = 0;
     drains = 0;
     forced_drains = 0;
+    exit_drains = 0;
   }
 
 let freeze (s : mstats) : thread_stats =
@@ -146,6 +155,7 @@ let freeze (s : mstats) : thread_stats =
     cache_misses = s.cache_misses;
     drains = s.drains;
     forced_drains = s.forced_drains;
+    exit_drains = s.exit_drains;
   }
 
 let stats t tid = freeze t.threads.(tid).st
@@ -161,7 +171,8 @@ let total_stats t =
     acc.clock_reads <- acc.clock_reads + s.clock_reads;
     acc.cache_misses <- acc.cache_misses + s.cache_misses;
     acc.drains <- acc.drains + s.drains;
-    acc.forced_drains <- acc.forced_drains + s.forced_drains
+    acc.forced_drains <- acc.forced_drains + s.forced_drains;
+    acc.exit_drains <- acc.exit_drains + s.exit_drains
   done;
   freeze acc
 
@@ -298,17 +309,20 @@ let check_poison t th addr ~write =
   if t.cfg.Config.detect_uaf && Memory.is_poisoned t.mem addr then
     raise (Memory.Use_after_free { addr; tid = th.tid; at = t.clock; write })
 
-let commit t th (e : Store_buffer.entry) ~forced =
+let commit t th (e : Store_buffer.entry) ~kind =
   check_poison t th e.addr ~write:true;
   Memory.write t.mem ~tid:th.tid ~at:t.clock e.addr e.value;
   (* The writer retains the line in its own cache. *)
   let line = Memory.line_of e.addr in
   ignore (Cache.access th.cache ~line ~version:(Memory.line_version t.mem e.addr));
   th.st.drains <- th.st.drains + 1;
-  if forced then th.st.forced_drains <- th.st.forced_drains + 1
+  (match kind with
+  | D_voluntary -> ()
+  | D_forced -> th.st.forced_drains <- th.st.forced_drains + 1
+  | D_exit -> th.st.exit_drains <- th.st.exit_drains + 1)
 
-let drain_one t th ~forced =
-  commit t th (Store_buffer.dequeue_oldest th.buf) ~forced
+let drain_one t th ~kind =
+  commit t th (Store_buffer.dequeue_oldest th.buf) ~kind
 
 (* Attempt to drain the oldest entry, modelling read-for-ownership: a
    store whose target line was read by another core must first regain
@@ -331,7 +345,7 @@ let try_drain t th ~respect_ready =
         true
       end
       else begin
-        drain_one t th ~forced:false;
+        drain_one t th ~kind:D_voluntary;
         true
       end
 
@@ -500,7 +514,7 @@ let exec t th =
 let interrupt t th =
   (* A kernel entry drains the store buffer (Section 6.2). *)
   while not (Store_buffer.is_empty th.buf) do
-    drain_one t th ~forced:true
+    drain_one t th ~kind:D_forced
   done;
   (match t.interrupt_hook with
   | Some f -> f ~tid:th.tid ~now:t.clock
@@ -562,7 +576,7 @@ let describe_stuck t =
   done;
   Buffer.contents b
 
-let tick t =
+let tick ?(deadline = max_int) t =
   t.clock <- t.clock + 1;
   let acted = ref false in
   (* Phase 1: timer interrupts. *)
@@ -588,7 +602,7 @@ let tick t =
         let rec force () =
           match Store_buffer.peek_oldest th.buf with
           | Some e when e.enqueued_at + delta <= t.clock ->
-              drain_one t th ~forced:true;
+              drain_one t th ~kind:D_forced;
               acted := true;
               force ()
           | Some _ | None -> ()
@@ -605,7 +619,7 @@ let tick t =
         for i = 0 to t.nthreads - 1 do
           let th = t.threads.(i) in
           while not (Store_buffer.is_empty th.buf) do
-            drain_one t th ~forced:true
+            drain_one t th ~kind:D_forced
           done
         done;
         acted := true
@@ -659,7 +673,11 @@ let tick t =
   if not !acted then begin
     let next = next_event_time t in
     if next = max_int then raise (Deadlock (describe_stuck t))
-    else t.clock <- next - 1 (* next iteration increments into the event *)
+    else
+      (* Fast-forward to just before the next event, but never past the
+         caller's deadline: [run ~max_ticks] must report [Max_ticks] with
+         the clock at the deadline, not at some event beyond it. *)
+      t.clock <- min (next - 1) deadline
   end
 
 let check_failure t =
@@ -679,7 +697,7 @@ let exit_drain t =
       let th = t.threads.(i) in
       if not (Store_buffer.is_empty th.buf) then begin
         left := true;
-        drain_one t th ~forced:false
+        drain_one t th ~kind:D_exit
       end
     done;
     if !left then begin
@@ -703,7 +721,7 @@ let run ?(max_ticks = max_int) ?stop_when t =
     else if t.clock >= deadline then Max_ticks
     else if stopped () then Stop_condition
     else begin
-      tick t;
+      tick ~deadline t;
       loop ()
     end
   in
@@ -734,6 +752,6 @@ let drain_all t =
   for i = 0 to t.nthreads - 1 do
     let th = t.threads.(i) in
     while not (Store_buffer.is_empty th.buf) do
-      drain_one t th ~forced:false
+      drain_one t th ~kind:D_exit
     done
   done

@@ -42,8 +42,15 @@ type thread_stats = {
   fences : int;
   clock_reads : int;
   cache_misses : int;
-  drains : int;  (** Entries committed from this thread's buffer. *)
-  forced_drains : int;  (** Of which committed by the Δ deadline. *)
+  drains : int;  (** Entries committed from this thread's buffer (total). *)
+  forced_drains : int;
+      (** Of which committed by a model obligation: the Δ deadline, a
+          timer interrupt's kernel entry, or a [Tbtso_hw] quiescence. *)
+  exit_drains : int;
+      (** Of which committed by end-of-run cleanup ({!drain_all}, or the
+          implicit drain when every thread has finished) rather than
+          during execution. Voluntary, scheduler-paced drains are
+          [drains - forced_drains - exit_drains]. *)
 }
 
 val create : Config.t -> t
@@ -63,7 +70,9 @@ val thread_count : t -> int
 
 val run : ?max_ticks:int -> ?stop_when:(t -> bool) -> t -> stop_reason
 (** Drive the machine until every thread finishes, [max_ticks] elapse, or
-    [stop_when] holds (checked once per tick).
+    [stop_when] holds (checked once per tick). On [Max_ticks] the clock
+    is exactly the deadline: quiet-period fast-forwarding never jumps
+    past it.
     @raise Thread_failure if a thread body raises.
     @raise Memory.Use_after_free on a detected access to freed memory.
     @raise Deadlock if no progress is possible. *)

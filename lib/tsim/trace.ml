@@ -53,7 +53,7 @@ let attach t machine =
   Machine.set_label_hook machine (fun ~tid ~now s ->
       record t { at = now; tid; what = T_label s })
 
-let filter t ?tid ?addr () =
+let filter t ?tid ?addr ?(include_neutral = true) () =
   List.filter
     (fun e ->
       (match tid with Some i -> e.tid = i | None -> true)
@@ -64,7 +64,7 @@ let filter t ?tid ?addr () =
           match e.what with
           | T_load { addr; _ } | T_store { addr; _ } -> addr = a
           | T_rmw { addr; _ } -> addr = a
-          | T_fence | T_clock _ | T_label _ -> true))
+          | T_fence | T_clock _ | T_label _ -> include_neutral))
     (events t)
 
 let pp_event fmt e =

@@ -40,9 +40,13 @@ val dropped : t -> int
 
 val clear : t -> unit
 
-val filter : t -> ?tid:int -> ?addr:int -> unit -> event list
-(** Events restricted to one thread and/or one address ([T_fence],
-    [T_clock] and [T_label] match any [addr]). *)
+val filter :
+  t -> ?tid:int -> ?addr:int -> ?include_neutral:bool -> unit -> event list
+(** Events restricted to one thread and/or one address. [T_fence],
+    [T_clock] and [T_label] carry no address: under an [addr] filter they
+    are kept by default (so a per-address history still shows the fences
+    ordering it) and dropped with [~include_neutral:false]. The flag has
+    no effect unless [addr] is given. *)
 
 val pp_event : Format.formatter -> event -> unit
 

@@ -411,6 +411,132 @@ let prop_sc_subset_tsos =
   QCheck.Test.make ~name:"SC outcomes ⊆ TSO[S] outcomes" ~count:50 program_arb (fun p ->
       subset (enumerate ~mode:M_sc p) (enumerate ~mode:(M_tsos 1) p))
 
+(* --- Differential testing against the retained reference enumerator --- *)
+
+(* Three-thread programs with slightly longer waits, to exercise the
+   time-leap, slack-saturation and sleep-set machinery of the new
+   explorer against the naive tick-by-tick oracle. *)
+let instr_gen3 =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun a v -> Store (a, 1 + v)) (int_bound 1) (int_bound 2));
+        (4, map2 (fun a r -> Load (a, r)) (int_bound 1) (int_bound 2));
+        (1, return Fence);
+        (1, map (fun d -> Wait (1 + d)) (int_bound 6));
+        (1, map2 (fun a r -> Cas (a, 0, 1, r)) (int_bound 1) (int_bound 2));
+        (1, map2 (fun a s -> Loadeq (a, 0, 1 + s)) (int_bound 1) (int_bound 1));
+      ])
+
+let program_gen3 =
+  QCheck.Gen.(
+    int_range 1 3 >>= fun n ->
+    list_repeat n (list_size (int_range 1 4) instr_gen3))
+
+let program_arb3 =
+  QCheck.make
+    ~print:(fun p ->
+      String.concat " || "
+        (List.map
+           (fun t ->
+             String.concat "; "
+               (List.map
+                  (function
+                    | Store (a, v) -> Printf.sprintf "st x%d=%d" a v
+                    | Load (a, r) -> Printf.sprintf "r%d=ld x%d" r a
+                    | Loadeq (a, v, s) -> Printf.sprintf "ldeq x%d=%d skip %d" a v s
+                    | Fence -> "fence"
+                    | Wait d -> Printf.sprintf "wait %d" d
+                    | Cas (a, e, d, r) -> Printf.sprintf "r%d=cas x%d %d->%d" r a e d)
+                  t))
+           p))
+    program_gen3
+
+let diff_modes = [ M_sc; M_tso; M_tbtso 3; M_tbtso 7; M_tsos 2 ]
+
+let prop_new_equals_reference =
+  (* The core soundness property of this module: the scaled explorer and
+     the naive reference enumerator agree on the exact outcome set under
+     every model. *)
+  QCheck.Test.make ~name:"explore ≡ reference on random programs" ~count:60
+    program_arb3 (fun p ->
+      List.for_all
+        (fun mode -> enumerate ~mode p = enumerate_reference ~mode p)
+        diff_modes)
+
+let test_diff_boundary_grid () =
+  (* Wait-vs-Δ boundary sweep on the flag protocol (with and without the
+     fence), including waits well past the explorer's wait cap: the
+     region where the flag principle tips from violated to holding. *)
+  List.iter
+    (fun delta ->
+      List.iter
+        (fun w ->
+          List.iter
+            (fun fenced ->
+              let t1 =
+                if fenced then [ Store (y, 1); Fence; Wait w; Load (x, r1) ]
+                else [ Store (y, 1); Wait w; Load (x, r1) ]
+              in
+              let p = [ [ Store (x, 1); Load (y, r0) ]; t1 ] in
+              let mode = M_tbtso delta in
+              let a = enumerate ~mode p and b = enumerate_reference ~mode p in
+              Alcotest.(check bool)
+                (Printf.sprintf "w=%d Δ=%d fenced=%b" w delta fenced)
+                true (a = b))
+            [ true; false ])
+        [ 1; 2; 3; 5; 8; 25; 40 ])
+    [ 1; 2; 4; 7; 11 ]
+
+let test_recursion_killer () =
+  (* A wait of 200k ticks: the seed's recursive tick-by-tick explorer
+     dies on this shape (hundreds of thousands of stack frames / states);
+     the worklist explorer with time-leap aging answers instantly. *)
+  let p = [ [ Wait 200_000; Store (x, 1) ]; [ Wait 150_000; Store (y, 1) ] ] in
+  let r = explore ~mode:M_tso p in
+  check_bool "completes" true r.complete;
+  check_bool "leaps taken" true (r.stats.time_leaps >= 1);
+  check_bool "tiny state count" true (r.stats.visited < 1_000);
+  check_bool "single outcome" true (List.length r.outcomes = 1);
+  (* Huge wait racing concurrently-active threads: caught by the wait
+     cap rather than the quiet-stretch leap. *)
+  let q =
+    [ [ Wait 1_000_000; Store (x, 1); Load (y, r0) ]; [ Store (y, 1); Load (x, r1) ] ]
+  in
+  List.iter
+    (fun mode ->
+      let r = explore ~mode q in
+      check_bool "completes under cap" true r.complete;
+      check_bool "tiny state count under cap" true (r.stats.visited < 10_000))
+    [ M_tso; M_tbtso 4 ]
+
+let test_paper_scale_delta () =
+  (* Acceptance bar from the issue: SB and the flag protocol at the
+     paper's Δ = 100 and Δ = 500 within the default budget. *)
+  List.iter
+    (fun delta ->
+      let r = explore ~mode:(M_tbtso delta) sb in
+      check_bool (Printf.sprintf "SB Δ=%d completes" delta) true r.complete;
+      let flag = tbtso_flag delta in
+      let r = explore ~mode:(M_tbtso delta) flag in
+      check_bool (Printf.sprintf "flag Δ=%d completes" delta) true r.complete;
+      check_bool
+        (Printf.sprintf "flag principle Δ=%d" delta)
+        false
+        (exists r.outcomes both_zero))
+    [ 100; 500 ]
+
+let test_explore_partial_result () =
+  let r = explore ~mode:M_tso ~max_states:10 sb in
+  check_bool "partial flagged" false r.complete;
+  check_bool "budget respected" true (r.stats.visited <= 10);
+  (* [enumerate] keeps the seed's contract: budget exhaustion raises. *)
+  check_bool "enumerate raises" true
+    (try
+       ignore (enumerate ~mode:M_tso ~max_states:10 sb);
+       false
+     with Failure _ -> true)
+
 (* --- Litmus file parser --- *)
 
 let test_parse_roundtrip () =
@@ -445,24 +571,36 @@ let test_parse_check_agrees_with_enumerate () =
      exists 0:r0 = 0 /\\ 1:r1 = 0\n"
   in
   let t = Litmus_parse.parse text in
-  let tso, _ = Litmus_parse.check t ~mode:M_tso in
-  let sc, _ = Litmus_parse.check t ~mode:M_sc in
-  check_bool "TSO observable" true tso;
-  check_bool "SC impossible" false sc
+  let tso = Litmus_parse.check t ~mode:M_tso in
+  let sc = Litmus_parse.check t ~mode:M_sc in
+  check_bool "TSO observable" true tso.holds;
+  check_bool "SC impossible" false sc.holds;
+  check_bool "TSO complete" true tso.complete;
+  check_bool "TSO stats populated" true (tso.stats.visited > 0)
 
 let test_parse_cas () =
   let text = "thread\n cas x 0 1 -> r0\nforall x = 1\n" in
   let t = Litmus_parse.parse text in
   check_bool "cas parsed" true (t.program = [ [ Cas (0, 0, 1, 0) ] ]);
-  let ok, _ = Litmus_parse.check t ~mode:M_tso in
-  check_bool "cas executes" true ok
+  check_bool "cas executes" true (Litmus_parse.check t ~mode:M_tso).holds
 
 let test_parse_forall () =
   let text = "thread\n store x 7\nforall x = 7\n" in
   let t = Litmus_parse.parse text in
   check_bool "forall" true (t.quantifier = Litmus_parse.Forall);
-  let ok, _ = Litmus_parse.check t ~mode:M_tso in
-  check_bool "invariant holds" true ok
+  check_bool "invariant holds" true (Litmus_parse.check t ~mode:M_tso).holds
+
+let test_check_budget_exceeded () =
+  (* Exhausting the state budget must surface as [complete = false], not
+     as an exception, and a partial [exists] answer must stay sound. *)
+  let text =
+    "thread\n store x 1\n load y -> r0\nthread\n store y 1\n load x -> r1\n\
+     exists 0:r0 = 0 /\\ 1:r1 = 0\n"
+  in
+  let t = Litmus_parse.parse text in
+  let r = Litmus_parse.check ~max_states:5 t ~mode:M_tso in
+  check_bool "incomplete" false r.complete;
+  check_bool "visited capped" true (r.stats.visited <= 5)
 
 let check_parse_error text =
   try
@@ -520,6 +658,13 @@ let () =
           Alcotest.test_case "spatial flush restricts outcomes" `Quick
             test_tsos_spatial_flush;
         ] );
+      ( "scaling",
+        [
+          Alcotest.test_case "boundary grid vs reference" `Quick test_diff_boundary_grid;
+          Alcotest.test_case "recursion killer (Wait 200k)" `Quick test_recursion_killer;
+          Alcotest.test_case "paper-scale Δ ∈ {100, 500}" `Quick test_paper_scale_delta;
+          Alcotest.test_case "partial result on budget" `Quick test_explore_partial_result;
+        ] );
       ( "parser",
         [
           Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
@@ -528,7 +673,10 @@ let () =
           Alcotest.test_case "cas syntax" `Quick test_parse_cas;
           Alcotest.test_case "forall" `Quick test_parse_forall;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "budget exceeded is a verdict" `Quick
+            test_check_budget_exceeded;
         ] );
+      qsuite "differential" [ prop_new_equals_reference ];
       qsuite "properties"
         [
           prop_sc_subset_tbtso;

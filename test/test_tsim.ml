@@ -559,6 +559,40 @@ let test_machine_drain_all () =
   Machine.drain_all m;
   check_int "drained" 5 (Memory.read (Machine.memory m) g)
 
+let test_machine_max_ticks_deadline () =
+  (* The quiet-period fast-forward must clamp at the run deadline: a
+     thread stalling 50M ticks with max_ticks = 100 stops at exactly
+     tick 100, not at the stall's wakeup. *)
+  let m, reason =
+    run_machine ~max_ticks:100 sc_config [ (fun _ -> Sim.stall_until 50_000_000) ]
+  in
+  check_bool "max ticks" true (reason = Machine.Max_ticks);
+  check_int "clock at deadline" 100 (Machine.now m)
+
+let test_machine_drain_kind_split () =
+  (* End-of-run drains are their own statistic, not "voluntary": under
+     adversarial drains all three stores survive to the exit drain. *)
+  let m, reason =
+    run_machine tso_adversarial
+      [ (fun g -> Sim.store g 1; Sim.store (g + 8) 2; Sim.store g 3) ]
+  in
+  check_bool "finished" true (reason = Machine.All_finished);
+  let s = Machine.stats m 0 in
+  check_int "total drains" 3 s.drains;
+  check_int "exit drains" 3 s.exit_drains;
+  check_int "forced drains" 0 s.forced_drains;
+  (* Δ-deadline commits count as forced, and are not double-counted at
+     exit: the store is out of the buffer long before the thread ends. *)
+  let m, _ =
+    run_machine
+      Config.(with_drain Drain_adversarial (with_consistency (Tbtso 5) default))
+      [ (fun g -> Sim.store g 7; Sim.work 50) ]
+  in
+  let s = Machine.stats m 0 in
+  check_int "total drains (tbtso)" 1 s.drains;
+  check_int "forced drains (tbtso)" 1 s.forced_drains;
+  check_int "exit drains (tbtso)" 0 s.exit_drains
+
 (* ------------------------------------------------------------------ *)
 (* Heap                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -969,12 +1003,21 @@ let test_trace_filter () =
   let g = Machine.alloc_global m 16 in
   let tr = Trace.create () in
   Trace.attach tr m;
-  ignore (Machine.spawn m (fun () -> Sim.store g 1));
+  ignore (Machine.spawn m (fun () -> Sim.store g 1; Sim.fence ()));
   ignore (Machine.spawn m (fun () -> Sim.store (g + 8) 2));
   ignore (Machine.run m);
-  check_int "by tid" 1 (List.length (Trace.filter tr ~tid:0 ()));
-  check_int "by addr" 1 (List.length (Trace.filter tr ~addr:(g + 8) ()));
-  check_int "both" 0 (List.length (Trace.filter tr ~tid:0 ~addr:(g + 8) ()));
+  check_int "by tid" 2 (List.length (Trace.filter tr ~tid:0 ()));
+  (* Address-less events (fences, clock reads, labels) pass an [addr]
+     filter by default and are dropped with [~include_neutral:false]. *)
+  check_int "by addr keeps neutral" 2 (List.length (Trace.filter tr ~addr:(g + 8) ()));
+  check_int "by addr strict" 1
+    (List.length (Trace.filter tr ~addr:(g + 8) ~include_neutral:false ()));
+  check_int "both" 1 (List.length (Trace.filter tr ~tid:0 ~addr:(g + 8) ()));
+  check_int "both strict" 0
+    (List.length (Trace.filter tr ~tid:0 ~addr:(g + 8) ~include_neutral:false ()));
+  (* Without an address filter the flag is inert. *)
+  check_int "no addr ignores flag" 3
+    (List.length (Trace.filter tr ~include_neutral:false ()));
   let s = Format.asprintf "%a" Trace.pp tr in
   check_bool "pp nonempty" true (String.length s > 10)
 
@@ -1042,6 +1085,9 @@ let () =
           Alcotest.test_case "label hook" `Quick test_machine_label_hook;
           Alcotest.test_case "clock jump fast-forward" `Quick test_machine_clock_jump_is_fast;
           Alcotest.test_case "drain all" `Quick test_machine_drain_all;
+          Alcotest.test_case "max_ticks clamps fast-forward" `Quick
+            test_machine_max_ticks_deadline;
+          Alcotest.test_case "drain-kind split" `Quick test_machine_drain_kind_split;
         ] );
       ( "heap",
         [

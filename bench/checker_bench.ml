@@ -7,10 +7,14 @@
    Δ ∈ {4, 100, 500}. The reference enumerator is skipped where it is
    known not to terminate within the state budget.
 
-   Usage: dune exec bench/checker_bench.exe *)
+   Usage: dune exec bench/checker_bench.exe -- [--quick] [--json PATH]
+   --quick drops the Δ = 500 tier and the slower reference diffs (the
+   CI configuration); --json writes every case as a machine-readable
+   record. *)
 
 open Tsim
 open Litmus
+module Json = Tbtso_obs.Json
 
 let x = 0
 let y = 1
@@ -39,6 +43,14 @@ let time f =
 
 let pf fmt = Printf.printf fmt
 
+let mode_label = function
+  | M_sc -> "sc"
+  | M_tso -> "tso"
+  | M_tbtso d -> Printf.sprintf "tbtso:%d" d
+  | M_tsos s -> Printf.sprintf "tsos:%d" s
+
+let records : Json.t list ref = ref []
+
 let run_case ~name ~mode ~reference program =
   let r, dt = time (fun () -> explore ~mode program) in
   let rate =
@@ -47,6 +59,7 @@ let run_case ~name ~mode ~reference program =
   pf "%-28s %9d states %s %8.3fs %12.0f st/s" name r.stats.visited
     (if r.complete then " " else "!")
     dt rate;
+  let ref_fields = ref [] in
   (if reference then
      match
        time (fun () ->
@@ -54,15 +67,43 @@ let run_case ~name ~mode ~reference program =
      with
      | Some outs, rdt ->
          let agree = outs = r.outcomes in
+         ref_fields :=
+           [ ("ref_seconds", Json.Float rdt); ("ref_agree", Json.Bool agree) ];
          pf "   ref %8.3fs (%5.1fx)%s" rdt
            (if dt > 0.0 then rdt /. dt else infinity)
            (if agree then "" else "  OUTCOME MISMATCH!")
-     | None, rdt -> pf "   ref >budget after %.1fs" rdt);
-  pf "\n%!"
+     | None, rdt ->
+         ref_fields := [ ("ref_seconds", Json.Float rdt); ("ref_over_budget", Json.Bool true) ];
+         pf "   ref >budget after %.1fs" rdt);
+  pf "\n%!";
+  records :=
+    Json.obj
+      ([
+         ("name", Json.String name);
+         ("mode", Json.String (mode_label mode));
+         ("complete", Json.Bool r.complete);
+         ("wall_seconds", Json.Float dt);
+         ("states_per_sec", Json.Float (if Float.is_finite rate then rate else 0.0));
+         ("stats", stats_json r.stats);
+       ]
+      @ !ref_fields)
+    :: !records
 
 let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let json_path =
+    let rec find = function
+      | "--json" :: p :: _ -> Some p
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   pf "Checker throughput (states/s), explorer vs reference enumerator\n";
   pf "('!' marks an exploration cut off by the state budget)\n\n";
+  let deltas = if quick then [ 4; 100 ] else [ 4; 100; 500 ] in
+  let ref_budget = if quick then 4 else 100 in
   List.iter
     (fun delta ->
       pf "-- Δ = %d --\n" delta;
@@ -70,14 +111,14 @@ let () =
       run_case ~name:"SB tso" ~mode:M_tso ~reference:true sb;
       run_case
         ~name:(Printf.sprintf "SB tbtso:%d" delta)
-        ~mode:(M_tbtso delta) ~reference:(delta <= 100) sb;
+        ~mode:(M_tbtso delta) ~reference:(delta <= ref_budget) sb;
       run_case
         ~name:(Printf.sprintf "MP tbtso:%d" delta)
-        ~mode:(M_tbtso delta) ~reference:(delta <= 100) mp;
+        ~mode:(M_tbtso delta) ~reference:(delta <= ref_budget) mp;
       run_case
         ~name:(Printf.sprintf "flag(Δ) tbtso:%d" delta)
         ~mode:(M_tbtso delta)
-        ~reference:(delta <= 100)
+        ~reference:(delta <= ref_budget)
         (flag delta);
       run_case
         ~name:(Printf.sprintf "flag3(Δ) tbtso:%d" delta)
@@ -87,7 +128,7 @@ let () =
         ~reference:(delta <= 4)
         (flag3 delta);
       pf "\n")
-    [ 4; 100; 500 ];
+    deltas;
   pf "-- pathological waits --\n";
   run_case ~name:"wait 1M (quiet)" ~mode:M_tso ~reference:false
     [ [ Wait 1_000_000 ] ];
@@ -95,4 +136,15 @@ let () =
     [
       [ Wait 1_000_000; Store (x, 1); Load (y, 0) ];
       [ Store (y, 1); Load (x, 0) ];
-    ]
+    ];
+  match json_path with
+  | None -> ()
+  | Some path ->
+      Json.write_file path
+        (Json.obj
+           [
+             ("schema", Json.String "tbtso-checker-bench/1");
+             ("quick", Json.Bool quick);
+             ("cases", Json.List (List.rev !records));
+           ]);
+      pf "(wrote %s)\n" path

@@ -2,13 +2,15 @@
    TBTSO[Δ].
 
    Usage:
-     tbtso_litmus check FILE... [--mode sc,tso,tbtso:4] [--max-states N] [--stats]
+     tbtso_litmus check FILE... [--mode sc,tso,tbtso:4] [--max-states N]
+                                [--json PATH]
      tbtso_litmus demo
 
    See Tsim.Litmus_parse for the file format; sample files live in
    litmus/. *)
 
 open Tsim
+module Json = Tbtso_obs.Json
 
 let parse_mode s =
   match String.lowercase_ascii s with
@@ -34,20 +36,34 @@ let mode_name = function
    reported result, never an exception: an [exists] witness found in a
    partial exploration is still definitive, everything else degrades to
    "inconclusive". *)
-let report t mode (r : Litmus_parse.check_result) =
-  let verdict =
-    match (t.Litmus_parse.quantifier, r.complete, r.holds) with
-    | Litmus_parse.Exists, _, true -> "witness OBSERVABLE"
-    | Litmus_parse.Exists, true, false -> "witness impossible"
-    | Litmus_parse.Exists, false, false -> "INCONCLUSIVE (state budget exceeded)"
-    | Litmus_parse.Forall, true, true -> "invariant holds"
-    | Litmus_parse.Forall, true, false -> "invariant VIOLATED"
-    | Litmus_parse.Forall, false, _ -> "INCONCLUSIVE (state budget exceeded)"
-  in
-  Printf.printf "  %-12s %4d outcomes   %s\n" (mode_name mode) r.outcome_count verdict;
-  Format.printf "  %-12s [%a]@." "" Litmus.pp_stats r.stats
+let verdict_of t (r : Litmus_parse.check_result) =
+  match (t.Litmus_parse.quantifier, r.complete, r.holds) with
+  | Litmus_parse.Exists, _, true -> "witness OBSERVABLE"
+  | Litmus_parse.Exists, true, false -> "witness impossible"
+  | Litmus_parse.Exists, false, false -> "INCONCLUSIVE (state budget exceeded)"
+  | Litmus_parse.Forall, true, true -> "invariant holds"
+  | Litmus_parse.Forall, true, false -> "invariant VIOLATED"
+  | Litmus_parse.Forall, false, _ -> "INCONCLUSIVE (state budget exceeded)"
 
-let check_one ~modes ~max_states path =
+let report ~quiet t mode (r : Litmus_parse.check_result) =
+  if not quiet then begin
+    Printf.printf "  %-12s %4d outcomes   %s\n" (mode_name mode) r.outcome_count
+      (verdict_of t r);
+    Format.printf "  %-12s [%a]@." "" Litmus.pp_stats r.stats
+  end
+
+(* The machine-readable mirror of one verdict line. *)
+let result_record ~path ~name mode t (r : Litmus_parse.check_result) =
+  let base =
+    match Litmus_parse.check_result_json r with Json.Obj fields -> fields | _ -> []
+  in
+  Json.obj
+    (("file", Json.String path) :: ("name", Json.String name)
+    :: ("mode", Json.String (mode_name mode))
+    :: ("verdict", Json.String (verdict_of t r))
+    :: base)
+
+let check_one ~quiet ~registry ~records ~modes ~max_states path =
   let text =
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -56,11 +72,15 @@ let check_one ~modes ~max_states path =
     s
   in
   let t = Litmus_parse.parse text in
-  Printf.printf "%s (%s):\n" t.name path;
+  if not quiet then Printf.printf "%s (%s):\n" t.name path;
   List.iter
-    (fun mode -> report t mode (Litmus_parse.check ~max_states t ~mode))
+    (fun mode ->
+      let r = Litmus_parse.check ~max_states t ~mode in
+      Litmus.record_stats registry r.stats;
+      records := result_record ~path ~name:t.name mode t r :: !records;
+      report ~quiet t mode r)
     modes;
-  print_newline ()
+  if not quiet then print_newline ()
 
 let demo_text =
   "name: store-buffering demo\n\
@@ -99,15 +119,40 @@ let max_states_arg =
     & opt int Litmus.default_max_states
     & info [ "max-states" ] ~docv:"N" ~doc)
 
+let json_arg =
+  let doc =
+    "Also write the verdicts as JSON: one record per (file, mode) pair with \
+     holds/complete/outcomes and the full exploration statistics, plus \
+     aggregate checker metrics (total states, peak frontier, sleep-set hits, \
+     time-leap count, states/second). PATH '-' writes the JSON to stdout and \
+     suppresses the human-readable report."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+
+let json_doc records registry =
+  Json.obj
+    [
+      ("schema", Json.String "tbtso-litmus/1");
+      ("results", Json.List (List.rev records));
+      ("totals", Tbtso_obs.Metrics.to_json registry);
+    ]
+
 let check_cmd =
-  let run modes max_states files =
+  let run modes max_states json files =
     if max_states < 1 then begin
       Printf.eprintf "--max-states must be at least 1\n";
       1
     end
-    else
+    else begin
+      let quiet = json = Some "-" in
+      let registry = Tbtso_obs.Metrics.create () in
+      let records = ref [] in
       try
-        List.iter (check_one ~modes ~max_states) files;
+        List.iter (check_one ~quiet ~registry ~records ~modes ~max_states) files;
+        (match json with
+        | None -> ()
+        | Some "-" -> Json.write_line stdout (json_doc !records registry)
+        | Some path -> Json.write_file path (json_doc !records registry));
         0
       with
       | Litmus_parse.Parse_error { line; message } ->
@@ -116,10 +161,11 @@ let check_cmd =
       | Sys_error msg ->
           Printf.eprintf "%s\n" msg;
           1
+    end
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Exhaustively check litmus files under the chosen memory models")
-    Term.(const run $ modes_arg $ max_states_arg $ files_arg)
+    Term.(const run $ modes_arg $ max_states_arg $ json_arg $ files_arg)
 
 let demo_cmd =
   let run () =
@@ -127,7 +173,7 @@ let demo_cmd =
     print_newline ();
     let t = Litmus_parse.parse demo_text in
     List.iter
-      (fun mode -> report t mode (Litmus_parse.check t ~mode))
+      (fun mode -> report ~quiet:false t mode (Litmus_parse.check t ~mode))
       [ Litmus.M_sc; Litmus.M_tso; Litmus.M_tbtso 4 ];
     0
   in

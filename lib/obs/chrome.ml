@@ -1,0 +1,59 @@
+type writer = { oc : out_channel; mutable first : bool; mutable closed : bool }
+
+let to_channel oc =
+  output_string oc "{\"traceEvents\":[";
+  { oc; first = true; closed = false }
+
+let emit w ev =
+  if w.closed then invalid_arg "Chrome.emit: writer already closed";
+  if w.first then w.first <- false else output_char w.oc ',';
+  output_char w.oc '\n';
+  Json.to_channel w.oc ev
+
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    output_string w.oc "\n]}\n"
+  end
+
+let base ~ph ~name ?cat ~pid ~tid ~ts extra =
+  Json.obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String ph);
+       ("cat", match cat with Some c -> Json.String c | None -> Json.Null);
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid);
+       ("ts", Json.Float ts);
+     ]
+    @ extra)
+
+let metadata ~name ~pid ~tid value =
+  Json.obj
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String value) ]);
+    ]
+
+let thread_name ~pid ~tid name = metadata ~name:"thread_name" ~pid ~tid name
+
+let process_name ~pid name = metadata ~name:"process_name" ~pid ~tid:0 name
+
+let args_field = function
+  | [] -> []
+  | args -> [ ("args", Json.Obj args) ]
+
+let instant ~name ?cat ~pid ~tid ~ts ?(args = []) () =
+  base ~ph:"i" ~name ?cat ~pid ~tid ~ts
+    (("s", Json.String "t") :: args_field args)
+
+let complete ~name ?cat ~pid ~tid ~ts ~dur ?(args = []) () =
+  base ~ph:"X" ~name ?cat ~pid ~tid ~ts
+    (("dur", Json.Float dur) :: args_field args)
+
+let counter ~name ~pid ~ts series =
+  base ~ph:"C" ~name ~pid ~tid:0 ~ts
+    (args_field (List.map (fun (k, v) -> (k, Json.Float v)) series))

@@ -1,0 +1,38 @@
+(** Chrome [trace_event] JSON builders.
+
+    Produces the JSON-array trace format understood by
+    [chrome://tracing] and Perfetto ([ui.perfetto.dev]): a top-level
+    object with a ["traceEvents"] array of event objects. This module
+    only builds and streams the events; what a "process", "thread" or
+    timestamp means is the caller's business (the simulator maps
+    simulated threads to tracks and simulated microseconds to [ts]).
+
+    Timestamps and durations are in (fractional) microseconds, per the
+    format. *)
+
+type writer
+
+val to_channel : out_channel -> writer
+(** Starts the [{"traceEvents":[] JSON document on the channel. *)
+
+val emit : writer -> Json.t -> unit
+(** Append one event object. *)
+
+val close : writer -> unit
+(** Terminate the array and object (does not close the channel). *)
+
+val thread_name : pid:int -> tid:int -> string -> Json.t
+(** Metadata event naming a track. *)
+
+val process_name : pid:int -> string -> Json.t
+
+val instant : name:string -> ?cat:string -> pid:int -> tid:int -> ts:float ->
+  ?args:(string * Json.t) list -> unit -> Json.t
+(** Thread-scoped instant event (phase ["i"]). *)
+
+val complete : name:string -> ?cat:string -> pid:int -> tid:int -> ts:float ->
+  dur:float -> ?args:(string * Json.t) list -> unit -> Json.t
+(** Complete event (phase ["X"]): a bar from [ts] to [ts + dur]. *)
+
+val counter : name:string -> pid:int -> ts:float -> (string * float) list -> Json.t
+(** Counter event (phase ["C"]): one sample per named series. *)

@@ -1,0 +1,109 @@
+type t = {
+  width : int;
+  counts : int array;  (* length buckets + 1; last is overflow *)
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create ?(buckets = 64) ?(width = 1) () =
+  if buckets <= 0 then invalid_arg "Hist.create: buckets must be positive";
+  if width <= 0 then invalid_arg "Hist.create: width must be positive";
+  {
+    width;
+    counts = Array.make (buckets + 1) 0;
+    count = 0;
+    sum = 0;
+    min_v = max_int;
+    max_v = min_int;
+  }
+
+let observe t v =
+  let v = if v < 0 then 0 else v in
+  let i = v / t.width in
+  let last = Array.length t.counts - 1 in
+  let i = if i > last then last else i in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+
+let sum t = t.sum
+
+let min_value t = if t.count = 0 then 0 else t.min_v
+
+let max_value t = if t.count = 0 then 0 else t.max_v
+
+let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+
+let percentile t q =
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Hist.percentile: q outside [0,1]";
+  if t.count = 0 then 0
+  else begin
+    (* Rank of the q-quantile, 1-based, "nearest rank" convention. *)
+    let rank = int_of_float (ceil (q *. float_of_int t.count)) in
+    let rank = if rank < 1 then 1 else rank in
+    let last = Array.length t.counts - 1 in
+    let rec go i acc =
+      if i > last then t.max_v
+      else
+        let acc = acc + t.counts.(i) in
+        if acc >= rank then
+          if i = last then t.max_v
+          else
+            let upper = ((i + 1) * t.width) - 1 in
+            if upper > t.max_v then t.max_v else upper
+        else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+let buckets t = Array.copy t.counts
+
+let bucket_width t = t.width
+
+let merge a b =
+  if a.width <> b.width || Array.length a.counts <> Array.length b.counts then
+    invalid_arg "Hist.merge: shape mismatch";
+  let m =
+    {
+      width = a.width;
+      counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts;
+      count = a.count + b.count;
+      sum = a.sum + b.sum;
+      min_v = min a.min_v b.min_v;
+      max_v = max a.max_v b.max_v;
+    }
+  in
+  m
+
+let copy t = { t with counts = Array.copy t.counts }
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.count <- 0;
+  t.sum <- 0;
+  t.min_v <- max_int;
+  t.max_v <- min_int
+
+let to_json t =
+  let last_nonzero = ref (-1) in
+  Array.iteri (fun i c -> if c > 0 then last_nonzero := i) t.counts;
+  let trimmed = Array.to_list (Array.sub t.counts 0 (!last_nonzero + 1)) in
+  Json.obj
+    [
+      ("width", Json.Int t.width);
+      ("count", Json.Int t.count);
+      ("sum", Json.Int t.sum);
+      ("min", Json.Int (min_value t));
+      ("max", Json.Int (max_value t));
+      ("mean", Json.Float (mean t));
+      ("p50", Json.Int (percentile t 0.50));
+      ("p90", Json.Int (percentile t 0.90));
+      ("p99", Json.Int (percentile t 0.99));
+      ("buckets", Json.List (List.map (fun c -> Json.Int c) trimmed));
+    ]

@@ -1,0 +1,56 @@
+(** Fixed-bucket integer histograms for hot-path instrumentation.
+
+    Buckets are linear: bucket [i] covers values in
+    [[i*width, (i+1)*width)], with one final overflow bucket for
+    everything at or beyond [buckets*width]. An observation is one
+    division and one array increment, cheap enough to run on the
+    simulator's commit path. Exact [min], [max], [sum] and [count] are
+    tracked alongside the buckets, so the quantities the TBTSO Δ
+    invariant cares about (notably the maximum store-buffer residency)
+    are never subject to bucketing error. *)
+
+type t
+
+val create : ?buckets:int -> ?width:int -> unit -> t
+(** [buckets] regular buckets (default 64) of [width] (default 1) plus
+    an overflow bucket. @raise Invalid_argument unless both positive. *)
+
+val observe : t -> int -> unit
+(** Record one value. Negative values clamp to 0. *)
+
+val count : t -> int
+
+val sum : t -> int
+
+val min_value : t -> int
+(** Smallest observed value; 0 when empty. *)
+
+val max_value : t -> int
+(** Largest observed value (exact, even in the overflow bucket); 0 when
+    empty. *)
+
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val percentile : t -> float -> int
+(** [percentile t q] for [q] in [0,1]: an upper bound on the q-quantile,
+    reported as the inclusive upper edge of the bucket holding it
+    (clamped to the exact maximum; the overflow bucket reports the exact
+    maximum). 0 when empty. @raise Invalid_argument if [q] outside
+    [0,1]. *)
+
+val buckets : t -> int array
+(** Copy of the counts, overflow bucket last. *)
+
+val bucket_width : t -> int
+
+val merge : t -> t -> t
+(** Pointwise sum. @raise Invalid_argument on shape mismatch. *)
+
+val copy : t -> t
+
+val clear : t -> unit
+
+val to_json : t -> Json.t
+(** [{width; count; sum; min; max; mean; p50; p90; p99; buckets}] with
+    [buckets] trimmed of trailing zero buckets. *)

@@ -1,0 +1,42 @@
+(** Zero-dependency JSON values, serialization and JSONL output.
+
+    The observability layer must not pull new opam dependencies into the
+    simulator, so this is a deliberately small JSON library: a value
+    type, a serializer producing valid JSON (UTF-8 pass-through, control
+    characters escaped, non-finite floats mapped to [null]), a JSONL
+    helper, and a parser sufficient for round-trip tests and for tooling
+    that consumes the files this repo emits. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val obj : (string * t) list -> t
+(** [Obj] with [Null]-valued fields dropped, for optional fields. *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_channel : out_channel -> t -> unit
+
+val write_line : out_channel -> t -> unit
+(** JSONL: the value on one line, then ['\n']. *)
+
+val write_file : string -> t -> unit
+(** The value then a trailing newline, replacing any existing file. *)
+
+exception Parse_error of { pos : int; message : string }
+
+val of_string : string -> t
+(** Strict parser for the subset this module prints (plus
+    insignificant whitespace): no comments, no trailing commas.
+    Numbers with a ['.'], exponent, or magnitude beyond [int] parse as
+    [Float]. @raise Parse_error *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)

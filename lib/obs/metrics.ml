@@ -1,0 +1,66 @@
+type counter = { mutable c : int }
+
+type gauge = { mutable g : float }
+
+type metric = M_counter of counter | M_gauge of gauge | M_hist of Hist.t
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 16 }
+
+let find_or_register t name make =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.add t.tbl name m;
+      m
+
+let counter t name =
+  match find_or_register t name (fun () -> M_counter { c = 0 }) with
+  | M_counter c -> c
+  | M_gauge _ | M_hist _ ->
+      invalid_arg (Printf.sprintf "Metrics.counter: %S is not a counter" name)
+
+let incr c = c.c <- c.c + 1
+
+let add c n = c.c <- c.c + n
+
+let counter_value c = c.c
+
+let gauge t name =
+  match find_or_register t name (fun () -> M_gauge { g = 0.0 }) with
+  | M_gauge g -> g
+  | M_counter _ | M_hist _ ->
+      invalid_arg (Printf.sprintf "Metrics.gauge: %S is not a gauge" name)
+
+let set g v = g.g <- v
+
+let set_max g v = if v > g.g then g.g <- v
+
+let gauge_value g = g.g
+
+let histogram t ?buckets ?width name =
+  match
+    find_or_register t name (fun () -> M_hist (Hist.create ?buckets ?width ()))
+  with
+  | M_hist h -> h
+  | M_counter _ | M_gauge _ ->
+      invalid_arg (Printf.sprintf "Metrics.histogram: %S is not a histogram" name)
+
+let to_json t =
+  let section pick to_j =
+    Hashtbl.fold
+      (fun name m acc -> match pick m with Some v -> (name, to_j v) :: acc | None -> acc)
+      t.tbl []
+    |> List.sort compare
+  in
+  let counters =
+    section (function M_counter c -> Some c | _ -> None) (fun c -> Json.Int c.c)
+  in
+  let gauges =
+    section (function M_gauge g -> Some g | _ -> None) (fun g -> Json.Float g.g)
+  in
+  let hists = section (function M_hist h -> Some h | _ -> None) Hist.to_json in
+  let sec name fields = if fields = [] then (name, Json.Null) else (name, Json.Obj fields) in
+  Json.obj [ sec "counters" counters; sec "gauges" gauges; sec "histograms" hists ]

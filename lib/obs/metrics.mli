@@ -1,0 +1,45 @@
+(** A small metrics registry: named counters, gauges and histograms.
+
+    Handles are plain mutable records, so a hot loop looks up its
+    counter once and then pays one increment per observation — no
+    hashing on the hot path. Registering the same name twice returns
+    the same handle (convenient for per-file/per-mode loops that want
+    aggregate totals). A registry snapshots to JSON for the
+    machine-readable outputs of [tbtso-litmus check --json] and the
+    bench harness. *)
+
+type t
+
+val create : unit -> t
+
+type counter
+
+val counter : t -> string -> counter
+(** Find-or-register. @raise Invalid_argument if the name is already
+    registered as a different metric kind. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : t -> string -> gauge
+
+val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** Keep the maximum of the current and given value (high-watermark
+    gauges such as peak frontier depth). *)
+
+val gauge_value : gauge -> float
+
+val histogram : t -> ?buckets:int -> ?width:int -> string -> Hist.t
+(** Find-or-register; [buckets]/[width] as {!Hist.create} and ignored
+    when the histogram already exists. *)
+
+val to_json : t -> Json.t
+(** [{counters: {...}, gauges: {...}, histograms: {...}}], each sorted
+    by name; empty sections are dropped. *)

@@ -740,3 +740,33 @@ let pp_outcome fmt o =
 let pp_stats fmt s =
   Format.fprintf fmt "%d states, %d dedup, frontier %d, %d leaps, %d sleeps, %.3fs"
     s.visited s.dedup_hits s.max_frontier s.time_leaps s.sleep_skips s.elapsed
+
+let states_per_sec s =
+  if s.elapsed > 0.0 then float_of_int s.visited /. s.elapsed else 0.0
+
+let stats_json s =
+  let open Tbtso_obs in
+  Json.obj
+    [
+      ("visited", Json.Int s.visited);
+      ("dedup_hits", Json.Int s.dedup_hits);
+      ("max_frontier", Json.Int s.max_frontier);
+      ("time_leaps", Json.Int s.time_leaps);
+      ("sleep_skips", Json.Int s.sleep_skips);
+      ("elapsed_s", Json.Float s.elapsed);
+      ("states_per_sec", Json.Float (states_per_sec s));
+    ]
+
+let record_stats registry s =
+  let open Tbtso_obs in
+  Metrics.add (Metrics.counter registry "litmus.states_visited") s.visited;
+  Metrics.add (Metrics.counter registry "litmus.dedup_hits") s.dedup_hits;
+  Metrics.add (Metrics.counter registry "litmus.time_leaps") s.time_leaps;
+  Metrics.add (Metrics.counter registry "litmus.sleep_skips") s.sleep_skips;
+  Metrics.add (Metrics.counter registry "litmus.explorations") 1;
+  Metrics.set_max (Metrics.gauge registry "litmus.max_frontier")
+    (float_of_int s.max_frontier);
+  Metrics.set_max (Metrics.gauge registry "litmus.peak_states_per_sec")
+    (states_per_sec s);
+  let elapsed = Metrics.gauge registry "litmus.elapsed_s" in
+  Metrics.set elapsed (Metrics.gauge_value elapsed +. s.elapsed)

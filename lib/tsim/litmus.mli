@@ -15,6 +15,20 @@
     its [enqueue + Δ] deadline is pruned, which is exactly the paper's
     admissibility condition.
 
+    {b Tick granularity vs the simulator.} The {!Machine} simulator is
+    coarser: one of its ticks can take an interrupt, force Δ-expired
+    commits and let every thread both drain and execute. The directions
+    are deliberately conservative on both sides — this checker's
+    one-action-per-tick interleavings are a superset of the orderings
+    the machine's scheduler can sample (stretch any busy machine tick
+    into consecutive checker ticks), so an invariant proved here covers
+    every machine run; while the machine's extra same-tick drains only
+    commit stores {i earlier} than the paper's machine would, so its
+    measured residencies under-approximate no Δ deadline. The price is
+    that checker time and machine time are not unit-compatible: a
+    checker trace replayed on the machine must first serialize each
+    machine tick's phases. See {!Machine} and ROADMAP.
+
     The checker is an iterative explicit-state explorer with three
     scaling devices, all of which preserve the outcome set exactly:
 
@@ -124,3 +138,18 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 val pp_stats : Format.formatter -> stats -> unit
 (** One-line rendering of exploration statistics. *)
+
+val states_per_sec : stats -> float
+(** [visited / elapsed]; 0 when the exploration was too fast to time. *)
+
+val stats_json : stats -> Tbtso_obs.Json.t
+(** Flat object with every {!stats} field plus [states_per_sec]. *)
+
+val record_stats : Tbtso_obs.Metrics.t -> stats -> unit
+(** Accumulate one exploration into a registry: counters
+    [litmus.states_visited], [litmus.dedup_hits], [litmus.time_leaps],
+    [litmus.sleep_skips] and [litmus.explorations] sum across calls;
+    gauges [litmus.max_frontier] and [litmus.peak_states_per_sec] keep
+    high watermarks; gauge [litmus.elapsed_s] sums exploration CPU
+    time. Lets a driver checking many (file, mode) pairs report
+    aggregate throughput through {!Tbtso_obs.Metrics.to_json}. *)

@@ -160,3 +160,13 @@ let check ?(max_states = Litmus.default_max_states) t ~mode =
     complete = r.complete;
     stats = r.stats;
   }
+
+let check_result_json r =
+  let open Tbtso_obs in
+  Json.obj
+    [
+      ("holds", Json.Bool r.holds);
+      ("outcomes", Json.Int r.outcome_count);
+      ("complete", Json.Bool r.complete);
+      ("stats", Litmus.stats_json r.stats);
+    ]

@@ -66,3 +66,7 @@ val check : ?max_states:int -> t -> mode:Litmus.mode -> check_result
     [max_states] distinct states, default
     {!Litmus.default_max_states}) and evaluates the file's condition.
     Never raises on budget exhaustion — see [complete]. *)
+
+val check_result_json : check_result -> Tbtso_obs.Json.t
+(** [{holds; outcomes; complete; stats}], the per-(file, mode) record of
+    [tbtso-litmus check --json]. *)

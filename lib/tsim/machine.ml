@@ -29,6 +29,7 @@ type thread_stats = {
   drains : int;
   forced_drains : int;
   exit_drains : int;
+  max_residency : int;
 }
 
 type mstats = {
@@ -41,13 +42,25 @@ type mstats = {
   mutable drains : int;
   mutable forced_drains : int;
   mutable exit_drains : int;
+  mutable max_residency : int;
 }
 
 (* Why a commit happened: the scheduler's own pace, a model obligation
-   (Δ deadline, interrupt, quiescence), or end-of-run cleanup. [drains]
-   counts all three; the latter two also count in their own field, so
+   (a Δ/τ deadline or an interrupt's kernel entry), or end-of-run
+   cleanup. [drains] counts all of them; [forced_drains] aggregates
+   [D_delta] and [D_interrupt], so
    voluntary = drains - forced_drains - exit_drains. *)
-type drain_kind = D_voluntary | D_forced | D_exit
+type drain_kind = D_voluntary | D_delta | D_interrupt | D_exit
+
+let drain_kind_name = function
+  | D_voluntary -> "voluntary"
+  | D_delta -> "delta"
+  | D_interrupt -> "interrupt"
+  | D_exit -> "exit"
+
+let drain_kinds = [ D_voluntary; D_delta; D_interrupt; D_exit ]
+
+let kind_index = function D_voluntary -> 0 | D_delta -> 1 | D_interrupt -> 2 | D_exit -> 3
 
 type thread = {
   tid : int;
@@ -62,6 +75,8 @@ type thread = {
   mutable failure : exn option;
   mutable interrupt_phase : int;
   st : mstats;
+  res : Tbtso_obs.Hist.t array;
+      (* store-buffer residency at commit, indexed by [kind_index] *)
   drain_rng : Rng.t;
 }
 
@@ -89,6 +104,7 @@ and event =
   | Ev_rmw of { addr : int; old_value : int; new_value : int }
   | Ev_fence
   | Ev_clock of int
+  | Ev_commit of { addr : int; value : int; age : int; kind : drain_kind }
 
 let create cfg =
   {
@@ -143,6 +159,7 @@ let fresh_stats () =
     drains = 0;
     forced_drains = 0;
     exit_drains = 0;
+    max_residency = 0;
   }
 
 let freeze (s : mstats) : thread_stats =
@@ -156,6 +173,7 @@ let freeze (s : mstats) : thread_stats =
     drains = s.drains;
     forced_drains = s.forced_drains;
     exit_drains = s.exit_drains;
+    max_residency = s.max_residency;
   }
 
 let stats t tid = freeze t.threads.(tid).st
@@ -172,9 +190,43 @@ let total_stats t =
     acc.cache_misses <- acc.cache_misses + s.cache_misses;
     acc.drains <- acc.drains + s.drains;
     acc.forced_drains <- acc.forced_drains + s.forced_drains;
-    acc.exit_drains <- acc.exit_drains + s.exit_drains
+    acc.exit_drains <- acc.exit_drains + s.exit_drains;
+    acc.max_residency <- max acc.max_residency s.max_residency
   done;
   freeze acc
+
+(* Residency bucket sizing: one histogram spans [0, ~bound) in 64 linear
+   buckets, where [bound] is the model's own residency ceiling (Δ or τ)
+   when it has one, or a multiple of the drain distribution's scale when
+   it does not. Everything beyond lands in the overflow bucket; the
+   exact maximum is tracked separately so Δ-invariant checks never see
+   bucketing error. *)
+let residency_buckets = 64
+
+let residency_width cfg =
+  let bound =
+    match cfg.Config.consistency with
+    | Config.Tbtso delta -> delta + 1
+    | Config.Tbtso_hw { tau; quiesce } -> tau + quiesce + 1
+    | Config.Sc | Config.Tso | Config.Tso_spatial _ -> (
+        match cfg.Config.drain with
+        | Config.Drain_fixed n -> (4 * n) + 1
+        | Config.Drain_uniform (_, hi) -> (2 * hi) + 1
+        | Config.Drain_geometric { cap; _ } -> (2 * cap) + 1
+        | Config.Drain_adversarial -> residency_buckets)
+  in
+  max 1 ((bound + residency_buckets - 1) / residency_buckets)
+
+let residency_by_kind t tid kind =
+  Tbtso_obs.Hist.copy t.threads.(tid).res.(kind_index kind)
+
+let residency t tid =
+  let res = t.threads.(tid).res in
+  let acc = ref (Tbtso_obs.Hist.copy res.(0)) in
+  for k = 1 to Array.length res - 1 do
+    acc := Tbtso_obs.Hist.merge !acc res.(k)
+  done;
+  !acc
 
 (* --- Thread startup: run the body under a deep handler that stashes each
    instruction as [pending] together with a [resume] closure. --- *)
@@ -290,6 +342,10 @@ let spawn t body =
       failure = None;
       interrupt_phase = tid * 997;
       st = fresh_stats ();
+      res =
+        (let width = residency_width t.cfg in
+         Array.init (List.length drain_kinds) (fun _ ->
+             Tbtso_obs.Hist.create ~buckets:residency_buckets ~width ()));
       drain_rng = Rng.split t.rng;
     }
   in
@@ -318,8 +374,14 @@ let commit t th (e : Store_buffer.entry) ~kind =
   th.st.drains <- th.st.drains + 1;
   (match kind with
   | D_voluntary -> ()
-  | D_forced -> th.st.forced_drains <- th.st.forced_drains + 1
-  | D_exit -> th.st.exit_drains <- th.st.exit_drains + 1)
+  | D_delta | D_interrupt -> th.st.forced_drains <- th.st.forced_drains + 1
+  | D_exit -> th.st.exit_drains <- th.st.exit_drains + 1);
+  (* Residency: how long the entry sat buffered — the paper's central
+     quantity (a store enqueued at t0 must be in memory by t0 + Δ). *)
+  let age = t.clock - e.enqueued_at in
+  Tbtso_obs.Hist.observe th.res.(kind_index kind) age;
+  if age > th.st.max_residency then th.st.max_residency <- age;
+  emit t th (Ev_commit { addr = e.addr; value = e.value; age; kind })
 
 let drain_one t th ~kind =
   commit t th (Store_buffer.dequeue_oldest th.buf) ~kind
@@ -514,7 +576,7 @@ let exec t th =
 let interrupt t th =
   (* A kernel entry drains the store buffer (Section 6.2). *)
   while not (Store_buffer.is_empty th.buf) do
-    drain_one t th ~kind:D_forced
+    drain_one t th ~kind:D_interrupt
   done;
   (match t.interrupt_hook with
   | Some f -> f ~tid:th.tid ~now:t.clock
@@ -602,7 +664,7 @@ let tick ?(deadline = max_int) t =
         let rec force () =
           match Store_buffer.peek_oldest th.buf with
           | Some e when e.enqueued_at + delta <= t.clock ->
-              drain_one t th ~kind:D_forced;
+              drain_one t th ~kind:D_delta;
               acted := true;
               force ()
           | Some _ | None -> ()
@@ -619,7 +681,8 @@ let tick ?(deadline = max_int) t =
         for i = 0 to t.nthreads - 1 do
           let th = t.threads.(i) in
           while not (Store_buffer.is_empty th.buf) do
-            drain_one t th ~kind:D_forced
+            (* Quiescence is the Tbtso_hw τ-deadline obligation. *)
+            drain_one t th ~kind:D_delta
           done
         done;
         acted := true

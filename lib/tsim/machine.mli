@@ -9,10 +9,24 @@
     - have the memory subsystem dequeue the oldest entry of the thread's
       store buffer and commit it to memory.
 
-    As a refinement towards real hardware, a store-buffer drain may happen
-    in the same tick as an instruction of the same thread (drains only get
-    {i faster} than the paper's one-action-per-tick machine, which is the
-    conservative direction for a Δ bound).
+    {b Tick granularity vs the checker.} This machine is deliberately
+    {i coarser} than the paper's (and {!Litmus}'s) one-action-per-tick
+    abstract machine: within a single tick it may take a timer
+    interrupt, force Δ-expired commits, perform one voluntary drain per
+    thread {i and} execute one instruction per runnable thread. The gap
+    is in the conservative direction for every property this repo
+    claims: extra same-tick drains only make stores visible {i earlier},
+    so the Δ invariant (a store enqueued at [t0] is in memory by
+    [t0 + Δ], checked here as [max_residency <= Δ]) is preserved, while
+    any relaxed-order outcome this machine can sample is also reachable
+    by the checker's one-action-per-tick interleavings (stretch each
+    busy tick into consecutive ticks; TSO ordering constraints only ever
+    relax when actions move later). The converse does not hold — the
+    checker explores drain schedules this machine's scheduler would
+    never sample — which is exactly why the checker, not the simulator,
+    is the proof tool. Checker traces therefore cannot be replayed
+    tick-for-tick on this machine without first serializing each tick's
+    phases (see ROADMAP).
 
     Consistency modes:
     - [Sc]: stores commit immediately (store buffer bypassed);
@@ -51,7 +65,26 @@ type thread_stats = {
           implicit drain when every thread has finished) rather than
           during execution. Voluntary, scheduler-paced drains are
           [drains - forced_drains - exit_drains]. *)
+  max_residency : int;
+      (** Exact maximum store-buffer residency: the largest
+          [commit time - enqueue time] over every entry this thread ever
+          committed, regardless of drain kind. Under [Config.Tbtso delta]
+          the machine guarantees [max_residency <= delta] — the paper's
+          Δ invariant as a one-line assertion. Under plain [Tso] with
+          [Drain_adversarial] it is unbounded (grows with run length).
+          0 if the thread never committed a store. *)
 }
+
+type drain_kind =
+  | D_voluntary  (** The memory subsystem's own pace. *)
+  | D_delta  (** A model obligation: the Δ deadline, or a [Tbtso_hw] τ
+                 quiescence. *)
+  | D_interrupt  (** A timer interrupt's kernel entry (Section 6.2). *)
+  | D_exit  (** End-of-run cleanup. *)
+
+val drain_kind_name : drain_kind -> string
+
+val drain_kinds : drain_kind list
 
 val create : Config.t -> t
 
@@ -89,6 +122,18 @@ val stats : t -> int -> thread_stats
 (** Per-thread statistics (by tid). *)
 
 val total_stats : t -> thread_stats
+(** Sums across threads; [max_residency] is the maximum. *)
+
+val residency : t -> int -> Tbtso_obs.Hist.t
+(** [residency t tid]: snapshot of the thread's store-buffer residency
+    distribution (age of each entry when it committed), all drain kinds
+    merged. Buckets span the model's own ceiling (Δ, or τ + quiescence)
+    when it has one; [Hist.max_value] is always exact. *)
+
+val residency_by_kind : t -> int -> drain_kind -> Tbtso_obs.Hist.t
+(** Snapshot restricted to commits of one {!drain_kind}, e.g. to see how
+    much of the distribution the Δ deadline (rather than the scheduler)
+    is responsible for. *)
 
 val alloc_global : t -> int -> int
 (** Convenience for [Memory.alloc_global (memory t)]. *)
@@ -107,11 +152,15 @@ type event =
   | Ev_rmw of { addr : int; old_value : int; new_value : int }
   | Ev_fence
   | Ev_clock of int
+  | Ev_commit of { addr : int; value : int; age : int; kind : drain_kind }
+      (** A buffered store reached memory, [age] ticks after its store
+          instruction executed. Fires for every commit, including
+          forced and end-of-run drains. *)
 
 val set_event_hook : t -> (tid:int -> now:int -> event -> unit) -> unit
-(** Invoked for every executed instruction (see {!Trace} for the
-    ready-made recorder). One branch of overhead per instruction when
-    unset. *)
+(** Invoked for every executed instruction and every store-buffer commit
+    (see {!Trace} for the ready-made recorder). One branch of overhead
+    per instruction when unset. *)
 
 val quiescence_events : t -> int
 (** Number of Section 6.1 bail-outs so far (only under

@@ -7,6 +7,7 @@ and what =
   | T_fence
   | T_clock of int
   | T_label of string
+  | T_commit of { addr : int; value : int; age : int; kind : Machine.drain_kind }
 
 type t = {
   ring : event option array;
@@ -38,18 +39,22 @@ let clear t =
   Array.fill t.ring 0 (Array.length t.ring) None;
   t.next <- 0
 
-let attach t machine =
+let attach ?(commits = false) t machine =
   Machine.set_event_hook machine (fun ~tid ~now ev ->
       let what =
         match ev with
-        | Machine.Ev_load { addr; value } -> T_load { addr; value }
-        | Machine.Ev_store { addr; value } -> T_store { addr; value }
+        | Machine.Ev_load { addr; value } -> Some (T_load { addr; value })
+        | Machine.Ev_store { addr; value } -> Some (T_store { addr; value })
         | Machine.Ev_rmw { addr; old_value; new_value } ->
-            T_rmw { addr; old_value; new_value }
-        | Machine.Ev_fence -> T_fence
-        | Machine.Ev_clock c -> T_clock c
+            Some (T_rmw { addr; old_value; new_value })
+        | Machine.Ev_fence -> Some T_fence
+        | Machine.Ev_clock c -> Some (T_clock c)
+        | Machine.Ev_commit { addr; value; age; kind } ->
+            if commits then Some (T_commit { addr; value; age; kind }) else None
       in
-      record t { at = now; tid; what });
+      match what with
+      | Some what -> record t { at = now; tid; what }
+      | None -> ());
   Machine.set_label_hook machine (fun ~tid ~now s ->
       record t { at = now; tid; what = T_label s })
 
@@ -62,7 +67,8 @@ let filter t ?tid ?addr ?(include_neutral = true) () =
       | None -> true
       | Some a -> (
           match e.what with
-          | T_load { addr; _ } | T_store { addr; _ } -> addr = a
+          | T_load { addr; _ } | T_store { addr; _ } | T_commit { addr; _ } ->
+              addr = a
           | T_rmw { addr; _ } -> addr = a
           | T_fence | T_clock _ | T_label _ -> include_neutral))
     (events t)
@@ -77,6 +83,9 @@ let pp_event fmt e =
   | T_fence -> p "[%8d] t%d  fence" e.at e.tid
   | T_clock c -> p "[%8d] t%d  rdtsc -> %d" e.at e.tid c
   | T_label s -> p "[%8d] t%d  # %s" e.at e.tid s
+  | T_commit { addr; value; age; kind } ->
+      p "[%8d] t%d  commit @%d := %d (age %d, %s)" e.at e.tid addr value age
+        (Machine.drain_kind_name kind)
 
 let pp fmt t =
   List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events t)

@@ -2,9 +2,11 @@
 
     A trace collects one event per executed abstract-machine action into
     a bounded ring buffer. Attach with {!attach}; the machine then calls
-    the recorder on every instruction it executes (commits/drains are not
-    traced — use {!Machine.thread_stats} for those). Overhead when not
-    attached: one branch per instruction. *)
+    the recorder on every instruction it executes, and — with
+    [~commits:true] — on every store-buffer commit, which is what the
+    {!Trace_export} timeline needs to draw buffered-store lifetimes and
+    depth tracks. Overhead when not attached: one branch per
+    instruction. *)
 
 type event = {
   at : int;  (** Global clock when the action executed. *)
@@ -19,15 +21,18 @@ and what =
   | T_fence
   | T_clock of int
   | T_label of string
+  | T_commit of { addr : int; value : int; age : int; kind : Machine.drain_kind }
+      (** Only recorded when attached with [~commits:true]. *)
 
 type t
 
 val create : ?capacity:int -> unit -> t
 (** Ring buffer; default capacity 4096 events (oldest dropped). *)
 
-val attach : t -> Machine.t -> unit
+val attach : ?commits:bool -> t -> Machine.t -> unit
 (** Register this trace on the machine (replaces any previous trace and
-    the machine's label hook). *)
+    the machine's label hook). [commits] (default [false]) additionally
+    records a {!T_commit} event for every store-buffer commit. *)
 
 val record : t -> event -> unit
 
@@ -46,7 +51,8 @@ val filter :
     [T_clock] and [T_label] carry no address: under an [addr] filter they
     are kept by default (so a per-address history still shows the fences
     ordering it) and dropped with [~include_neutral:false]. The flag has
-    no effect unless [addr] is given. *)
+    no effect unless [addr] is given. [T_commit] carries an address and
+    filters like a store. *)
 
 val pp_event : Format.formatter -> event -> unit
 

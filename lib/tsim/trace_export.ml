@@ -1,0 +1,136 @@
+module Json = Tbtso_obs.Json
+module Chrome = Tbtso_obs.Chrome
+
+let what_fields : Trace.what -> string * (string * Json.t) list = function
+  | Trace.T_load { addr; value } ->
+      ("load", [ ("addr", Json.Int addr); ("value", Json.Int value) ])
+  | Trace.T_store { addr; value } ->
+      ("store", [ ("addr", Json.Int addr); ("value", Json.Int value) ])
+  | Trace.T_rmw { addr; old_value; new_value } ->
+      ( "rmw",
+        [
+          ("addr", Json.Int addr);
+          ("old_value", Json.Int old_value);
+          ("new_value", Json.Int new_value);
+        ] )
+  | Trace.T_fence -> ("fence", [])
+  | Trace.T_clock c -> ("clock", [ ("value", Json.Int c) ])
+  | Trace.T_label s -> ("label", [ ("label", Json.String s) ])
+  | Trace.T_commit { addr; value; age; kind } ->
+      ( "commit",
+        [
+          ("addr", Json.Int addr);
+          ("value", Json.Int value);
+          ("age", Json.Int age);
+          ("kind", Json.String (Machine.drain_kind_name kind));
+        ] )
+
+let event_json (e : Trace.event) =
+  let ty, fields = what_fields e.what in
+  Json.obj
+    (("at", Json.Int e.at) :: ("tid", Json.Int e.tid)
+    :: ("type", Json.String ty) :: fields)
+
+let write_jsonl oc tr =
+  List.iter (fun e -> Json.write_line oc (event_json e)) (Trace.events tr)
+
+(* Simulated microseconds, the paper's unit. *)
+let us_of_ticks ticks = float_of_int ticks /. float_of_int Config.ticks_per_us
+
+let pid = 0
+
+let write_chrome oc tr =
+  let events = Trace.events tr in
+  let w = Chrome.to_channel oc in
+  Chrome.emit w (Chrome.process_name ~pid "tsim");
+  let tids = List.sort_uniq compare (List.map (fun (e : Trace.event) -> e.tid) events) in
+  List.iter
+    (fun tid ->
+      Chrome.emit w (Chrome.thread_name ~pid ~tid (Printf.sprintf "thread %d" tid)))
+    tids;
+  let have_commits =
+    List.exists
+      (fun (e : Trace.event) ->
+        match e.what with Trace.T_commit _ -> true | _ -> false)
+      events
+  in
+  (* Store-buffer depth per thread, reconstructed from the visible
+     window: stores enqueue, commits dequeue. With a wrapped ring the
+     window may open mid-flight, so clamp at zero rather than trust the
+     absolute level. Only meaningful when commits were recorded. *)
+  let depth = Hashtbl.create 8 in
+  let counter_series tid d =
+    Chrome.counter ~name:"store-buffer depth" ~pid
+      [ (Printf.sprintf "t%d" tid, float_of_int d) ]
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      let ts = us_of_ticks e.at in
+      let tid = e.tid in
+      let bump delta =
+        if have_commits then begin
+          let d = max 0 ((try Hashtbl.find depth tid with Not_found -> 0) + delta) in
+          Hashtbl.replace depth tid d;
+          Chrome.emit w (counter_series tid d ~ts)
+        end
+      in
+      match e.what with
+      | Trace.T_load { addr; value } ->
+          Chrome.emit w
+            (Chrome.instant
+               ~name:(Printf.sprintf "load @%d -> %d" addr value)
+               ~cat:"instr" ~pid ~tid ~ts
+               ~args:[ ("addr", Json.Int addr); ("value", Json.Int value) ]
+               ())
+      | Trace.T_store { addr; value } ->
+          Chrome.emit w
+            (Chrome.instant
+               ~name:(Printf.sprintf "store @%d := %d" addr value)
+               ~cat:"instr" ~pid ~tid ~ts
+               ~args:[ ("addr", Json.Int addr); ("value", Json.Int value) ]
+               ());
+          bump 1
+      | Trace.T_rmw { addr; old_value; new_value } ->
+          Chrome.emit w
+            (Chrome.instant
+               ~name:(Printf.sprintf "rmw @%d: %d -> %d" addr old_value new_value)
+               ~cat:"instr" ~pid ~tid ~ts
+               ~args:[ ("addr", Json.Int addr) ]
+               ())
+      | Trace.T_fence ->
+          Chrome.emit w (Chrome.instant ~name:"fence" ~cat:"instr" ~pid ~tid ~ts ())
+      | Trace.T_clock c ->
+          Chrome.emit w
+            (Chrome.instant
+               ~name:(Printf.sprintf "rdtsc -> %d" c)
+               ~cat:"instr" ~pid ~tid ~ts ())
+      | Trace.T_label s ->
+          Chrome.emit w (Chrome.instant ~name:("# " ^ s) ~cat:"label" ~pid ~tid ~ts ())
+      | Trace.T_commit { addr; value; age; kind } ->
+          (* The store's whole buffered lifetime as a bar ending at the
+             commit. *)
+          Chrome.emit w
+            (Chrome.complete
+               ~name:(Printf.sprintf "buffered @%d := %d" addr value)
+               ~cat:"store-buffer" ~pid ~tid
+               ~ts:(us_of_ticks (e.at - age))
+               ~dur:(us_of_ticks (max age 1))
+               ~args:
+                 [
+                   ("addr", Json.Int addr);
+                   ("value", Json.Int value);
+                   ("age_ticks", Json.Int age);
+                   ("kind", Json.String (Machine.drain_kind_name kind));
+                 ]
+               ());
+          bump (-1))
+    events;
+  Chrome.close w
+
+let with_file path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write_jsonl_file path tr = with_file path (fun oc -> write_jsonl oc tr)
+
+let write_chrome_file path tr = with_file path (fun oc -> write_chrome oc tr)

@@ -1,0 +1,28 @@
+(** Machine-readable exports of a {!Trace}: JSONL event logs and Chrome
+    [trace_event] timelines.
+
+    The Chrome export produces a file loadable in [chrome://tracing] or
+    Perfetto ([https://ui.perfetto.dev]): one track per simulated
+    thread carrying its instruction stream as instant events and each
+    buffered store's lifetime (store instruction to commit) as a
+    duration bar, plus one counter track with per-thread store-buffer
+    depth. Record the trace with [Trace.attach ~commits:true] — without
+    commit events the timeline still renders, but has no residency bars
+    and no depth track.
+
+    Timestamps are exported in {i simulated microseconds}
+    ([ticks / Config.ticks_per_us], fractional), so the Perfetto
+    time axis reads directly in the paper's units (Δ = 500 us etc.). *)
+
+val event_json : Trace.event -> Tbtso_obs.Json.t
+(** One flat object: [{at, tid, type, ...payload}]; [at] is in ticks. *)
+
+val write_jsonl : out_channel -> Trace.t -> unit
+(** Every buffered event, oldest first, one JSON object per line. *)
+
+val write_chrome : out_channel -> Trace.t -> unit
+(** Chrome [trace_event] JSON ([{"traceEvents": [...]}]). *)
+
+val write_jsonl_file : string -> Trace.t -> unit
+
+val write_chrome_file : string -> Trace.t -> unit

@@ -1,0 +1,58 @@
+(** Store-buffer residency measurement: the paper's central quantity
+    (how long a store actually sits buffered before reaching memory) as
+    a distribution, per thread and per drain kind.
+
+    Runs a fixed write/read/compute loop on the {!Tsim.Machine} under a
+    caller-chosen {!Tsim.Config} and returns every thread's residency
+    histogram. Under [Config.Tbtso delta] the run's maximum residency is
+    guaranteed [<= delta] even against [Drain_adversarial] (the machine
+    force-commits at the deadline); under plain [Tso] with adversarial
+    drains residency is unbounded — stores survive to the exit drain, so
+    the maximum grows with the run length. [tbtso-bench residency]
+    prints these side by side and [--json] emits them in the bench
+    schema. *)
+
+type per_thread = {
+  tid : int;
+  stats : Tsim.Machine.thread_stats;
+  residency : Tbtso_obs.Hist.t;  (** All drain kinds merged. *)
+  by_kind : (Tsim.Machine.drain_kind * Tbtso_obs.Hist.t) list;
+      (** Only kinds with at least one commit. *)
+}
+
+type run = {
+  label : string;
+  config : Tsim.Config.t;
+  run_ticks : int;
+  threads : per_thread list;
+  max_residency : int;  (** Maximum over threads (exact). *)
+  delta_bound : int option;
+      (** The Δ (or τ + quiescence) ceiling the model promises, when it
+          promises one. *)
+}
+
+val bound_ok : run -> bool
+(** [max_residency <= delta_bound] when the model has a ceiling; [true]
+    (vacuously) otherwise. *)
+
+val run :
+  ?label:string ->
+  ?trace:Tsim.Trace.t ->
+  ?nthreads:int ->
+  ?work_gap:int ->
+  config:Tsim.Config.t ->
+  run_ticks:int ->
+  unit ->
+  run
+(** Each of the [nthreads] (default 4) threads loops
+    store-own-slot / load-neighbour / [work_gap] (default 20) local work
+    until [run_ticks], then winds down; remaining buffered stores commit
+    through the exit drain and are counted in the distributions. When
+    [trace] is given it is attached with [~commits:true] before the run,
+    so {!Tsim.Trace_export} can draw the buffered-store lifetimes. *)
+
+val run_json : run -> Tbtso_obs.Json.t
+(** The bench-schema record: [{label; consistency; delta?; run_ticks;
+    nthreads; max_residency; bound_ok; threads: [{tid; max_residency;
+    stores; drains; forced_drains; exit_drains; residency;
+    by_kind}]}]. *)

@@ -1,0 +1,265 @@
+(* Tests for the observability layer: the zero-dependency JSON
+   emitter/parser, fixed-bucket histograms, the metrics registry, and
+   the Chrome trace_event writer. *)
+
+open Tbtso_obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_render () =
+  check_string "scalars" {|[null,true,false,42,-7,"hi"]|}
+    (Json.to_string
+       (Json.List
+          [ Json.Null; Json.Bool true; Json.Bool false; Json.Int 42;
+            Json.Int (-7); Json.String "hi" ]));
+  check_string "nested object" {|{"a":1,"b":{"c":[]}}|}
+    (Json.to_string
+       (Json.Obj [ ("a", Json.Int 1); ("b", Json.Obj [ ("c", Json.List []) ]) ]));
+  check_string "escapes" "\"q\\\" b\\\\ n\\n r\\r t\\t c\\u0001\""
+    (Json.to_string (Json.String "q\" b\\ n\n r\r t\t c\x01"));
+  (* UTF-8 passes through unescaped. *)
+  check_string "utf8 passthrough" "\"\xce\x94\"" (Json.to_string (Json.String "Δ"))
+
+let test_json_floats () =
+  check_string "integral float keeps a point" "1.0" (Json.to_string (Json.Float 1.0));
+  check_string "fraction survives round-trip" "0.5" (Json.to_string (Json.Float 0.5));
+  check_string "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  check_string "infinity is null" "null" (Json.to_string (Json.Float Float.infinity));
+  (* %.17g must round-trip any finite double. *)
+  let f = 0.1 +. 0.2 in
+  match Json.of_string (Json.to_string (Json.Float f)) with
+  | Json.Float g -> Alcotest.(check (float 0.0)) "exact round-trip" f g
+  | _ -> Alcotest.fail "expected a float"
+
+let test_json_obj_drops_null () =
+  check_string "null fields dropped" {|{"a":1}|}
+    (Json.to_string (Json.obj [ ("a", Json.Int 1); ("b", Json.Null) ]));
+  check_string "explicit Obj keeps null" {|{"b":null}|}
+    (Json.to_string (Json.Obj [ ("b", Json.Null) ]))
+
+let test_json_parse_roundtrip () =
+  let samples =
+    [
+      Json.Null;
+      Json.Bool false;
+      Json.Int 0;
+      Json.Int (-123);
+      Json.Float 2.5;
+      Json.String "with \"quotes\" and \n newline";
+      Json.List [ Json.Int 1; Json.List []; Json.Obj [] ];
+      Json.Obj
+        [
+          ("k", Json.String "v");
+          ("nested", Json.List [ Json.Bool true; Json.Null ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      check_bool
+        (Printf.sprintf "round-trip %s" (Json.to_string v))
+        true
+        (Json.of_string (Json.to_string v) = v))
+    samples
+
+let test_json_parse_details () =
+  check_bool "whitespace tolerated" true
+    (Json.of_string " { \"a\" : [ 1 , 2 ] } "
+    = Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]) ]);
+  check_bool "unicode escape" true
+    (Json.of_string "\"\\u0041\\u00e9\"" = Json.String "A\xc3\xa9");
+  check_bool "exponent is a float" true (Json.of_string "1e2" = Json.Float 100.0);
+  check_bool "plain integer stays int" true (Json.of_string "100" = Json.Int 100);
+  List.iter
+    (fun bad ->
+      check_bool
+        (Printf.sprintf "%S rejected" bad)
+        true
+        (match Json.of_string bad with
+        | exception Json.Parse_error _ -> true
+        | _ -> false))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
+let test_json_member () =
+  let v = Json.Obj [ ("a", Json.Int 1) ] in
+  check_bool "hit" true (Json.member "a" v = Some (Json.Int 1));
+  check_bool "miss" true (Json.member "b" v = None);
+  check_bool "non-object" true (Json.member "a" (Json.Int 3) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Hist                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_basics () =
+  let h = Hist.create ~buckets:10 ~width:5 () in
+  List.iter (Hist.observe h) [ 3; 7; 7; 12; 49; -4 ];
+  check_int "count" 6 (Hist.count h);
+  check_int "sum (negative clamped)" 78 (Hist.sum h);
+  check_int "min" 0 (Hist.min_value h);
+  check_int "max" 49 (Hist.max_value h);
+  Alcotest.(check (float 0.001)) "mean" 13.0 (Hist.mean h);
+  Hist.clear h;
+  check_int "cleared" 0 (Hist.count h);
+  check_int "cleared max" 0 (Hist.max_value h)
+
+let test_hist_percentiles () =
+  let h = Hist.create ~buckets:100 ~width:1 () in
+  for v = 1 to 100 do
+    Hist.observe h v
+  done;
+  (* width-1 buckets: the reported upper edge is the value itself. *)
+  check_int "p50" 50 (Hist.percentile h 0.5);
+  check_int "p99" 99 (Hist.percentile h 0.99);
+  check_int "p0 is min bucket" 1 (Hist.percentile h 0.0);
+  check_int "p100 is max" 100 (Hist.percentile h 1.0);
+  check_bool "bad quantile rejected" true
+    (match Hist.percentile h 1.5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_hist_overflow_exact_max () =
+  let h = Hist.create ~buckets:4 ~width:10 () in
+  Hist.observe h 2;
+  Hist.observe h 1_000_000;
+  (* The overflow bucket still reports the exact maximum, so Δ-bound
+     assertions carry no bucketing error. *)
+  check_int "exact max" 1_000_000 (Hist.max_value h);
+  check_int "overflow percentile is exact max" 1_000_000 (Hist.percentile h 0.99);
+  let b = Hist.buckets h in
+  check_int "overflow bucket last" 1 b.(Array.length b - 1)
+
+let test_hist_merge () =
+  let a = Hist.create ~buckets:8 ~width:2 () in
+  let b = Hist.create ~buckets:8 ~width:2 () in
+  Hist.observe a 1;
+  Hist.observe b 9;
+  let m = Hist.merge a b in
+  check_int "merged count" 2 (Hist.count m);
+  check_int "merged min" 1 (Hist.min_value m);
+  check_int "merged max" 9 (Hist.max_value m);
+  check_int "merge leaves inputs alone" 1 (Hist.count a);
+  let other = Hist.create ~buckets:4 ~width:2 () in
+  check_bool "shape mismatch rejected" true
+    (match Hist.merge a other with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_hist_json () =
+  let h = Hist.create ~buckets:64 ~width:1 () in
+  List.iter (Hist.observe h) [ 0; 1; 1; 3 ];
+  let j = Hist.to_json h in
+  check_bool "count" true (Json.member "count" j = Some (Json.Int 4));
+  check_bool "max" true (Json.member "max" j = Some (Json.Int 3));
+  (match Json.member "buckets" j with
+  | Some (Json.List l) -> check_int "trailing zeros trimmed" 4 (List.length l)
+  | _ -> Alcotest.fail "buckets missing");
+  check_bool "emits valid json" true (Json.of_string (Json.to_string j) = j)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_registry () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "states" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  check_int "counter" 11 (Metrics.counter_value c);
+  (* Find-or-register: the same name aliases the same cell. *)
+  Metrics.incr (Metrics.counter r "states");
+  check_int "aliased" 12 (Metrics.counter_value c);
+  let g = Metrics.gauge r "frontier" in
+  Metrics.set_max g 5.0;
+  Metrics.set_max g 3.0;
+  Alcotest.(check (float 0.0)) "high watermark" 5.0 (Metrics.gauge_value g);
+  Metrics.set g 1.0;
+  Alcotest.(check (float 0.0)) "set overrides" 1.0 (Metrics.gauge_value g);
+  let h = Metrics.histogram r "res" in
+  Hist.observe h 7;
+  check_int "histogram aliased" 1 (Hist.count (Metrics.histogram r "res"));
+  check_bool "kind clash rejected" true
+    (match Metrics.counter r "frontier" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_metrics_json () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r "b") 2;
+  Metrics.add (Metrics.counter r "a") 1;
+  Metrics.set (Metrics.gauge r "g") 0.5;
+  let j = Metrics.to_json r in
+  check_string "sorted, sectioned"
+    {|{"counters":{"a":1,"b":2},"gauges":{"g":0.5}}|}
+    (Json.to_string j);
+  (* Empty registry renders as an empty object (all sections dropped). *)
+  check_string "empty" "{}" (Json.to_string (Metrics.to_json (Metrics.create ())))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_writer () =
+  let path = Filename.temp_file "tbtso_chrome" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let w = Chrome.to_channel oc in
+      Chrome.emit w (Chrome.process_name ~pid:0 "tsim");
+      Chrome.emit w (Chrome.thread_name ~pid:0 ~tid:1 "thread 1");
+      Chrome.emit w (Chrome.instant ~name:"load" ~pid:0 ~tid:1 ~ts:0.5 ());
+      Chrome.emit w
+        (Chrome.complete ~name:"buffered" ~cat:"store-buffer" ~pid:0 ~tid:1
+           ~ts:1.0 ~dur:2.5
+           ~args:[ ("age_ticks", Json.Int 250) ]
+           ());
+      Chrome.emit w (Chrome.counter ~name:"depth" ~pid:0 ~ts:1.0 [ ("t1", 3.0) ]);
+      Chrome.close w;
+      close_out oc;
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.member "traceEvents" (Json.of_string text) with
+      | Some (Json.List evs) ->
+          check_int "all events present" 5 (List.length evs);
+          let phases =
+            List.filter_map (fun e -> Json.member "ph" e) evs
+            |> List.map (function Json.String s -> s | _ -> "?")
+          in
+          check_bool "phases" true (phases = [ "M"; "M"; "i"; "X"; "C" ])
+      | _ -> Alcotest.fail "not a trace_event document")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "render" `Quick test_json_render;
+          Alcotest.test_case "floats" `Quick test_json_floats;
+          Alcotest.test_case "obj drops null" `Quick test_json_obj_drops_null;
+          Alcotest.test_case "parse round-trip" `Quick test_json_parse_roundtrip;
+          Alcotest.test_case "parse details" `Quick test_json_parse_details;
+          Alcotest.test_case "member" `Quick test_json_member;
+        ] );
+      ( "hist",
+        [
+          Alcotest.test_case "basics" `Quick test_hist_basics;
+          Alcotest.test_case "percentiles" `Quick test_hist_percentiles;
+          Alcotest.test_case "overflow exact max" `Quick test_hist_overflow_exact_max;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+          Alcotest.test_case "to_json" `Quick test_hist_json;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "to_json" `Quick test_metrics_json;
+        ] );
+      ( "chrome",
+        [ Alcotest.test_case "writer" `Quick test_chrome_writer ] );
+    ]

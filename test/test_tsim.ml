@@ -1021,6 +1021,169 @@ let test_trace_filter () =
   let s = Format.asprintf "%a" Trace.pp tr in
   check_bool "pp nonempty" true (String.length s > 10)
 
+let test_trace_wraparound_order () =
+  (* 20 events into an 8-slot ring: exactly the newest 8 survive, in
+     order (oldest surviving first), and the drop count is exact. *)
+  let m = Machine.create Config.(with_consistency Sc default) in
+  let g = Machine.alloc_global m 8 in
+  let tr = Trace.create ~capacity:8 () in
+  Trace.attach tr m;
+  ignore
+    (Machine.spawn m (fun () ->
+         for i = 1 to 10 do
+           Sim.store g i;
+           Sim.fence ()
+         done));
+  ignore (Machine.run m);
+  check_int "length" 8 (Trace.length tr);
+  check_int "dropped" 12 (Trace.dropped tr);
+  let whats = List.map (fun (e : Trace.event) -> e.what) (Trace.events tr) in
+  let expected =
+    List.concat_map
+      (fun i -> [ Trace.T_store { addr = g; value = i }; Trace.T_fence ])
+      [ 7; 8; 9; 10 ]
+  in
+  check_bool "window is the tail, oldest first" true (whats = expected);
+  (* Filters must see only the surviving window, not ghosts of dropped
+     events. *)
+  check_int "filter keeps neutral on wrapped buffer" 8
+    (List.length (Trace.filter tr ~addr:g ()));
+  check_int "strict filter on wrapped buffer" 4
+    (List.length (Trace.filter tr ~addr:g ~include_neutral:false ()))
+
+(* ------------------------------------------------------------------ *)
+(* Residency and machine-readable exports                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_residency_delta_invariant () =
+  (* The paper's temporal bound as a one-line assertion: with drains
+     that never fire voluntarily, TBTSO[Δ] still caps — and, for an
+     adversary, pins — every store's buffer residency at Δ, while plain
+     TSO holds stores for the whole run. *)
+  let delta = 40 in
+  let prog g =
+    for i = 1 to 50 do
+      Sim.store g i;
+      Sim.work 10
+    done
+  in
+  let m, _ =
+    run_machine
+      Config.(with_drain Drain_adversarial (with_consistency (Tbtso delta) default))
+      [ prog ]
+  in
+  let s = Machine.stats m 0 in
+  check_bool "tbtso residency bounded by delta" true (s.max_residency <= delta);
+  check_int "adversary pins residency at delta" delta s.max_residency;
+  let h = Machine.residency m 0 in
+  check_int "histogram max agrees with stats" s.max_residency
+    (Tbtso_obs.Hist.max_value h);
+  check_int "every commit observed" s.drains (Tbtso_obs.Hist.count h);
+  check_bool "forced commits recorded under their kind" true
+    (Tbtso_obs.Hist.count (Machine.residency_by_kind m 0 Machine.D_delta) > 0);
+  check_int "no voluntary drains under the adversary" 0
+    (Tbtso_obs.Hist.count (Machine.residency_by_kind m 0 Machine.D_voluntary));
+  let m, _ =
+    run_machine
+      Config.(with_drain Drain_adversarial (with_consistency Tso default))
+      [ prog ]
+  in
+  let s = Machine.stats m 0 in
+  check_bool "tso residency unbounded (exceeds delta)" true
+    (s.max_residency > delta)
+
+let test_trace_commit_events () =
+  let delta = 16 in
+  let cfg =
+    Config.(with_drain Drain_adversarial (with_consistency (Tbtso delta) default))
+  in
+  let m = Machine.create cfg in
+  let g = Machine.alloc_global m 8 in
+  let tr = Trace.create () in
+  Trace.attach ~commits:true tr m;
+  ignore
+    (Machine.spawn m (fun () ->
+         Sim.store g 9;
+         Sim.work 40));
+  ignore (Machine.run m);
+  let commits =
+    List.filter_map
+      (fun (e : Trace.event) ->
+        match e.what with
+        | Trace.T_commit { addr; value; age; kind } -> Some (addr, value, age, kind)
+        | _ -> None)
+      (Trace.events tr)
+  in
+  (match commits with
+  | [ (addr, value, age, kind) ] ->
+      check_int "commit addr" g addr;
+      check_int "commit value" 9 value;
+      check_int "forced commit at exactly delta" delta age;
+      check_bool "kind is the delta deadline" true (kind = Machine.D_delta)
+  | _ -> Alcotest.fail "expected exactly one commit event");
+  (* The default attach records no commit events (existing traces keep
+     their exact expected sequences). *)
+  let m2 = Machine.create cfg in
+  let g2 = Machine.alloc_global m2 8 in
+  let tr2 = Trace.create () in
+  Trace.attach tr2 m2;
+  ignore (Machine.spawn m2 (fun () -> Sim.store g2 1; Sim.work 40));
+  ignore (Machine.run m2);
+  check_bool "no commits by default" true
+    (List.for_all
+       (fun (e : Trace.event) ->
+         match e.what with Trace.T_commit _ -> false | _ -> true)
+       (Trace.events tr2))
+
+let test_trace_export_parses () =
+  let module Json = Tbtso_obs.Json in
+  let cfg =
+    Config.(with_drain Drain_adversarial (with_consistency (Tbtso 16) default))
+  in
+  let m = Machine.create cfg in
+  let g = Machine.alloc_global m 16 in
+  let tr = Trace.create () in
+  Trace.attach ~commits:true tr m;
+  for t = 0 to 1 do
+    ignore
+      (Machine.spawn m (fun () ->
+           Sim.store (g + (t * 8)) 1;
+           ignore (Sim.load (g + (((t + 1) mod 2) * 8)));
+           Sim.work 40))
+  done;
+  ignore (Machine.run m);
+  let with_temp f =
+    let path = Filename.temp_file "tbtso_trace" ".json" in
+    Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+  in
+  let slurp path =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  with_temp (fun path ->
+      Trace_export.write_chrome_file path tr;
+      match Json.member "traceEvents" (Json.of_string (slurp path)) with
+      | Some (Json.List evs) ->
+          check_bool "has events" true (List.length evs > 0);
+          (* Every buffered store appears as a duration bar. *)
+          let bars =
+            List.filter
+              (fun e -> Json.member "ph" e = Some (Json.String "X"))
+              evs
+          in
+          check_int "one bar per commit" 2 (List.length bars)
+      | _ -> Alcotest.fail "chrome export is not a trace_event document");
+  with_temp (fun path ->
+      Trace_export.write_jsonl_file path tr;
+      let lines =
+        String.split_on_char '\n' (slurp path)
+        |> List.filter (fun l -> l <> "")
+      in
+      check_int "one line per event" (Trace.length tr) (List.length lines);
+      List.iter (fun l -> ignore (Json.of_string l)) lines)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -1118,6 +1281,13 @@ let () =
           Alcotest.test_case "records sequence" `Quick test_trace_records_sequence;
           Alcotest.test_case "ring overflow" `Quick test_trace_ring_overflow;
           Alcotest.test_case "filter and pp" `Quick test_trace_filter;
+          Alcotest.test_case "wraparound order" `Quick test_trace_wraparound_order;
+          Alcotest.test_case "commit events" `Quick test_trace_commit_events;
+          Alcotest.test_case "export parses" `Quick test_trace_export_parses;
+        ] );
+      ( "residency",
+        [
+          Alcotest.test_case "delta invariant" `Quick test_residency_delta_invariant;
         ] );
       ( "rfo",
         [

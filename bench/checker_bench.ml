@@ -7,14 +7,16 @@
    Δ ∈ {4, 100, 500}. The reference enumerator is skipped where it is
    known not to terminate within the state budget.
 
-   Usage: dune exec bench/checker_bench.exe -- [--quick] [--json PATH]
+   Usage: dune exec bench/checker_bench.exe -- [--quick] [--json PATH] [-j N]
    --quick drops the Δ = 500 tier and the slower reference diffs (the
    CI configuration); --json writes every case as a machine-readable
-   record. *)
+   record; -j fans the independent cases over N domains (0 = auto) —
+   the report and JSON are identical to -j 1 up to the timing fields. *)
 
 open Tsim
 open Litmus
 module Json = Tbtso_obs.Json
+module Pool = Tbtso_par.Pool
 
 let x = 0
 let y = 1
@@ -43,48 +45,69 @@ let time f =
 
 let pf fmt = Printf.printf fmt
 
-let mode_label = function
-  | M_sc -> "sc"
-  | M_tso -> "tso"
-  | M_tbtso d -> Printf.sprintf "tbtso:%d" d
-  | M_tsos s -> Printf.sprintf "tsos:%d" s
+type case = {
+  name : string;
+  mode : Litmus.mode;
+  reference : bool;  (* also diff against the naive reference enumerator *)
+  program : Litmus.instr list list;
+}
+
+type case_result = {
+  r : Litmus.result;
+  dt : float;
+  refr : (Litmus.outcome list option * float) option;
+      (* reference outcomes (None = over budget) and its wall time *)
+}
+
+(* The exploration work, run inside a pool worker: the explorer builds
+   all its state per call, so cases are independent. *)
+let exec_case c =
+  let r, dt = time (fun () -> explore ~mode:c.mode c.program) in
+  let refr =
+    if c.reference then
+      Some
+        (time (fun () ->
+             try Some (enumerate_reference ~mode:c.mode c.program)
+             with Failure _ -> None))
+    else None
+  in
+  { r; dt; refr }
 
 let records : Json.t list ref = ref []
 
-let run_case ~name ~mode ~reference program =
-  let r, dt = time (fun () -> explore ~mode program) in
+(* Reporting, run sequentially in case order so the output is identical
+   whatever the pool size. *)
+let print_case c res =
   let rate =
-    if dt > 0.0 then float_of_int r.stats.visited /. dt else infinity
+    if res.dt > 0.0 then float_of_int res.r.stats.visited /. res.dt else infinity
   in
-  pf "%-28s %9d states %s %8.3fs %12.0f st/s" name r.stats.visited
-    (if r.complete then " " else "!")
-    dt rate;
+  pf "%-28s %9d states %s %8.3fs %12.0f st/s" c.name res.r.stats.visited
+    (if res.r.complete then " " else "!")
+    res.dt rate;
   let ref_fields = ref [] in
-  (if reference then
-     match
-       time (fun () ->
-           try Some (enumerate_reference ~mode program) with Failure _ -> None)
-     with
-     | Some outs, rdt ->
-         let agree = outs = r.outcomes in
-         ref_fields :=
-           [ ("ref_seconds", Json.Float rdt); ("ref_agree", Json.Bool agree) ];
-         pf "   ref %8.3fs (%5.1fx)%s" rdt
-           (if dt > 0.0 then rdt /. dt else infinity)
-           (if agree then "" else "  OUTCOME MISMATCH!")
-     | None, rdt ->
-         ref_fields := [ ("ref_seconds", Json.Float rdt); ("ref_over_budget", Json.Bool true) ];
-         pf "   ref >budget after %.1fs" rdt);
+  (match res.refr with
+  | None -> ()
+  | Some (Some outs, rdt) ->
+      let agree = outs = res.r.outcomes in
+      ref_fields :=
+        [ ("ref_seconds", Json.Float rdt); ("ref_agree", Json.Bool agree) ];
+      pf "   ref %8.3fs (%5.1fx)%s" rdt
+        (if res.dt > 0.0 then rdt /. res.dt else infinity)
+        (if agree then "" else "  OUTCOME MISMATCH!")
+  | Some (None, rdt) ->
+      ref_fields :=
+        [ ("ref_seconds", Json.Float rdt); ("ref_over_budget", Json.Bool true) ];
+      pf "   ref >budget after %.1fs" rdt);
   pf "\n%!";
   records :=
     Json.obj
       ([
-         ("name", Json.String name);
-         ("mode", Json.String (mode_label mode));
-         ("complete", Json.Bool r.complete);
-         ("wall_seconds", Json.Float dt);
+         ("name", Json.String c.name);
+         ("mode", Json.String (Litmus_parse.mode_id c.mode));
+         ("complete", Json.Bool res.r.complete);
+         ("wall_seconds", Json.Float res.dt);
          ("states_per_sec", Json.Float (if Float.is_finite rate then rate else 0.0));
-         ("stats", stats_json r.stats);
+         ("stats", stats_json res.r.stats);
        ]
       @ !ref_fields)
     :: !records
@@ -92,51 +115,111 @@ let run_case ~name ~mode ~reference program =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
-  let json_path =
+  let find_val flag =
     let rec find = function
-      | "--json" :: p :: _ -> Some p
+      | f :: p :: _ when f = flag -> Some p
       | _ :: rest -> find rest
       | [] -> None
     in
     find args
   in
+  let json_path = find_val "--json" in
+  let jobs =
+    match find_val "-j" with
+    | None -> 1
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> n
+        | Some _ | None ->
+            prerr_endline "-j expects a non-negative integer (0 = auto)";
+            exit 2)
+  in
+  let domains = if jobs = 0 then Pool.default_domains () else jobs in
   pf "Checker throughput (states/s), explorer vs reference enumerator\n";
-  pf "('!' marks an exploration cut off by the state budget)\n\n";
+  pf "('!' marks an exploration cut off by the state budget; %d domain%s)\n\n"
+    domains
+    (if domains = 1 then "" else "s");
   let deltas = if quick then [ 4; 100 ] else [ 4; 100; 500 ] in
   let ref_budget = if quick then 4 else 100 in
-  List.iter
-    (fun delta ->
-      pf "-- Δ = %d --\n" delta;
-      run_case ~name:"SB sc" ~mode:M_sc ~reference:true sb;
-      run_case ~name:"SB tso" ~mode:M_tso ~reference:true sb;
-      run_case
-        ~name:(Printf.sprintf "SB tbtso:%d" delta)
-        ~mode:(M_tbtso delta) ~reference:(delta <= ref_budget) sb;
-      run_case
-        ~name:(Printf.sprintf "MP tbtso:%d" delta)
-        ~mode:(M_tbtso delta) ~reference:(delta <= ref_budget) mp;
-      run_case
-        ~name:(Printf.sprintf "flag(Δ) tbtso:%d" delta)
-        ~mode:(M_tbtso delta)
-        ~reference:(delta <= ref_budget)
-        (flag delta);
-      run_case
-        ~name:(Printf.sprintf "flag3(Δ) tbtso:%d" delta)
-        ~mode:(M_tbtso delta)
+  let delta_section delta =
+    ( Printf.sprintf "-- Δ = %d --" delta,
+      [
+        { name = "SB sc"; mode = M_sc; reference = true; program = sb };
+        { name = "SB tso"; mode = M_tso; reference = true; program = sb };
+        {
+          name = Printf.sprintf "SB tbtso:%d" delta;
+          mode = M_tbtso delta;
+          reference = delta <= ref_budget;
+          program = sb;
+        };
+        {
+          name = Printf.sprintf "MP tbtso:%d" delta;
+          mode = M_tbtso delta;
+          reference = delta <= ref_budget;
+          program = mp;
+        };
+        {
+          name = Printf.sprintf "flag(Δ) tbtso:%d" delta;
+          mode = M_tbtso delta;
+          reference = delta <= ref_budget;
+          program = flag delta;
+        };
+        {
+          name = Printf.sprintf "flag3(Δ) tbtso:%d" delta;
+          mode = M_tbtso delta;
           (* the 3-thread flag at Δ=100 takes the reference ~20 s; only
              diff it at toy scale *)
-        ~reference:(delta <= 4)
-        (flag3 delta);
-      pf "\n")
-    deltas;
-  pf "-- pathological waits --\n";
-  run_case ~name:"wait 1M (quiet)" ~mode:M_tso ~reference:false
-    [ [ Wait 1_000_000 ] ];
-  run_case ~name:"wait 1M vs racing SB" ~mode:(M_tbtso 4) ~reference:false
-    [
-      [ Wait 1_000_000; Store (x, 1); Load (y, 0) ];
-      [ Store (y, 1); Load (x, 0) ];
-    ];
+          reference = delta <= 4;
+          program = flag3 delta;
+        };
+      ] )
+  in
+  let sections =
+    List.map delta_section deltas
+    @ [
+        ( "-- pathological waits --",
+          [
+            {
+              name = "wait 1M (quiet)";
+              mode = M_tso;
+              reference = false;
+              program = [ [ Wait 1_000_000 ] ];
+            };
+            {
+              name = "wait 1M vs racing SB";
+              mode = M_tbtso 4;
+              reference = false;
+              program =
+                [
+                  [ Wait 1_000_000; Store (x, 1); Load (y, 0) ];
+                  [ Store (y, 1); Load (x, 0) ];
+                ];
+            };
+          ] );
+      ]
+  in
+  let cases = List.concat_map snd sections in
+  let total, wall =
+    time (fun () ->
+        Pool.with_pool ~domains (fun pool -> Pool.map_list pool exec_case cases))
+  in
+  (* Zip results back onto the sections for in-order reporting. *)
+  let rest = ref total in
+  List.iteri
+    (fun i (title, section_cases) ->
+      pf "%s\n" title;
+      List.iter
+        (fun c ->
+          match !rest with
+          | res :: tl ->
+              rest := tl;
+              print_case c res
+          | [] -> assert false)
+        section_cases;
+      if i < List.length sections - 1 then pf "\n")
+    sections;
+  pf "\ntotal wall time: %.3f s (%d domain%s)\n" wall domains
+    (if domains = 1 then "" else "s");
   match json_path with
   | None -> ()
   | Some path ->
@@ -145,6 +228,8 @@ let () =
            [
              ("schema", Json.String "tbtso-checker-bench/1");
              ("quick", Json.Bool quick);
+             ("domains", Json.Int domains);
+             ("wall_seconds", Json.Float wall);
              ("cases", Json.List (List.rev !records));
            ]);
       pf "(wrote %s)\n" path

@@ -15,6 +15,7 @@ open Tsim
 open Tbtso_workload
 module Chart = Tbtso_workload.Chart
 module Json = Tbtso_obs.Json
+module Pool = Tbtso_par.Pool
 open Tbtso_hwmodel
 
 let pf fmt = Printf.printf fmt
@@ -33,6 +34,11 @@ type mode = {
   csv : string option;
   json : string option;
   trace : string option;
+  pool : Pool.t;
+      (* Worker pool the sweep-shaped experiments (residency, fig7,
+         abl_delta) fan their independent configurations over; a pool of
+         one runs them in-line. Results are consumed in submission
+         order, so the report is identical at any -j. *)
 }
 
 (* JSON accumulation: while an experiment runs, its tabular series (the
@@ -302,40 +308,59 @@ let fig7 m =
   pf "%-14s" "method";
   List.iter (fun s -> pf " %12s" (Printf.sprintf "s=%dms" s)) stalls_ms;
   pf "\n";
+  (* One independent simulator run per (method, stall) cell: fan the
+     whole grid over the pool, then print it row-major. *)
+  let grid =
+    List.concat_map (fun spec -> List.map (fun s -> (spec, s)) stalls_ms) specs
+  in
+  let cells =
+    Pool.map_list m.pool
+      (fun (spec, stall_ms) ->
+        (* The run must cover the whole stall so updaters keep
+           retiring while the reader is out (the growth the figure
+           measures); all methods see identical windows per column. *)
+        let run_ticks = base_ticks + Config.ms stall_ms in
+        let stall =
+          if stall_ms = 0 then None
+          else
+            Some { Hashtable_bench.at = base_ticks / 4; duration = Config.ms stall_ms }
+        in
+        let p =
+          {
+            Hashtable_bench.spec;
+            config =
+              { Config.default with Config.cache_bits = 8; seed = Int64.of_int m.seed };
+            nthreads = 4;
+            mix = Hashtable_bench.Read_write;
+            buckets = 128;
+            avg_chain = 4;
+            run_ticks;
+            stall;
+            seed = m.seed;
+          }
+        in
+        (Hashtable_bench.run p).peak_heap_words)
+      grid
+  in
+  let rest = ref (List.combine grid cells) in
   List.iter
     (fun spec ->
       pf "%-14s" (Smr_methods.name spec);
       List.iter
         (fun stall_ms ->
-          (* The run must cover the whole stall so updaters keep
-             retiring while the reader is out (the growth the figure
-             measures); all methods see identical windows per column. *)
-          let run_ticks = base_ticks + Config.ms stall_ms in
-          let stall =
-            if stall_ms = 0 then None
-            else
-              Some { Hashtable_bench.at = base_ticks / 4; duration = Config.ms stall_ms }
+          let peak =
+            match !rest with
+            | ((spec', stall'), peak) :: tl ->
+                assert (spec' == spec && stall' = stall_ms);
+                rest := tl;
+                peak
+            | [] -> assert false
           in
-          let p =
-            {
-              Hashtable_bench.spec;
-              config =
-                { Config.default with Config.cache_bits = 8; seed = Int64.of_int m.seed };
-              nthreads = 4;
-              mix = Hashtable_bench.Read_write;
-              buckets = 128;
-              avg_chain = 4;
-              run_ticks;
-              stall;
-              seed = m.seed;
-            }
-          in
-          let res = Hashtable_bench.run p in
-          pf " %12d" res.peak_heap_words;
+          pf " %12d" peak;
           csv_rows :=
-            [ Smr_methods.name spec; string_of_int stall_ms; string_of_int res.peak_heap_words ]
+            [ Smr_methods.name spec; string_of_int stall_ms; string_of_int peak ]
             :: !csv_rows;
-          last_points := (Smr_methods.name spec, float_of_int res.peak_heap_words) :: !last_points)
+          last_points := (Smr_methods.name spec, float_of_int peak) :: !last_points)
         stalls_ms;
       pf "\n%!")
     specs;
@@ -573,30 +598,37 @@ let abl_delta m =
      largest Delta in the sweep so the claim under test is the paper's. *)
   pf "R = 16384 for every row (sized for Delta = 16 ms per Section 4.2.1)\n";
   pf "%-14s %16s %16s %12s\n" "Delta" "updater Mop/s" "reader Mop/s" "peak words";
+  (* Each Delta is an independent simulator run: sweep them across the
+     pool and print the rows in sweep order. *)
+  let rows =
+    Pool.map_list m.pool
+      (fun (label, delta) ->
+        let p =
+          {
+            Hashtable_bench.spec = Smr_methods.S_ffhp { r = 16384; bound = `Delta delta };
+            config = { Config.default with Config.cache_bits = 8; seed = Int64.of_int m.seed };
+            nthreads = 4;
+            mix = Hashtable_bench.Read_write;
+            buckets = 128;
+            avg_chain = 4;
+            run_ticks;
+            stall = None;
+            seed = m.seed;
+          }
+        in
+        (label, Hashtable_bench.run p))
+      [
+        ("0.05 ms", Config.us 50);
+        ("0.5 ms", Config.us 500);
+        ("4 ms", Config.ms 4);
+        ("16 ms", Config.ms 16);
+      ]
+  in
   List.iter
-    (fun (label, delta) ->
-      let p =
-        {
-          Hashtable_bench.spec = Smr_methods.S_ffhp { r = 16384; bound = `Delta delta };
-          config = { Config.default with Config.cache_bits = 8; seed = Int64.of_int m.seed };
-          nthreads = 4;
-          mix = Hashtable_bench.Read_write;
-          buckets = 128;
-          avg_chain = 4;
-          run_ticks;
-          stall = None;
-          seed = m.seed;
-        }
-      in
-      let r = Hashtable_bench.run p in
+    (fun (label, r) ->
       pf "%-14s %16.3f %16.2f %12d\n" label (Hashtable_bench.updater_mops r)
         (Hashtable_bench.reader_mops r) r.peak_heap_words)
-    [
-      ("0.05 ms", Config.us 50);
-      ("0.5 ms", Config.us 500);
-      ("4 ms", Config.ms 4);
-      ("16 ms", Config.ms 16);
-    ];
+    rows;
   pf "shape check: little throughput impact while R gives headroom (Section 7.1.1).\n"
 
 let abl_r m =
@@ -789,14 +821,23 @@ let residency m =
     "max" "max<=Delta";
   let runs = ref [] in
   let csv_rows = ref [] in
+  (* Each (consistency, drain) configuration is an independent machine
+     run: fan them over the pool. Traces are created inside the worker
+     and exported in order below. *)
+  let results =
+    Pool.map_list m.pool
+      (fun (label, config, traced) ->
+        let trace =
+          match (m.trace, traced) with
+          | Some _, true -> Some (Trace.create ~capacity:65536 ())
+          | _ -> None
+        in
+        let r = Residency_bench.run ?trace ~label ~config ~run_ticks () in
+        (label, r, trace))
+      cases
+  in
   List.iter
-    (fun (label, config, traced) ->
-      let trace =
-        match (m.trace, traced) with
-        | Some _, true -> Some (Trace.create ~capacity:65536 ())
-        | _ -> None
-      in
-      let r = Residency_bench.run ?trace ~label ~config ~run_ticks () in
+    (fun (label, (r : Residency_bench.run), trace) ->
       let merged =
         match r.Residency_bench.threads with
         | [] -> Tbtso_obs.Hist.create ()
@@ -832,7 +873,7 @@ let residency m =
           pf "(wrote %s + %s.jsonl; open the former in https://ui.perfetto.dev)\n"
             path path
       | _ -> ())
-    cases;
+    results;
   add_json_field m "runs" (Json.List (List.rev !runs));
   maybe_csv m ~name:"residency"
     ~header:[ "run"; "delta"; "commits"; "p50"; "p99"; "max" ]
@@ -906,7 +947,7 @@ let experiments =
 let usage () =
   pf
     "usage: main.exe [EXPERIMENT]... [--paper] [--seed N] [--csv DIR] \
-     [--json PATH] [--trace PATH]\nexperiments:\n";
+     [--json PATH] [--trace PATH] [-j N]\nexperiments:\n";
   List.iter (fun (n, d, _) -> pf "  %-12s %s\n" n d) experiments;
   exit 2
 
@@ -932,6 +973,16 @@ let () =
   let csv = find_opt "--csv" in
   let json = find_opt "--json" in
   let trace = find_opt "--trace" in
+  let jobs =
+    match find_opt "-j" with
+    | None -> 1
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> n
+        | Some _ | None ->
+            pf "-j expects a non-negative integer (0 = auto)\n";
+            exit 2)
+  in
   (* Positional args that are experiment names; drop flags and their
      values. *)
   let rec positional = function
@@ -939,14 +990,18 @@ let () =
     | "--seed" :: _ :: rest
     | "--csv" :: _ :: rest
     | "--json" :: _ :: rest
-    | "--trace" :: _ :: rest ->
+    | "--trace" :: _ :: rest
+    | "-j" :: _ :: rest ->
         positional rest
     | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" -> positional rest
     | a :: rest -> a :: positional rest
   in
   let selected = positional args in
   if List.mem "help" selected then usage ();
-  let mode = { paper; seed; csv; json; trace } in
+  let pool =
+    Pool.create ~domains:(if jobs = 0 then Pool.default_domains () else jobs) ()
+  in
+  let mode = { paper; seed; csv; json; trace; pool } in
   let to_run =
     match selected with
     | [] -> experiments
@@ -993,4 +1048,8 @@ let () =
              ("experiments", Json.List (List.rev !experiment_docs));
            ]);
       pf "(wrote %s)\n" path);
-  pf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  Pool.shutdown pool;
+  pf "\ntotal wall time: %.1f s (%d domain%s)\n"
+    (Unix.gettimeofday () -. t0)
+    (Pool.domains pool)
+    (if Pool.domains pool = 1 then "" else "s")

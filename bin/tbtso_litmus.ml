@@ -3,7 +3,7 @@
 
    Usage:
      tbtso_litmus check FILE... [--mode sc,tso,tbtso:4] [--max-states N]
-                                [--json PATH]
+                                [--json PATH] [-j N]
      tbtso_litmus demo
 
    See Tsim.Litmus_parse for the file format; sample files live in
@@ -11,76 +11,25 @@
 
 open Tsim
 module Json = Tbtso_obs.Json
+module Pool = Tbtso_par.Pool
 
-let parse_mode s =
-  match String.lowercase_ascii s with
-  | "sc" -> Ok Litmus.M_sc
-  | "tso" -> Ok Litmus.M_tso
-  | s when String.length s > 6 && String.sub s 0 6 = "tbtso:" -> (
-      match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
-      | Some d when d >= 1 -> Ok (Litmus.M_tbtso d)
-      | Some _ | None -> Error (`Msg (Printf.sprintf "bad TBTSO bound in %S" s)))
-  | s when String.length s > 5 && String.sub s 0 5 = "tsos:" -> (
-      match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
-      | Some c when c >= 1 -> Ok (Litmus.M_tsos c)
-      | Some _ | None -> Error (`Msg (Printf.sprintf "bad TSO[S] capacity in %S" s)))
-  | _ -> Error (`Msg (Printf.sprintf "unknown mode %S (sc, tso, tbtso:N, tsos:N)" s))
+let mode_name = Litmus_parse.mode_name
 
-let mode_name = function
-  | Litmus.M_sc -> "SC"
-  | Litmus.M_tso -> "TSO"
-  | Litmus.M_tbtso d -> Printf.sprintf "TBTSO[%d]" d
-  | Litmus.M_tsos s -> Printf.sprintf "TSO[S=%d]" s
-
-(* A verdict line for one (file, mode) pair. Budget exhaustion is a
-   reported result, never an exception: an [exists] witness found in a
-   partial exploration is still definitive, everything else degrades to
-   "inconclusive". *)
-let verdict_of t (r : Litmus_parse.check_result) =
-  match (t.Litmus_parse.quantifier, r.complete, r.holds) with
-  | Litmus_parse.Exists, _, true -> "witness OBSERVABLE"
-  | Litmus_parse.Exists, true, false -> "witness impossible"
-  | Litmus_parse.Exists, false, false -> "INCONCLUSIVE (state budget exceeded)"
-  | Litmus_parse.Forall, true, true -> "invariant holds"
-  | Litmus_parse.Forall, true, false -> "invariant VIOLATED"
-  | Litmus_parse.Forall, false, _ -> "INCONCLUSIVE (state budget exceeded)"
-
-let report ~quiet t mode (r : Litmus_parse.check_result) =
-  if not quiet then begin
-    Printf.printf "  %-12s %4d outcomes   %s\n" (mode_name mode) r.outcome_count
-      (verdict_of t r);
-    Format.printf "  %-12s [%a]@." "" Litmus.pp_stats r.stats
-  end
-
-(* The machine-readable mirror of one verdict line. *)
-let result_record ~path ~name mode t (r : Litmus_parse.check_result) =
-  let base =
-    match Litmus_parse.check_result_json r with Json.Obj fields -> fields | _ -> []
-  in
-  Json.obj
-    (("file", Json.String path) :: ("name", Json.String name)
-    :: ("mode", Json.String (mode_name mode))
-    :: ("verdict", Json.String (verdict_of t r))
-    :: base)
-
-let check_one ~quiet ~registry ~records ~modes ~max_states path =
-  let text =
-    let ic = open_in path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
-  in
-  let t = Litmus_parse.parse text in
-  if not quiet then Printf.printf "%s (%s):\n" t.name path;
+let report_verdicts verdicts =
+  let last_path = ref None in
   List.iter
-    (fun mode ->
-      let r = Litmus_parse.check ~max_states t ~mode in
-      Litmus.record_stats registry r.stats;
-      records := result_record ~path ~name:t.name mode t r :: !records;
-      report ~quiet t mode r)
-    modes;
-  if not quiet then print_newline ()
+    (fun (v : Litmus_fanout.verdict) ->
+      if !last_path <> Some v.task.path then begin
+        if !last_path <> None then print_newline ();
+        Printf.printf "%s (%s):\n" v.task.test.Litmus_parse.name v.task.path;
+        last_path := Some v.task.path
+      end;
+      Printf.printf "  %-12s %4d outcomes   %s\n" (mode_name v.task.mode)
+        v.result.outcome_count
+        (Litmus_fanout.verdict_string v);
+      Format.printf "  %-12s [%a]@." "" Litmus.pp_stats v.result.stats)
+    verdicts;
+  if verdicts <> [] then print_newline ()
 
 let demo_text =
   "name: store-buffering demo\n\
@@ -96,7 +45,9 @@ let demo_text =
 
 open Cmdliner
 
-let mode_conv = Arg.conv (parse_mode, fun fmt m -> Format.pp_print_string fmt (mode_name m))
+let mode_conv =
+  Arg.conv
+    (Litmus_parse.mode_of_string, fun fmt m -> Format.pp_print_string fmt (mode_name m))
 
 let modes_arg =
   let doc = "Memory models to check: sc, tso, or tbtso:N (comma-separated)." in
@@ -129,52 +80,114 @@ let json_arg =
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
 
-let json_doc records registry =
-  Json.obj
-    [
-      ("schema", Json.String "tbtso-litmus/1");
-      ("results", Json.List (List.rev records));
-      ("totals", Tbtso_obs.Metrics.to_json registry);
-    ]
+let jobs_arg =
+  let doc =
+    "Fan the (file, mode) checks out over $(docv) domains (0 picks one per \
+     core, capped at 8). Verdicts, report and JSON are identical to a \
+     sequential run — results are delivered in submission order — except \
+     for wall-clock stats fields and the $(b,par.*) pool metrics in the \
+     JSON totals."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let check_exits =
+  Cmd.Exit.info 1
+    ~doc:
+      "some $(b,forall) invariant was VIOLATED (a complete exploration found \
+       a counterexample outcome)."
+  :: Cmd.Exit.info 2
+       ~doc:
+         "some check was INCONCLUSIVE: the state budget was exceeded before \
+          a definitive verdict (raise $(b,--max-states)). A violation \
+          anywhere in the run dominates and exits 1."
+  :: Cmd.Exit.info 3
+       ~doc:
+         "a litmus file could not be read or parsed, or an option value was \
+          invalid."
+  :: Cmd.Exit.defaults
 
 let check_cmd =
-  let run modes max_states json files =
+  let run modes max_states json jobs files =
     if max_states < 1 then begin
       Printf.eprintf "--max-states must be at least 1\n";
-      1
+      3
+    end
+    else if jobs < 0 then begin
+      Printf.eprintf "-j must be non-negative (0 = auto)\n";
+      3
     end
     else begin
       let quiet = json = Some "-" in
       let registry = Tbtso_obs.Metrics.create () in
-      let records = ref [] in
       try
-        List.iter (check_one ~quiet ~registry ~records ~modes ~max_states) files;
+        let tasks = Litmus_fanout.load ~modes files in
+        let domains = if jobs = 0 then Pool.default_domains () else jobs in
+        let verdicts =
+          if domains <= 1 then Litmus_fanout.check ~max_states tasks
+          else
+            Pool.with_pool ~domains (fun pool ->
+                let vs = Litmus_fanout.check ~pool ~max_states tasks in
+                Pool.record_metrics pool registry;
+                vs)
+        in
+        List.iter
+          (fun (v : Litmus_fanout.verdict) ->
+            Litmus.record_stats registry v.result.stats)
+          verdicts;
+        if not quiet then report_verdicts verdicts;
         (match json with
         | None -> ()
-        | Some "-" -> Json.write_line stdout (json_doc !records registry)
-        | Some path -> Json.write_file path (json_doc !records registry));
-        0
+        | Some "-" ->
+            Json.write_line stdout (Litmus_fanout.json_doc ~registry verdicts)
+        | Some path ->
+            Json.write_file path (Litmus_fanout.json_doc ~registry verdicts));
+        Litmus_fanout.exit_code verdicts
       with
       | Litmus_parse.Parse_error { line; message } ->
           Printf.eprintf "parse error at line %d: %s\n" line message;
-          1
+          3
       | Sys_error msg ->
           Printf.eprintf "%s\n" msg;
-          1
+          3
     end
   in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Exhaustively enumerate every interleaving and store-buffer drain \
+         schedule of each litmus file under each requested memory model, \
+         and report whether its $(b,exists)/$(b,forall) condition holds.";
+      `P
+        "The exit status encodes the worst verdict of the whole run so CI \
+         can gate on it directly: 0 all definitive and satisfied, 1 some \
+         invariant violated, 2 some check inconclusive under the state \
+         budget, 3 operational error.";
+    ]
+  in
   Cmd.v
-    (Cmd.info "check" ~doc:"Exhaustively check litmus files under the chosen memory models")
-    Term.(const run $ modes_arg $ max_states_arg $ json_arg $ files_arg)
+    (Cmd.info "check" ~exits:check_exits ~man
+       ~doc:"Exhaustively check litmus files under the chosen memory models")
+    Term.(const run $ modes_arg $ max_states_arg $ json_arg $ jobs_arg $ files_arg)
 
 let demo_cmd =
   let run () =
     print_string demo_text;
     print_newline ();
     let t = Litmus_parse.parse demo_text in
+    let verdicts =
+      Litmus_fanout.check
+        (List.map
+           (fun mode -> { Litmus_fanout.path = "<demo>"; test = t; mode })
+           [ Litmus.M_sc; Litmus.M_tso; Litmus.M_tbtso 4 ])
+    in
     List.iter
-      (fun mode -> report ~quiet:false t mode (Litmus_parse.check t ~mode))
-      [ Litmus.M_sc; Litmus.M_tso; Litmus.M_tbtso 4 ];
+      (fun (v : Litmus_fanout.verdict) ->
+        Printf.printf "  %-12s %4d outcomes   %s\n" (mode_name v.task.mode)
+          v.result.outcome_count
+          (Litmus_fanout.verdict_string v);
+        Format.printf "  %-12s [%a]@." "" Litmus.pp_stats v.result.stats)
+      verdicts;
     0
   in
   Cmd.v

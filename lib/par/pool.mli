@@ -1,0 +1,86 @@
+(** A Domain-based worker pool for embarrassingly parallel fan-out.
+
+    The verification stack's outer loops — one exhaustive exploration per
+    (litmus file, memory model) pair, one simulator run per benchmark
+    configuration — are independent tasks of wildly varying cost. This
+    pool runs them across OCaml 5 domains with:
+
+    - {b deterministic result ordering}: {!map} returns results in
+      submission order regardless of which domain finished which task
+      when, so parallel drivers produce byte-identical reports;
+    - {b chunked submission}: tasks are enqueued as contiguous index
+      chunks under a single lock acquisition, keeping queue traffic
+      negligible even for tens of thousands of trivial tasks;
+    - {b caller participation}: the submitting domain works the queue
+      too, so a pool of size [n] uses exactly [n] domains ([n - 1]
+      spawned workers plus the caller) and a pool of size 1 degenerates
+      to a plain in-line [Array.map] with zero synchronization;
+    - {b fail-fast exception propagation}: the first task exception
+      cancels the remaining tasks of that submission and is re-raised
+      in the caller with its original backtrace;
+    - {b per-domain metrics}: wall-time and task counts per domain,
+      exportable into a {!Tbtso_obs.Metrics} registry.
+
+    The pool itself takes no locks around user tasks, so tasks must not
+    share mutable state with each other. A pool is owned by one
+    submitting thread: concurrent {!map} calls from different threads on
+    the same pool are not supported.
+
+    Every simulator entry point the pool is pointed at ({!Tsim.Litmus}
+    exploration, {!Tsim.Machine} runs) keeps its state in values created
+    per call — the [tsim] library has no module-level mutable state —
+    so tasks are domain-safe by construction. *)
+
+type t
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] capped at {!max_domains}. *)
+
+val max_domains : int
+(** Upper cap (8) on the default pool size; explicit [~domains] may
+    exceed it. *)
+
+val create : ?domains:int -> unit -> t
+(** A pool of [domains] total workers (default {!default_domains}),
+    clamped below at 1. [domains - 1] domains are spawned immediately;
+    the caller is the remaining worker. *)
+
+val domains : t -> int
+(** Total worker count, including the calling domain. *)
+
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f xs] applies [f] to every element of [xs], in parallel across
+    the pool's domains, and returns the results {e in input order}.
+    [chunk] (default: sized so each domain sees a few chunks) is the
+    number of consecutive tasks submitted as one queue item.
+
+    If any [f xs.(i)] raises, the remaining unstarted tasks of this call
+    are cancelled and the first exception is re-raised in the caller
+    with its backtrace.
+    @raise Invalid_argument on a pool that was {!shutdown}. *)
+
+val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists. *)
+
+val shutdown : t -> unit
+(** Drain and join the spawned domains. Idempotent. Further {!map}
+    calls raise [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [create], run, then {!shutdown} (also on exception). *)
+
+type worker_stats = {
+  domain : int;  (** 0 = the calling domain, 1.. = spawned workers. *)
+  tasks : int;  (** Tasks this domain executed. *)
+  busy_s : float;  (** Wall-clock seconds this domain spent in tasks. *)
+}
+
+val stats : t -> worker_stats list
+(** Per-domain totals since [create], ordered by domain index. Call
+    between {!map}s (not concurrently with one). *)
+
+val record_metrics : t -> Tbtso_obs.Metrics.t -> unit
+(** Export the pool's counters into a registry, all under the [par.]
+    namespace: gauge [par.domains]; counter [par.tasks] and gauge
+    [par.busy_s] (totals); counter [par.domain<i>.tasks] and gauge
+    [par.domain<i>.busy_s] per domain. *)

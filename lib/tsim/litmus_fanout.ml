@@ -1,0 +1,77 @@
+module Json = Tbtso_obs.Json
+
+type task = { path : string; test : Litmus_parse.t; mode : Litmus.mode }
+
+type verdict = { task : task; result : Litmus_parse.check_result }
+
+let load ~modes paths =
+  List.concat_map
+    (fun path ->
+      let text =
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let test = Litmus_parse.parse text in
+      List.map (fun mode -> { path; test; mode }) modes)
+    paths
+
+let check ?pool ?max_states tasks =
+  let one task =
+    { task; result = Litmus_parse.check ?max_states task.test ~mode:task.mode }
+  in
+  match pool with
+  | None -> List.map one tasks
+  | Some pool -> Tbtso_par.Pool.map_list pool one tasks
+
+(* Budget exhaustion is a reported result, never an exception: an
+   [exists] witness found in a partial exploration is still definitive,
+   everything else degrades to "inconclusive". *)
+let severity v =
+  match (v.task.test.Litmus_parse.quantifier, v.result.complete, v.result.holds) with
+  | Litmus_parse.Exists, _, true -> `Ok
+  | Litmus_parse.Exists, true, false -> `Ok
+  | Litmus_parse.Exists, false, false -> `Inconclusive
+  | Litmus_parse.Forall, true, true -> `Ok
+  | Litmus_parse.Forall, true, false -> `Violated
+  | Litmus_parse.Forall, false, _ -> `Inconclusive
+
+let verdict_string v =
+  match (v.task.test.Litmus_parse.quantifier, v.result.complete, v.result.holds) with
+  | Litmus_parse.Exists, _, true -> "witness OBSERVABLE"
+  | Litmus_parse.Exists, true, false -> "witness impossible"
+  | Litmus_parse.Forall, true, true -> "invariant holds"
+  | Litmus_parse.Forall, true, false -> "invariant VIOLATED"
+  | (Litmus_parse.Exists | Litmus_parse.Forall), false, _ ->
+      "INCONCLUSIVE (state budget exceeded)"
+
+let exit_code verdicts =
+  List.fold_left
+    (fun code v ->
+      match severity v with
+      | `Violated -> 1
+      | `Inconclusive -> if code = 1 then code else 2
+      | `Ok -> code)
+    0 verdicts
+
+let record v =
+  let base =
+    match Litmus_parse.check_result_json v.result with
+    | Json.Obj fields -> fields
+    | _ -> []
+  in
+  Json.obj
+    (("file", Json.String v.task.path)
+    :: ("name", Json.String v.task.test.Litmus_parse.name)
+    :: ("mode", Json.String (Litmus_parse.mode_name v.task.mode))
+    :: ("verdict", Json.String (verdict_string v))
+    :: base)
+
+let json_doc ~registry verdicts =
+  Json.obj
+    [
+      ("schema", Json.String "tbtso-litmus/1");
+      ("results", Json.List (List.map record verdicts));
+      ("totals", Tbtso_obs.Metrics.to_json registry);
+    ]

@@ -1,0 +1,53 @@
+(** Parallel fan-out of litmus checks over (file, mode) tasks.
+
+    This is the engine behind [tbtso-litmus check -j N], factored into
+    the library so that tests can pin the driver's guarantee directly:
+    the sequential and pooled runs produce {e identical} verdict lists
+    and JSON documents (byte-for-byte, up to the explicitly time-valued
+    stats fields and the [par.*] pool metrics).
+
+    Safe to fan out because each {!Litmus_parse.check} call builds its
+    entire exploration state per call — the [tsim] library keeps no
+    module-level mutable state (audited for the worker-pool change; keep
+    it that way). *)
+
+type task = {
+  path : string;  (** Source file, as given. *)
+  test : Litmus_parse.t;
+  mode : Litmus.mode;
+}
+
+type verdict = { task : task; result : Litmus_parse.check_result }
+
+val load : modes:Litmus.mode list -> string list -> task list
+(** Read and parse each file (sequentially — parsing is trivial next to
+    exploration) and pair it with every mode, files outermost.
+    @raise Litmus_parse.Parse_error or [Sys_error] on a bad file. *)
+
+val check :
+  ?pool:Tbtso_par.Pool.t -> ?max_states:int -> task list -> verdict list
+(** Run every task and return verdicts in task order. With a [pool] the
+    tasks fan out across its domains (results still land in submission
+    order); without one, or with a pool of one domain, the run is
+    sequential in the caller. *)
+
+val verdict_string : verdict -> string
+(** The human-readable verdict cell: ["witness OBSERVABLE"],
+    ["invariant VIOLATED"], ["INCONCLUSIVE (state budget exceeded)"], … *)
+
+val severity : verdict -> [ `Ok | `Violated | `Inconclusive ]
+(** [`Violated] for a complete [forall] check that does not hold;
+    [`Inconclusive] for any budget-exhausted check whose answer is not
+    already definitive (a found [exists] witness is). *)
+
+val exit_code : verdict list -> int
+(** CI gate over a whole run: 1 if any verdict is [`Violated] (this
+    dominates), else 2 if any is [`Inconclusive], else 0. *)
+
+val record : verdict -> Tbtso_obs.Json.t
+(** One (file, mode) JSON record: file, test name, mode, verdict string,
+    then the {!Litmus_parse.check_result_json} fields. *)
+
+val json_doc : registry:Tbtso_obs.Metrics.t -> verdict list -> Tbtso_obs.Json.t
+(** The [tbtso-litmus/1] document: schema, per-task records in task
+    order, and the registry snapshot as [totals]. *)

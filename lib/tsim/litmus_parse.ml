@@ -132,6 +132,45 @@ let parse text =
   | None -> fail 0 "missing exists/forall condition line"
   | Some quantifier -> { name = !name; program; quantifier; condition = !condition }
 
+let chop_prefix ~prefix s =
+  if String.starts_with ~prefix s then
+    let n = String.length prefix in
+    Some (String.sub s n (String.length s - n))
+  else None
+
+let mode_of_string s =
+  let bounded what make rest =
+    match int_of_string_opt rest with
+    | Some v when v >= 1 -> Ok (make v)
+    | Some _ | None -> Error (`Msg (Printf.sprintf "bad %s in %S" what s))
+  in
+  let low = String.lowercase_ascii s in
+  match low with
+  | "sc" -> Ok Litmus.M_sc
+  | "tso" -> Ok Litmus.M_tso
+  | _ -> (
+      match chop_prefix ~prefix:"tbtso:" low with
+      | Some rest -> bounded "TBTSO bound" (fun d -> Litmus.M_tbtso d) rest
+      | None -> (
+          match chop_prefix ~prefix:"tsos:" low with
+          | Some rest -> bounded "TSO[S] capacity" (fun c -> Litmus.M_tsos c) rest
+          | None ->
+              Error
+                (`Msg
+                  (Printf.sprintf "unknown mode %S (sc, tso, tbtso:N, tsos:N)" s))))
+
+let mode_name = function
+  | Litmus.M_sc -> "SC"
+  | Litmus.M_tso -> "TSO"
+  | Litmus.M_tbtso d -> Printf.sprintf "TBTSO[%d]" d
+  | Litmus.M_tsos s -> Printf.sprintf "TSO[S=%d]" s
+
+let mode_id = function
+  | Litmus.M_sc -> "sc"
+  | Litmus.M_tso -> "tso"
+  | Litmus.M_tbtso d -> Printf.sprintf "tbtso:%d" d
+  | Litmus.M_tsos s -> Printf.sprintf "tsos:%d" s
+
 let satisfies t (o : Litmus.outcome) =
   List.for_all
     (function

@@ -46,6 +46,24 @@ exception Parse_error of { line : int; message : string }
 val parse : string -> t
 (** Parse the full text of a litmus file. @raise Parse_error *)
 
+val chop_prefix : prefix:string -> string -> string option
+(** [chop_prefix ~prefix s] is [Some rest] when [s = prefix ^ rest],
+    [None] otherwise. Shared by every parameterized-name parser here
+    (mode names today) so that prefix-length arithmetic lives in one
+    place. *)
+
+val mode_of_string : string -> (Litmus.mode, [ `Msg of string ]) result
+(** Case-insensitive parser for mode names: [sc], [tso], [tbtso:N]
+    (N ≥ 1) and [tsos:N] (N ≥ 1). The [(..., [`Msg _]) result] shape
+    plugs directly into a cmdliner converter. *)
+
+val mode_name : Litmus.mode -> string
+(** Display form: ["SC"], ["TSO"], ["TBTSO[4]"], ["TSO[S=2]"]. *)
+
+val mode_id : Litmus.mode -> string
+(** Machine form, round-tripping through {!mode_of_string}: ["sc"],
+    ["tso"], ["tbtso:4"], ["tsos:2"]. *)
+
 val satisfies : t -> Litmus.outcome -> bool
 
 type check_result = {

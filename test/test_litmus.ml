@@ -619,6 +619,49 @@ let test_parse_errors () =
   check_bool "duplicate condition" true
     (check_parse_error "thread\n store x 1\nexists x = 1\nexists x = 1\n")
 
+let test_mode_of_string () =
+  let ok s =
+    match Litmus_parse.mode_of_string s with Ok m -> Some m | Error _ -> None
+  in
+  check_bool "sc" true (ok "sc" = Some M_sc);
+  check_bool "case-insensitive" true (ok "TSO" = Some M_tso);
+  check_bool "tbtso:4" true (ok "tbtso:4" = Some (M_tbtso 4));
+  check_bool "tsos:2" true (ok "tsos:2" = Some (M_tsos 2));
+  (* The negatives the old String.sub arithmetic mangled: empty bound,
+     zero, negative, non-numeric. *)
+  check_bool "tbtso: (empty bound)" true (ok "tbtso:" = None);
+  check_bool "tbtso:0" true (ok "tbtso:0" = None);
+  check_bool "tsos:-1" true (ok "tsos:-1" = None);
+  check_bool "tsos: (empty capacity)" true (ok "tsos:" = None);
+  check_bool "tbtso:x" true (ok "tbtso:x" = None);
+  check_bool "unknown word" true (ok "weird" = None);
+  check_bool "prefix alone" true (ok "tbtso" = None);
+  (* [mode_id] round-trips through the parser for every mode. *)
+  List.iter
+    (fun m ->
+      check_bool
+        (Printf.sprintf "round-trip %s" (Litmus_parse.mode_id m))
+        true
+        (ok (Litmus_parse.mode_id m) = Some m))
+    diff_modes;
+  (* The shared helper underneath. *)
+  check_bool "chop_prefix hit" true
+    (Litmus_parse.chop_prefix ~prefix:"tbtso:" "tbtso:9" = Some "9");
+  check_bool "chop_prefix whole string" true
+    (Litmus_parse.chop_prefix ~prefix:"tso" "tso" = Some "");
+  check_bool "chop_prefix miss" true
+    (Litmus_parse.chop_prefix ~prefix:"tsos:" "tbtso:9" = None)
+
+let prop_pooled_differential =
+  (* The worker-pool analogue of [prop_new_equals_reference]: fanning the
+     per-mode enumerations out across domains changes nothing — same
+     outcome sets, same order. *)
+  QCheck.Test.make ~name:"pooled enumerate ≡ sequential on random programs"
+    ~count:30 program_arb3 (fun p ->
+      Tbtso_par.Pool.with_pool ~domains:2 (fun pool ->
+          Tbtso_par.Pool.map_list pool (fun mode -> enumerate ~mode p) diff_modes
+          = List.map (fun mode -> enumerate ~mode p) diff_modes))
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -675,8 +718,9 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
           Alcotest.test_case "budget exceeded is a verdict" `Quick
             test_check_budget_exceeded;
+          Alcotest.test_case "mode_of_string" `Quick test_mode_of_string;
         ] );
-      qsuite "differential" [ prop_new_equals_reference ];
+      qsuite "differential" [ prop_new_equals_reference; prop_pooled_differential ];
       qsuite "properties"
         [
           prop_sc_subset_tbtso;

@@ -11,7 +11,15 @@
    --quick drops the Δ = 500 tier and the slower reference diffs (the
    CI configuration); --json writes every case as a machine-readable
    record; -j fans the independent cases over N domains (0 = auto) —
-   the report and JSON are identical to -j 1 up to the timing fields. *)
+   the report and JSON are identical to -j 1 up to the timing fields.
+
+   --delta-sweep replaces the throughput run with the Δ-independence
+   sweep: explored-state counts for the flag protocols over a geometric
+   Δ grid (the EXPERIMENTS.md "Δ-independence" table; --json emits a
+   tbtso-delta-sweep/1 document). With --gate the process exits 1
+   unless every swept program's state count at Δ = 64 is within 2× of
+   its count at Δ = 4 — the CI regression gate for the zone
+   abstraction. *)
 
 open Tsim
 open Litmus
@@ -112,6 +120,104 @@ let print_case c res =
       @ !ref_fields)
     :: !records
 
+(* --- Δ-independence sweep (--delta-sweep) --- *)
+
+let sweep_deltas = [ 4; 8; 16; 32; 64; 128; 256; 512 ]
+
+(* The wait ≈ Δ races from ROADMAP: two corpus-pinned fixed waits plus
+   the fully coupled wait = Δ form. Each function takes the swept Δ. *)
+let sweep_programs =
+  [
+    ("flag wait=4 (tbtso_flag.litmus)", fun _ -> flag 4);
+    ("flag wait=64 (tbtso_flag_wait_eq_delta.litmus)", fun _ -> flag 64);
+    ("flag wait=delta (coupled race)", fun d -> flag d);
+  ]
+
+let gate_lo = 4
+let gate_hi = 64
+let gate_factor = 2.0
+
+let run_delta_sweep ~gate ~json_path ~domains =
+  pf "Δ-independence sweep: explored states per Δ (flag protocols)\n";
+  pf "(gate: states at Δ=%d must be ≤ %.0fx states at Δ=%d)\n\n" gate_hi
+    gate_factor gate_lo;
+  let cases =
+    List.concat_map
+      (fun (name, prog) ->
+        List.map (fun d -> (name, prog, d)) sweep_deltas)
+      sweep_programs
+  in
+  let results =
+    Pool.with_pool ~domains (fun pool ->
+        Pool.map_list pool
+          (fun (_, prog, d) ->
+            time (fun () -> explore ~mode:(M_tbtso d) (prog d)))
+          cases)
+  in
+  let rows = List.combine cases results in
+  let states_of name d =
+    let (_, ((r : Litmus.result), _)) =
+      List.find (fun ((n, _, d'), _) -> n = name && d' = d) rows
+    in
+    r.stats.visited
+  in
+  let sweep_records =
+    List.map
+      (fun (name, _) ->
+        pf "%s\n" name;
+        let points =
+          List.map
+            (fun d ->
+              let (_, ((r : Litmus.result), dt)) =
+                List.find (fun ((n, _, d'), _) -> n = name && d' = d) rows
+              in
+              pf "  Δ = %4d  %7d states  %8.3fs%s\n" d r.stats.visited dt
+                (if r.complete then "" else "  (budget cut!)");
+              Json.obj
+                [
+                  ("delta", Json.Int d);
+                  ("states", Json.Int r.stats.visited);
+                  ("wall_seconds", Json.Float dt);
+                  ("complete", Json.Bool r.complete);
+                  ("stats", stats_json r.stats);
+                ])
+            sweep_deltas
+        in
+        let lo = states_of name gate_lo and hi = states_of name gate_hi in
+        let ratio = float_of_int hi /. float_of_int lo in
+        let pass = ratio <= gate_factor in
+        pf "  Δ=%d/Δ=%d ratio: %.2fx  %s\n\n" gate_hi gate_lo ratio
+          (if pass then "(gate ok)" else "(GATE EXCEEDED)");
+        ( pass,
+          Json.obj
+            [
+              ("program", Json.String name);
+              ("points", Json.List points);
+              ("gate_ratio", Json.Float ratio);
+              ("gate_pass", Json.Bool pass);
+            ] ))
+      sweep_programs
+  in
+  let all_pass = List.for_all fst sweep_records in
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      Json.write_file path
+        (Json.obj
+           [
+             ("schema", Json.String "tbtso-delta-sweep/1");
+             ("domains", Json.Int domains);
+             ("gate_lo_delta", Json.Int gate_lo);
+             ("gate_hi_delta", Json.Int gate_hi);
+             ("gate_factor", Json.Float gate_factor);
+             ("gate_pass", Json.Bool all_pass);
+             ("programs", Json.List (List.map snd sweep_records));
+           ]);
+      pf "(wrote %s)\n" path);
+  if gate && not all_pass then (
+    prerr_endline "delta-sweep gate failed: state count not flat in Δ";
+    exit 1)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
@@ -135,6 +241,9 @@ let () =
             exit 2)
   in
   let domains = if jobs = 0 then Pool.default_domains () else jobs in
+  if List.mem "--delta-sweep" args then (
+    run_delta_sweep ~gate:(List.mem "--gate" args) ~json_path ~domains;
+    exit 0);
   pf "Checker throughput (states/s), explorer vs reference enumerator\n";
   pf "('!' marks an exploration cut off by the state budget; %d domain%s)\n\n"
     domains

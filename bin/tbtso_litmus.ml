@@ -72,11 +72,12 @@ let max_states_arg =
 
 let json_arg =
   let doc =
-    "Also write the verdicts as JSON: one record per (file, mode) pair with \
-     holds/complete/outcomes and the full exploration statistics, plus \
-     aggregate checker metrics (total states, peak frontier, sleep-set hits, \
-     time-leap count, states/second). PATH '-' writes the JSON to stdout and \
-     suppresses the human-readable report."
+    "Also write the verdicts as JSON (schema tbtso-litmus/2): one record per \
+     (file, mode) pair with holds/complete/outcomes and the full exploration \
+     statistics, plus aggregate checker metrics (total states, peak frontier, \
+     zone-canonicalization hits and merges, sleep-set hits split by \
+     independence class, time-leap count, states/second). PATH '-' writes \
+     the JSON to stdout and suppresses the human-readable report."
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
 

@@ -27,9 +27,14 @@ type state = { mem_v : int array; threads : tstate array }
 type stats = {
   visited : int;
   dedup_hits : int;
+  canon_hits : int;
+  zones_merged : int;
   max_frontier : int;
   time_leaps : int;
   sleep_skips : int;
+  dd_skips : int;
+  di_skips : int;
+  ii_skips : int;
   elapsed : float;
 }
 
@@ -174,9 +179,16 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
         s)
       programs
   in
-  (* [stores.(i).(pc)]: stores thread [i] can still buffer from [pc] —
-     each is a potential Δ-deadline window. *)
-  let stores =
+  (* [wsum.(i).(pc)]: total duration of the waits thread [i] has not yet
+     started from [pc] — the only absolute idle padding a schedule can
+     draw on beyond the wake timers already live in the state. *)
+  let wsum =
+    Array.init n (fun i ->
+        Array.mapi (fun pc s -> s - actions.(i).(pc)) suffix.(i))
+  in
+  (* [sfut.(i).(pc)]: stores thread [i] has not yet issued from [pc] —
+     each can open one more ≤ Δ drain window in an upper-bound chain. *)
+  let sfut =
     Array.map
       (fun prog ->
         let len = Array.length prog in
@@ -205,74 +217,117 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
       st.threads;
     !h
   in
-  (* Cap on observable wait magnitudes. Timing feasibility is a system of
-     difference constraints: unit costs per action (at most [R] of them
-     remain), one ≤ Δ drain window per buffered or future store (at most
-     [nwin] of them), lower bounds from waits, and idle padding that only
-     stretches spans a wait already covers. A wait enters such a
-     constraint cycle as a lower bound, so its exact length is observable
-     only up to the largest upper-bound total a cycle can cross:
-     [R + Δ·nwin]. Beyond [R + Δ·(nwin + 1) + 1] every cycle keeps its
-     sign when the wait shrinks to the cap, so the outcome set is
-     unchanged — this is what collapses "Wait 1,000,000 while another
-     thread races" from O(wait) states to a handful. *)
+  (* Observability caps for the zone abstraction (see [Zone] for the
+     full argument). A feasibility threshold compares either a pairwise
+     timer difference against at most [Δ·S_fut + W_fut + R_live + 1] —
+     upper-bound chains anchor at live timers (relational) and can
+     extend by one ≤ Δ window per not-yet-issued store plus the
+     coverage of not-yet-started waits — or the smallest timer against
+     a lower-bound total of at most [W_fut + R_live + 1], with no Δ
+     term at all. Under SC/TSO/TSO[S] there are no deadlines, hence no
+     upper-bound anchors, and only order and ties are observable: both
+     caps shrink to [2 + R_live]. The base cap's Δ-freedom is what
+     makes the flag protocol's wait-vs-Δ race flat in Δ, and the
+     [Δ·S_fut] gap term vanishes once the racing stores are issued.
+     (The previous per-counter cap was [R + Δ·nwin] with [nwin ≥ 1] in
+     {e every} TBTSO state, which kept the wake concrete through the
+     whole wait — the linear-in-Δ blow-up this replaces.) *)
   let max_slack = match mode with M_tbtso d -> d | M_sc | M_tso | M_tsos _ -> 0 in
-  let wait_cap st =
-    let r = ref 1 in
-    let nwin = ref 1 in
+  let zone_caps st =
+    let r = ref 0 and w = ref 0 and s = ref 0 in
     Array.iteri
       (fun i t ->
         let pc = clamp_pc i t.pc in
         r := !r + List.length t.buf + actions.(i).(pc);
-        nwin := !nwin + List.length t.buf + stores.(i).(pc))
+        w := !w + wsum.(i).(pc);
+        s := !s + sfut.(i).(pc))
       st.threads;
-    !r + (max_slack * !nwin)
+    match mode with
+    | M_sc | M_tso | M_tsos _ -> (2 + !r, 2 + !r)
+    | M_tbtso _ ->
+        let dwin =
+          (* Saturate instead of overflowing for absurd Δ: a cap this
+             large never clamps anything, which is trivially exact. *)
+          if !s > 0 && max_slack >= max_int / (4 * (!s + 1)) then max_int / 4
+          else max_slack * !s
+        in
+        (2 + !r + !w, 2 + !r + !w + dwin)
   in
-  (* Time-leap aging, part 2: counters far enough in the future are
-     unobservable, so saturate them — an entry whose slack is at least
-     the remaining horizon can never miss its deadline (slack becomes
-     [max_int]), and a wait beyond [wait_cap] is cut down to it. This
-     collapses the O(Δ) chains of states that differ only in a
-     harmlessly large counter (and makes short programs under
-     TBTSO[big Δ] explore the same state space as plain TSO). *)
+  let zones_merged = ref 0 in
+  (* Time-leap aging, part 2: map the state's live timers (wake timers
+     from waits, deadline timers from slacks) to their canonical zone
+     representative — ∞-saturate deadlines beyond the horizon, then
+     base/gap-clamp the rest at [zone_cap]. Iterated to a fixpoint:
+     clamping waits shrinks the horizon, which can unlock further
+     saturation. Each pass is outcome-preserving for the concrete state
+     it is applied to, so the iteration order never affects
+     correctness, only how small the canonical form gets. *)
   let canon st =
-    let changed = ref false in
-    let cap = wait_cap st in
-    let threads =
-      Array.map
+    let pass st =
+      let nt = ref 0 in
+      Array.iter
         (fun t ->
-          if t.wait > cap then begin
-            changed := true;
-            { t with wait = cap }
-          end
-          else t)
-        st.threads
-    in
-    let st = if !changed then { st with threads } else st in
-    let h = horizon st in
-    let changed = ref false in
-    let threads =
-      Array.map
-        (fun t ->
-          let dirty =
-            List.exists (fun e -> e.slack <> max_int && e.slack >= h) t.buf
+          if t.wait > 0 then incr nt;
+          nt := !nt + List.length t.buf)
+        st.threads;
+      if !nt = 0 then st
+      else begin
+        let kinds = Array.make !nt Zone.Wake in
+        let values = Array.make !nt 0 in
+        let j = ref 0 in
+        Array.iter
+          (fun t ->
+            if t.wait > 0 then begin
+              values.(!j) <- t.wait;
+              incr j
+            end;
+            List.iter
+              (fun e ->
+                kinds.(!j) <- Zone.Deadline;
+                values.(!j) <- e.slack;
+                incr j)
+              t.buf)
+          st.threads;
+        let base_cap, gap_cap = zone_caps st in
+        let values' =
+          Zone.normalize ~horizon:(horizon st) ~base_cap ~gap_cap kinds values
+        in
+        if values' = values then st
+        else begin
+          let j = ref 0 in
+          let threads =
+            Array.map
+              (fun t ->
+                let wait =
+                  if t.wait > 0 then begin
+                    let w = values'.(!j) in
+                    incr j;
+                    w
+                  end
+                  else 0
+                in
+                let buf =
+                  List.map
+                    (fun e ->
+                      let s = values'.(!j) in
+                      incr j;
+                      if s = e.slack then e else { e with slack = s })
+                    t.buf
+                in
+                if wait = t.wait && buf = t.buf then t else { t with wait; buf })
+              st.threads
           in
-          if not dirty then t
-          else begin
-            changed := true;
-            let buf =
-              List.map
-                (fun e ->
-                  if e.slack <> max_int && e.slack >= h then
-                    { e with slack = max_int }
-                  else e)
-                t.buf
-            in
-            { t with buf }
-          end)
-        st.threads
+          { st with threads }
+        end
+      end
     in
-    if !changed then { st with threads } else st
+    let rec fix st n_rewrites =
+      let st' = pass st in
+      if st' == st then (st, n_rewrites) else fix st' (n_rewrites + 1)
+    in
+    let st', n_rewrites = fix st 0 in
+    if n_rewrites > 0 then incr zones_merged;
+    st'
   in
   let init =
     {
@@ -282,32 +337,168 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
             { pc = 0; regs_v = Array.make regs 0; wait = 0; buf = [] });
     }
   in
-  let seen : int Ktbl.t = Ktbl.create 4096 in
   let outcomes = Hashtbl.create 64 in
   let visited = ref 0 in
   let dedup_hits = ref 0 in
+  let canon_hits = ref 0 in
   let max_frontier = ref 0 in
   let frontier = ref 0 in
   let time_leaps = ref 0 in
   let sleep_skips = ref 0 in
+  let dd_skips = ref 0 in
+  let di_skips = ref 0 in
+  let ii_skips = ref 0 in
   let exhausted = ref false in
-  (* Worklist items: a state plus a sleep set — a bitmask of threads
-     whose drain action need not be explored from here because an
-     equivalent (commuted) interleaving was already explored. *)
-  let stack = ref [ (canon init, 0) ] in
-  frontier := 1;
-  max_frontier := 1;
-  let push st sleep =
-    stack := (st, sleep) :: !stack;
+  (* --- Hash-consed zone-state store ---
+
+     Canonical states are interned at push time into a dense id space:
+     [seen] maps the encoded key to an id, [states.(id)] holds the
+     state, and [sleeps.(id)]/[slclss.(id)] hold the sleep set the
+     state was (last) expanded with (-1 = not yet expanded). The
+     worklist then carries plain ids, the hot dedup path compares ids
+     instead of re-hashing keys, and re-arrivals at an interned state
+     are counted as [canon_hits]. *)
+  let seen : int Ktbl.t = Ktbl.create 4096 in
+  let states = ref (Array.make 1024 init) in
+  let sleeps = ref (Array.make 1024 (-1)) in
+  let slclss = ref (Array.make 1024 0) in
+  let nstates = ref 0 in
+  let intern st =
+    let key = encode_state st in
+    match Ktbl.find_opt seen key with
+    | Some id ->
+        incr canon_hits;
+        id
+    | None ->
+        let id = !nstates in
+        incr nstates;
+        let cap = Array.length !states in
+        if id >= cap then begin
+          let grow a fill =
+            let a' = Array.make (2 * cap) fill in
+            Array.blit !a 0 a' 0 cap;
+            a := a'
+          in
+          grow states init;
+          grow sleeps (-1);
+          grow slclss 0
+        end;
+        !states.(id) <- st;
+        !sleeps.(id) <- -1;
+        !slclss.(id) <- 0;
+        Ktbl.add seen key id;
+        id
+  in
+  (* Worklist items: an interned state id plus a sleep set — a bitmask
+     over the 2n actions (bit [i] = drain by thread [i], bit [n + i] =
+     thread [i]'s next instruction) that need not be explored from here
+     because an equivalent (commuted) interleaving was already
+     explored — and a class mask (2 bits per action: 0 = drain/drain,
+     1 = drain/instr, 2 = instr/instr) recording which independence
+     rule justified each slept action, for the per-class skip stats. *)
+  let stack = ref [] in
+  let push st sleep slcls =
+    stack := (intern st, sleep, slcls) :: !stack;
     incr frontier;
     if !frontier > !max_frontier then max_frontier := !frontier
   in
+  push (canon init) 0 0;
   let with_thread st i t =
     let threads = Array.copy st.threads in
     threads.(i) <- t;
     { st with threads }
   in
-  let expand st sleep =
+  let drain_mask = (1 lsl n) - 1 in
+  (* Counter-creating instructions start a fresh timer whose value would
+     differ by one aging step across the two orders of any commuted
+     pair (Wait d sets wait = d {e after} the aging of its own tick;
+     a TBTSO store buffers slack Δ likewise), so they commute
+     on-the-nose with nothing: their children get an empty sleep set
+     and they are never inserted into a sibling's sleep set. *)
+  let cc_instr i (t : tstate) =
+    match programs.(i).(t.pc) with
+    | Store _ -> ( match mode with M_tbtso _ -> true | M_sc | M_tso | M_tsos _ -> false)
+    | Wait d -> d > 0
+    | Load _ | Loadeq _ | Fence | Cas _ -> false
+  in
+  (* Memory footprint (read addr, write addr; -1 = none) of thread
+     [i]'s next instruction, refined by forwarding: a load served from
+     the thread's own buffer does not read memory, and a TSO/TSOS store
+     only appends to the thread's own buffer (the memory write is the
+     later drain action). *)
+  let footprint i (t : tstate) =
+    match programs.(i).(t.pc) with
+    | Store (a, _) -> if mode = M_sc then (-1, a) else (-1, -1)
+    | Load (a, _) | Loadeq (a, _, _) ->
+        if forward t.buf a <> None then (-1, -1) else (a, -1)
+    | Fence | Wait _ -> (-1, -1)
+    | Cas (a, _, _, _) -> (a, a)
+  in
+  let instr_enabled i (t : tstate) =
+    t.wait = 0
+    && t.pc < Array.length programs.(i)
+    && (match programs.(i).(t.pc) with
+       | Store _ -> List.length t.buf < buffer_capacity
+       | Fence | Cas _ -> t.buf = []
+       | Load _ | Loadeq _ | Wait _ -> true)
+  in
+  let conflict x y = x >= 0 && x = y in
+  let cls_dd = 0 and cls_di = 1 and cls_ii = 2 in
+  (* Sleep set for the child of the current action: every
+     already-explored (or inherited-slept) sibling action that provably
+     commutes with it on the nose, including feasibility of the
+     reversed order. [drain] says whether the current action is a drain
+     by thread [i]; for a drain, [addr] is the committed address and
+     [guard] is [slack ≥ 2] at the parent — the reversed order drains
+     this entry one aging step later, so skipping the explored-first
+     order is only sound when the entry survives that extra step. For
+     an instruction, [fp] is its footprint; a prior drain needs no
+     slack guard (the reversed order drains {e earlier}). *)
+  let child_sleep st explored ~acting:i ~drain ~addr ~guard ~fp:(ri, wi) =
+    let sl = ref 0 and cls = ref 0 in
+    let keep bit c =
+      sl := !sl lor (1 lsl bit);
+      cls := !cls lor (c lsl (2 * bit))
+    in
+    for m = 0 to n - 1 do
+      if m <> i then begin
+        (if explored land (1 lsl m) <> 0 then
+           match st.threads.(m).buf with
+           | em :: _ ->
+               if drain then begin
+                 if guard && em.addr <> addr then keep m cls_dd
+               end
+               else if
+                 not (conflict ri em.addr) && not (conflict wi em.addr)
+               then keep m cls_di
+           | [] -> ());
+        if explored land (1 lsl (n + m)) <> 0 then begin
+          let tm = st.threads.(m) in
+          if instr_enabled m tm && not (cc_instr m tm) then begin
+            let rm, wm = footprint m tm in
+            if drain then begin
+              if guard && (not (conflict rm addr)) && not (conflict wm addr)
+              then keep (n + m) cls_di
+            end
+            else if
+              (not (conflict wi rm))
+              && (not (conflict wi wm))
+              && not (conflict wm ri)
+            then keep (n + m) cls_ii
+          end
+        end
+      end
+    done;
+    (!sl, !cls)
+  in
+  let count_skip slcls bit =
+    incr sleep_skips;
+    match (slcls lsr (2 * bit)) land 3 with
+    | 0 -> incr dd_skips
+    | 1 -> incr di_skips
+    | _ -> incr ii_skips
+  in
+  let expand st sleep slcls =
     (* Terminal state: all threads completed, all buffers empty. *)
     if
       Array.for_all (fun (t : tstate) -> t.buf = [] && t.wait = 0) st.threads
@@ -323,19 +514,24 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
       in
       Hashtbl.replace outcomes o ()
     else begin
-      (* Drain actions, in thread order, with a sleep-set/commutativity
-         reduction: drains by distinct threads to distinct addresses
-         commute exactly, so after exploring drain(i) we add it to the
-         sleep set of later siblings' children and never explore the
-         reversed order of an independent pair. *)
+      (* Aging is identical for every action branch from this state, so
+         compute it once. [None] means some deadline already expired:
+         no action (and no idle) is possible — a pruned dead end. *)
+      let aged_opt = age st in
+      (* Drain actions, in thread order, with the sleep-set reduction:
+         after exploring an action we add it to [explored]; later
+         siblings' children inherit every explored action that provably
+         commutes with theirs (see [child_sleep]) and never explore the
+         reversed order of an independent pair. Inherited slept actions
+         count as explored for this purpose. *)
       let explored = ref sleep in
       for i = 0 to n - 1 do
         match st.threads.(i).buf with
         | [] -> ()
         | e :: _ ->
-            if sleep land (1 lsl i) <> 0 then incr sleep_skips
+            if sleep land (1 lsl i) <> 0 then count_skip slcls i
             else begin
-              (match age st with
+              (match aged_opt with
               | None -> ()
               | Some aged ->
                   let t = aged.threads.(i) in
@@ -347,36 +543,34 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
                   let child =
                     { (with_thread aged i { t with buf = rest' }) with mem_v }
                   in
-                  (* Children inherit every already-explored drain that is
-                     independent of this one (other thread, other cell). *)
-                  let csleep = ref 0 in
-                  for j = 0 to n - 1 do
-                    if j <> i && !explored land (1 lsl j) <> 0 then
-                      match st.threads.(j).buf with
-                      | ej :: _ when ej.addr <> e.addr ->
-                          csleep := !csleep lor (1 lsl j)
-                      | _ -> ()
-                  done;
-                  push (canon child) !csleep);
+                  let sl, cls =
+                    child_sleep st !explored ~acting:i ~drain:true ~addr:e.addr
+                      ~guard:(e.slack >= 2) ~fp:(-1, -1)
+                  in
+                  push (canon child) sl cls);
               explored := !explored lor (1 lsl i)
             end
       done;
-      (* Instruction actions. Instructions may create fresh counters
-         (store deadlines, waits), so their children start with an empty
-         sleep set — conservative, but unconditionally sound. *)
+      (* Instruction actions. *)
       for i = 0 to n - 1 do
         let t = st.threads.(i) in
-        if t.wait = 0 && t.pc < Array.length programs.(i) then begin
-          let step f =
-            match age st with
-            | None -> ()
-            | Some aged -> push (canon (f aged)) 0
-          in
-          match programs.(i).(t.pc) with
-          | Store (a, v) ->
-              (* Under TSO[S] a store is enabled only when the buffer has
-                 room (spatial bound). *)
-              if List.length t.buf < buffer_capacity then
+        if instr_enabled i t then begin
+          if sleep land (1 lsl (n + i)) <> 0 then count_skip slcls (n + i)
+          else begin
+            let cc = cc_instr i t in
+            let sl, cls =
+              if cc then (0, 0)
+              else
+                child_sleep st !explored ~acting:i ~drain:false ~addr:(-1)
+                  ~guard:false ~fp:(footprint i t)
+            in
+            let step f =
+              match aged_opt with
+              | None -> ()
+              | Some aged -> push (canon (f aged)) sl cls
+            in
+            (match programs.(i).(t.pc) with
+            | Store (a, v) ->
                 step (fun st ->
                     let t = st.threads.(i) in
                     if mode = M_sc then begin
@@ -389,32 +583,30 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
                         t.buf @ [ { addr = a; value = v; slack = slack_of_store } ]
                       in
                       with_thread st i { t with pc = t.pc + 1; buf })
-          | Load (a, r) ->
-              step (fun st ->
-                  let t = st.threads.(i) in
-                  let v =
-                    match forward t.buf a with Some v -> v | None -> st.mem_v.(a)
-                  in
-                  let regs_v = Array.copy t.regs_v in
-                  regs_v.(r) <- v;
-                  with_thread st i { t with pc = t.pc + 1; regs_v })
-          | Loadeq (a, v0, skip) ->
-              step (fun st ->
-                  let t = st.threads.(i) in
-                  let v =
-                    match forward t.buf a with Some v -> v | None -> st.mem_v.(a)
-                  in
-                  let pc = if v = v0 then t.pc + 1 + skip else t.pc + 1 in
-                  with_thread st i { t with pc })
-          | Fence ->
-              if t.buf = [] then
+            | Load (a, r) ->
+                step (fun st ->
+                    let t = st.threads.(i) in
+                    let v =
+                      match forward t.buf a with Some v -> v | None -> st.mem_v.(a)
+                    in
+                    let regs_v = Array.copy t.regs_v in
+                    regs_v.(r) <- v;
+                    with_thread st i { t with pc = t.pc + 1; regs_v })
+            | Loadeq (a, v0, skip) ->
+                step (fun st ->
+                    let t = st.threads.(i) in
+                    let v =
+                      match forward t.buf a with Some v -> v | None -> st.mem_v.(a)
+                    in
+                    let pc = if v = v0 then t.pc + 1 + skip else t.pc + 1 in
+                    with_thread st i { t with pc })
+            | Fence ->
                 step (fun st ->
                     let t = st.threads.(i) in
                     with_thread st i { t with pc = t.pc + 1 })
-          | Cas (a, expected, desired, r) ->
-              (* x86 locked RMW: requires an empty store buffer (it is
-                 drained first) and acts directly on memory. *)
-              if t.buf = [] then
+            | Cas (a, expected, desired, r) ->
+                (* x86 locked RMW: requires an empty store buffer (it is
+                   drained first) and acts directly on memory. *)
                 step (fun st ->
                     let t = st.threads.(i) in
                     let cur = st.mem_v.(a) in
@@ -428,10 +620,12 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
                     { (with_thread st i { t with pc = t.pc + 1; regs_v }) with
                       mem_v
                     })
-          | Wait d ->
-              step (fun st ->
-                  let t = st.threads.(i) in
-                  with_thread st i { t with pc = t.pc + 1; wait = d })
+            | Wait d ->
+                step (fun st ->
+                    let t = st.threads.(i) in
+                    with_thread st i { t with pc = t.pc + 1; wait = d }));
+            if not cc then explored := !explored lor (1 lsl (n + i))
+          end
         end
       done;
       (* Idle: time passes with nobody executing an instruction. Needed so
@@ -463,9 +657,12 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
         | None -> ()
         | Some aged ->
             if k > 1 then incr time_leaps;
-            (* Idling commutes with every drain, so the accumulated sleep
-               set survives the idle step unchanged. *)
-            push (canon aged) !explored
+            (* Idling commutes with every drain (draining first is the
+               weaker feasibility requirement), so the drain bits of
+               the accumulated sleep set survive the idle step.
+               Instruction bits do not: idling can expire a wait and
+               change which instructions are enabled. *)
+            push (canon aged) (!explored land drain_mask) 0
       end
     end
   in
@@ -473,35 +670,37 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
   while !continue do
     match !stack with
     | [] -> continue := false
-    | (st, sleep) :: rest ->
+    | (id, sleep, slcls) :: rest ->
         stack := rest;
         decr frontier;
-        let key = encode_state st in
-        (match Ktbl.find_opt seen key with
-        | None ->
-            if !visited >= max_states then begin
-              (* Budget exhausted: report a typed partial result instead
-                 of failing from deep inside the exploration. *)
-              exhausted := true;
-              continue := false;
-              stack := []
-            end
-            else begin
-              incr visited;
-              Ktbl.add seen key sleep;
-              expand st sleep
-            end
-        | Some prev ->
-            (* Already explored. If the previous visit slept on a strict
-               subset of our sleep set it explored everything we would;
-               otherwise re-expand with the intersection (the standard
-               sleep-set state-matching rule). *)
-            if prev land lnot sleep = 0 then incr dedup_hits
-            else begin
-              let merged = prev land sleep in
-              Ktbl.replace seen key merged;
-              expand st merged
-            end)
+        let prev = !sleeps.(id) in
+        if prev < 0 then
+          if !visited >= max_states then begin
+            (* Budget exhausted: report a typed partial result instead
+               of failing from deep inside the exploration. *)
+            exhausted := true;
+            continue := false;
+            stack := []
+          end
+          else begin
+            incr visited;
+            !sleeps.(id) <- sleep;
+            !slclss.(id) <- slcls;
+            expand !states.(id) sleep slcls
+          end
+        else if
+          (* Already expanded. If the previous visit slept on a subset
+             of our sleep set it explored everything we would;
+             otherwise re-expand with the intersection (the standard
+             sleep-set state-matching rule). *)
+          prev land lnot sleep = 0
+        then incr dedup_hits
+        else begin
+          let merged = prev land sleep in
+          !sleeps.(id) <- merged;
+          !slclss.(id) <- slcls;
+          expand !states.(id) merged slcls
+        end
   done;
   let all = Hashtbl.fold (fun o () acc -> o :: acc) outcomes [] in
   let outcomes = List.sort compare all in
@@ -512,9 +711,14 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
       {
         visited = !visited;
         dedup_hits = !dedup_hits;
+        canon_hits = !canon_hits;
+        zones_merged = !zones_merged;
         max_frontier = !max_frontier;
         time_leaps = !time_leaps;
         sleep_skips = !sleep_skips;
+        dd_skips = !dd_skips;
+        di_skips = !di_skips;
+        ii_skips = !ii_skips;
         elapsed = Sys.time () -. t0;
       };
   }
@@ -738,8 +942,11 @@ let pp_outcome fmt o =
     (String.concat "," (Array.to_list (Array.map string_of_int o.mem)))
 
 let pp_stats fmt s =
-  Format.fprintf fmt "%d states, %d dedup, frontier %d, %d leaps, %d sleeps, %.3fs"
-    s.visited s.dedup_hits s.max_frontier s.time_leaps s.sleep_skips s.elapsed
+  Format.fprintf fmt
+    "%d states, %d dedup, %d interned, %d zoned, frontier %d, %d leaps, %d \
+     sleeps (dd %d, di %d, ii %d), %.3fs"
+    s.visited s.dedup_hits s.canon_hits s.zones_merged s.max_frontier
+    s.time_leaps s.sleep_skips s.dd_skips s.di_skips s.ii_skips s.elapsed
 
 let states_per_sec s =
   if s.elapsed > 0.0 then float_of_int s.visited /. s.elapsed else 0.0
@@ -750,9 +957,14 @@ let stats_json s =
     [
       ("visited", Json.Int s.visited);
       ("dedup_hits", Json.Int s.dedup_hits);
+      ("canon_hits", Json.Int s.canon_hits);
+      ("zones_merged", Json.Int s.zones_merged);
       ("max_frontier", Json.Int s.max_frontier);
       ("time_leaps", Json.Int s.time_leaps);
       ("sleep_skips", Json.Int s.sleep_skips);
+      ("dd_skips", Json.Int s.dd_skips);
+      ("di_skips", Json.Int s.di_skips);
+      ("ii_skips", Json.Int s.ii_skips);
       ("elapsed_s", Json.Float s.elapsed);
       ("states_per_sec", Json.Float (states_per_sec s));
     ]
@@ -761,8 +973,13 @@ let record_stats registry s =
   let open Tbtso_obs in
   Metrics.add (Metrics.counter registry "litmus.states_visited") s.visited;
   Metrics.add (Metrics.counter registry "litmus.dedup_hits") s.dedup_hits;
+  Metrics.add (Metrics.counter registry "litmus.canon_hits") s.canon_hits;
+  Metrics.add (Metrics.counter registry "litmus.zones_merged") s.zones_merged;
   Metrics.add (Metrics.counter registry "litmus.time_leaps") s.time_leaps;
   Metrics.add (Metrics.counter registry "litmus.sleep_skips") s.sleep_skips;
+  Metrics.add (Metrics.counter registry "litmus.sleep_skips_dd") s.dd_skips;
+  Metrics.add (Metrics.counter registry "litmus.sleep_skips_di") s.di_skips;
+  Metrics.add (Metrics.counter registry "litmus.sleep_skips_ii") s.ii_skips;
   Metrics.add (Metrics.counter registry "litmus.explorations") 1;
   Metrics.set_max (Metrics.gauge registry "litmus.max_frontier")
     (float_of_int s.max_frontier);

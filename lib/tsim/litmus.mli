@@ -29,22 +29,34 @@
     checker trace replayed on the machine must first serialize each
     machine tick's phases. See {!Machine} and ROADMAP.
 
-    The checker is an iterative explicit-state explorer with three
+    The checker is an iterative explicit-state explorer with four
     scaling devices, all of which preserve the outcome set exactly:
 
-    - {b time-leap aging}: instead of idling one tick at a time through a
-      quiet stretch (every unfinished thread mid-wait), the explorer
-      jumps straight to the next wakeup; a deadline further away than
-      any continuation can reach is saturated to "no deadline"; and a
-      wait longer than every remaining deadline and action is capped, so
-      the exact value of a harmlessly large counter never splits states.
-      This is what makes paper-scale bounds (Δ = 500 and beyond)
-      checkable: state counts become independent of Δ for quiet periods.
-    - {b compact state keys}: states are deduplicated through an integer
-      encoding with an FNV-1a hash rather than freshly built strings.
-    - {b sleep sets}: store-buffer drains by different threads to
-      different addresses commute, so only one order of each independent
-      pair is explored.
+    - {b time-leap aging}: instead of idling one tick at a time through
+      a quiet stretch (every unfinished thread mid-wait), the explorer
+      jumps straight to the next wakeup.
+    - {b zone canonicalization}: every state's live timers — wake
+      timers from waits, deadline timers from store slacks — are mapped
+      to their canonical {!Zone} representative: deadlines beyond the
+      remaining horizon saturate to "no deadline", and the finite
+      timers are base/gap-clamped at a Δ-{e independent} cap
+      ([2 + remaining actions + unstarted wait mass]) that preserves
+      every observable difference (see {!Zone} for the argument). This
+      is what makes the explored state count for deadline-vs-wait races
+      (the flag protocol with wait ≈ Δ) flat in Δ instead of linear,
+      and paper-scale bounds (Δ = 500 and far beyond) checkable.
+    - {b hash-consed states}: canonical states are interned into a
+      dense id space at push time (FNV-1a over an integer encoding);
+      the worklist and the hot dedup path then work on ids.
+    - {b sleep sets over drains {e and} instructions}: after exploring
+      one order of an independent action pair the reversed order is
+      never explored. Independence covers drain/drain (distinct
+      threads, distinct addresses), drain/instruction (the instruction's
+      read/write footprint — refined by store-buffer forwarding — misses
+      the drained address) and instruction/instruction (disjoint
+      footprints), each with an exact reversed-order-feasibility guard
+      on the drained entry's slack; instructions that start a fresh
+      timer (TBTSO stores, waits) commute with nothing and are excluded.
 
     {!enumerate_reference} retains the original recursive tick-by-tick
     enumerator as a differential-testing oracle. *)
@@ -78,9 +90,19 @@ type outcome = {
 type stats = {
   visited : int;  (** Distinct states expanded. *)
   dedup_hits : int;  (** Arrivals at an already-covered state. *)
+  canon_hits : int;
+      (** Pushes whose canonical state was already interned in the
+          hash-consed store (id reuse, no re-encoding on pop). *)
+  zones_merged : int;
+      (** Canonicalizations that actually rewrote a timer — i.e.
+          distinct concrete counter vectors merged into one zone
+          representative. *)
   max_frontier : int;  (** Peak worklist depth. *)
   time_leaps : int;  (** Multi-tick idle jumps taken. *)
-  sleep_skips : int;  (** Drain actions pruned by the sleep sets. *)
+  sleep_skips : int;  (** Actions pruned by the sleep sets (total). *)
+  dd_skips : int;  (** …of which drain/drain independence. *)
+  di_skips : int;  (** …of which drain/instruction independence. *)
+  ii_skips : int;  (** …of which instruction/instruction independence. *)
   elapsed : float;  (** CPU seconds spent exploring. *)
 }
 
@@ -147,8 +169,11 @@ val stats_json : stats -> Tbtso_obs.Json.t
 
 val record_stats : Tbtso_obs.Metrics.t -> stats -> unit
 (** Accumulate one exploration into a registry: counters
-    [litmus.states_visited], [litmus.dedup_hits], [litmus.time_leaps],
-    [litmus.sleep_skips] and [litmus.explorations] sum across calls;
+    [litmus.states_visited], [litmus.dedup_hits], [litmus.canon_hits],
+    [litmus.zones_merged], [litmus.time_leaps], [litmus.sleep_skips]
+    (with the per-independence-class split [litmus.sleep_skips_dd],
+    [litmus.sleep_skips_di], [litmus.sleep_skips_ii]) and
+    [litmus.explorations] sum across calls;
     gauges [litmus.max_frontier] and [litmus.peak_states_per_sec] keep
     high watermarks; gauge [litmus.elapsed_s] sums exploration CPU
     time. Lets a driver checking many (file, mode) pairs report

@@ -71,7 +71,7 @@ let record v =
 let json_doc ~registry verdicts =
   Json.obj
     [
-      ("schema", Json.String "tbtso-litmus/1");
+      ("schema", Json.String "tbtso-litmus/2");
       ("results", Json.List (List.map record verdicts));
       ("totals", Tbtso_obs.Metrics.to_json registry);
     ]

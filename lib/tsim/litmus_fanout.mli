@@ -49,5 +49,8 @@ val record : verdict -> Tbtso_obs.Json.t
     then the {!Litmus_parse.check_result_json} fields. *)
 
 val json_doc : registry:Tbtso_obs.Metrics.t -> verdict list -> Tbtso_obs.Json.t
-(** The [tbtso-litmus/1] document: schema, per-task records in task
-    order, and the registry snapshot as [totals]. *)
+(** The [tbtso-litmus/2] document: schema, per-task records in task
+    order, and the registry snapshot as [totals]. Schema /2 extends /1
+    with the zone-explorer stats ([canon_hits], [zones_merged], the
+    per-independence-class [dd_skips]/[di_skips]/[ii_skips]) in every
+    stats object and the matching [litmus.*] counters in [totals]. *)

@@ -1,0 +1,87 @@
+type kind = Wake | Deadline
+
+let no_deadline = max_int
+
+(* Canonicalization: ∞-saturate unreachable deadlines, then rewrite the
+   remaining finite timers to the least configuration with the same
+   order/tie pattern whose base agrees with the original up to
+   [base_cap] and whose adjacent gaps agree up to [gap_cap] (a value or
+   gap ≥ its cap is indistinguishable from the cap, so both are pinned
+   exactly at it). See the .mli for why this preserves the outcome
+   set. *)
+let normalize ~horizon ~base_cap ~gap_cap kinds values =
+  let n = Array.length values in
+  if Array.length kinds <> n then
+    invalid_arg "Zone.normalize: kinds/values length mismatch";
+  let v = Array.copy values in
+  for i = 0 to n - 1 do
+    if kinds.(i) = Deadline && v.(i) <> no_deadline && v.(i) >= horizon then
+      v.(i) <- no_deadline
+  done;
+  (* Distinct finite values, ascending. *)
+  let finite = ref [] in
+  for i = n - 1 downto 0 do
+    if v.(i) <> no_deadline then finite := v.(i) :: !finite
+  done;
+  (match List.sort_uniq compare !finite with
+  | [] -> ()
+  | u0 :: rest ->
+      let remap = Hashtbl.create 8 in
+      Hashtbl.replace remap u0 (min u0 base_cap);
+      let prev_orig = ref u0 and prev_canon = ref (min u0 base_cap) in
+      List.iter
+        (fun u ->
+          let c = !prev_canon + min (u - !prev_orig) gap_cap in
+          Hashtbl.replace remap u c;
+          prev_orig := u;
+          prev_canon := c)
+        rest;
+      for i = 0 to n - 1 do
+        if v.(i) <> no_deadline then v.(i) <- Hashtbl.find remap v.(i)
+      done);
+  v
+
+type t = { kinds : kind array; values : int array }
+
+let of_timers ~horizon ~base_cap ~gap_cap timers =
+  let kinds = Array.of_list (List.map fst timers) in
+  let raw = Array.of_list (List.map snd timers) in
+  Array.iter
+    (fun x ->
+      if x < 0 then invalid_arg "Zone.of_timers: negative timer";
+      ())
+    raw;
+  { kinds; values = normalize ~horizon ~base_cap ~gap_cap kinds raw }
+
+let kinds z = Array.copy z.kinds
+
+let values z = Array.copy z.values
+
+let equal a b = a.kinds = b.kinds && a.values = b.values
+
+let leq a b =
+  Array.length a.kinds = Array.length b.kinds
+  && a.kinds = b.kinds
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i k ->
+      match k with
+      | Wake -> if a.values.(i) <> b.values.(i) then ok := false
+      | Deadline -> if a.values.(i) > b.values.(i) then ok := false)
+    a.kinds;
+  !ok
+
+let pp fmt z =
+  Format.fprintf fmt "[";
+  Array.iteri
+    (fun i k ->
+      if i > 0 then Format.fprintf fmt "; ";
+      let v = z.values.(i) in
+      match k with
+      | Wake -> Format.fprintf fmt "w%d" v
+      | Deadline ->
+          if v = no_deadline then Format.fprintf fmt "d∞"
+          else Format.fprintf fmt "d%d" v)
+    z.kinds;
+  Format.fprintf fmt "]"

@@ -1,0 +1,129 @@
+(** Zone abstraction over the litmus checker's live timers.
+
+    A checker state carries a set of {e timers}, all of which decrement
+    in lockstep as interleaving time advances:
+
+    - a {b wake} timer per waiting thread (remaining blocked ticks,
+      always ≥ 1 while the thread waits — a lower bound on when the
+      thread may act again), and
+    - a {b deadline} timer per TBTSO[Δ]-buffered store (remaining slack
+      until the Δ deadline — an upper bound on when the entry must
+      drain; {!no_deadline} = [max_int] encodes "no deadline").
+
+    The concrete timer values are richer than what any continuation can
+    observe. This module maps each timer vector to the canonical
+    representative of its {e zone} — the equivalence class of vectors
+    with the same reachable-outcome set — in the style of
+    difference-bound matrices from timed-automata model checking.
+    Because every timer decrements at the same rate, the full DBM
+    collapses to a single sorted difference chain, and normalization is
+    just two rewrites:
+
+    + {b ∞-saturation}: a deadline at least [horizon] (an upper bound on
+      the aging steps any continuation can still take) can never be
+      missed, so it is saturated to {!no_deadline}. This rewrite is
+      exact by construction: no continuation reaches the deadline.
+    + {b base/gap clamping}: sort the finite timers; clamp the smallest
+      value to [min v base_cap] and every adjacent gap to
+      [min gap gap_cap], preserving order and ties. A value or gap that
+      was ≥ its cap stays ≥ it (pinned exactly at the cap); one that
+      was below is kept {e exactly}. Consequently {e every pairwise
+      difference} between timers is preserved exactly when below
+      [gap_cap] and kept at ≥ [gap_cap] otherwise — a difference is the
+      sum of the adjacent gaps it spans: if it is < [gap_cap] each
+      spanned gap is < [gap_cap] and is kept verbatim, and if it is
+      ≥ [gap_cap] the clamped sum is still ≥ [gap_cap]. The base —
+      the smallest timer's distance from "now" — is likewise preserved
+      up to [base_cap].
+
+    {b Why this keeps the outcome set exact.} Whether an interleaving
+    is feasible from a state is a difference-constraint
+    (shortest-path-cycle) question over event times. Lower-bound chains
+    are built from wake timers, one tick per action (at most [R_live]
+    remain: remaining instructions plus drains) and the durations of
+    waits not yet started (totalling [W_fut]). Upper-bound chains must
+    anchor at an absolute upper bound, and the only primitive ones are
+    live deadline timers and "coverage runs out" (idling is allowed
+    only while some thread waits, so everything must finish within the
+    wake timers' reach plus [W_fut] plus [R_live]) — both expressed in
+    the timers themselves — extended by one ≤ Δ window per
+    not-yet-issued store ([Δ·S_fut] total), since a future store's
+    deadline is relative to its own issue point. So every threshold
+    that can decide feasibility compares a {e pairwise timer
+    difference} against at most [Δ·S_fut + W_fut + R_live + 1], or the
+    {e smallest timer} against a lower-bound total of at most
+    [W_fut + R_live + 1] (no Δ term: Δ windows are upper bounds and
+    cannot push an event {e later} than the timer-relative coverage
+    already accounts for). Hence with
+
+    - [gap_cap = 2 + R_live + W_fut + Δ·S_fut] and
+    - [base_cap = 2 + R_live + W_fut]
+
+    no clamp ever crosses an observable threshold. Under SC/TSO/TSO[S]
+    there are no deadlines at all, so no upper-bound anchors exist,
+    timer values beyond order and ties are unobservable, and both caps
+    shrink to [2 + R_live]. The payoff: [base_cap] never mentions Δ, so
+    the canonical wake value during a wait-vs-Δ race (the flag protocol
+    with wait ≈ Δ) is Δ-independent, and the [Δ·S_fut] gap term
+    vanishes as soon as the racing stores are issued — their deadlines
+    become live timers, tracked relationally. The previous per-counter
+    saturation cap ([R + Δ·nwin] with [nwin ≥ 1] in every TBTSO state)
+    kept the wake concrete through the whole wait, which is exactly the
+    linear-in-Δ state growth this module removes. The guarantee is
+    pinned by the differential suite against
+    [Litmus.enumerate_reference].
+
+    Normalization is monotone (canonical values never exceed the input)
+    and the checker iterates it with a recomputed [horizon] to a
+    fixpoint — clamping waits can shrink the horizon, unlocking further
+    ∞-saturation. Iteration affects only how small the canonical form
+    gets, never correctness: each pass is outcome-preserving for the
+    concrete state it is applied to. *)
+
+type kind =
+  | Wake  (** Thread wait: lower bound, value always finite and ≥ 1. *)
+  | Deadline  (** Store slack: upper bound; {!no_deadline} = none. *)
+
+val no_deadline : int
+(** [max_int]: the slack encoding for "no Δ deadline". *)
+
+val normalize :
+  horizon:int -> base_cap:int -> gap_cap:int -> kind array -> int array -> int array
+(** [normalize ~horizon ~base_cap ~gap_cap kinds values] returns the
+    canonical timer vector (a fresh array; the input is not mutated):
+    deadlines ≥ [horizon] saturate to {!no_deadline}, then the
+    remaining finite values are base/gap-clamped as described above.
+    The result is pointwise ≤ the input, preserves order and ties, and
+    never turns a positive timer into 0 when [base_cap ≥ 1] and
+    [gap_cap ≥ 1] (so wake timers stay ≥ 1).
+    @raise Invalid_argument on a length mismatch. *)
+
+type t
+(** A canonical zone: timer kinds plus normalized values. *)
+
+val of_timers :
+  horizon:int -> base_cap:int -> gap_cap:int -> (kind * int) list -> t
+(** Build a zone from (kind, remaining-ticks) pairs, normalizing.
+    @raise Invalid_argument on a negative timer value. *)
+
+val kinds : t -> kind array
+
+val values : t -> int array
+(** The canonical values, in the order the timers were given. *)
+
+val equal : t -> t -> bool
+
+val leq : t -> t -> bool
+(** Zone inclusion: [leq a b] iff the two zones have identical kind
+    sequences, every wake timer agrees exactly, and every deadline of
+    [a] is ≤ the corresponding deadline of [b] (with {!no_deadline} as
+    top). Wakes are two-sided bounds (a thread wakes exactly when its
+    timer expires), so inclusion requires equality there; deadlines are
+    pure upper bounds on drain time, so shrinking one only removes
+    schedules. Hence [leq a b] implies that a checker state carrying
+    [a]'s timers reaches a subset of the outcomes of the same state
+    carrying [b]'s timers — pinned by the Δ-monotonicity property in
+    the test suite (outcomes under TBTSO[Δ] ⊆ TBTSO[Δ'] ⊆ TSO for
+    Δ ≤ Δ'). *)
+
+val pp : Format.formatter -> t -> unit

@@ -452,7 +452,10 @@ let program_arb3 =
            p))
     program_gen3
 
-let diff_modes = [ M_sc; M_tso; M_tbtso 3; M_tbtso 7; M_tsos 2 ]
+(* Every mode, with the TBTSO bound swept over the full Δ ∈ {1..8}
+   window the zone caps are derived for. *)
+let diff_modes =
+  [ M_sc; M_tso; M_tsos 1; M_tsos 2 ] @ List.init 8 (fun i -> M_tbtso (i + 1))
 
 let prop_new_equals_reference =
   (* The core soundness property of this module: the scaled explorer and
@@ -525,6 +528,88 @@ let test_paper_scale_delta () =
         false
         (exists r.outcomes both_zero))
     [ 100; 500 ]
+
+(* --- Corpus differential: zone explorer vs the reference oracle --- *)
+
+let corpus_paths () =
+  (* dune runtest runs in _build/default/test; the corpus is a declared
+     dependency one level up. *)
+  match
+    List.find_opt
+      (fun dir -> Sys.file_exists dir && Sys.is_directory dir)
+      [ "../litmus"; "litmus" ]
+  with
+  | None -> []
+  | Some dir ->
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".litmus")
+      |> List.sort compare
+      |> List.map (Filename.concat dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_corpus_matches_reference () =
+  (* The acceptance bar for the zone abstraction: byte-identical outcome
+     sets over the whole corpus, in every mode. *)
+  match corpus_paths () with
+  | [] -> Alcotest.fail "litmus corpus not found (missing dune deps?)"
+  | paths ->
+      check_bool "wait=Δ regression file present" true
+        (List.exists
+           (fun p -> Filename.basename p = "tbtso_flag_wait_eq_delta.litmus")
+           paths);
+      List.iter
+        (fun path ->
+          let test = Litmus_parse.parse (read_file path) in
+          List.iter
+            (fun mode ->
+              check_bool
+                (Printf.sprintf "%s under %s" (Filename.basename path)
+                   (Litmus_parse.mode_id mode))
+                true
+                (enumerate ~mode test.program
+                = enumerate_reference ~mode test.program))
+            diff_modes)
+        paths
+
+let test_flag_flat_in_delta () =
+  (* The headline zone-abstraction result (and the CI sweep gate): the
+     explored state count for the flag protocols at Δ = 64 stays within
+     2× of Δ = 4, where the concrete-counter explorer grew linearly. *)
+  List.iter
+    (fun (name, prog) ->
+      let states d = (explore ~mode:(M_tbtso d) (prog d)).stats.visited in
+      let lo = states 4 and hi = states 64 in
+      check_bool
+        (Printf.sprintf "%s: states at Δ=64 (%d) ≤ 2× Δ=4 (%d)" name hi lo)
+        true
+        (hi <= 2 * lo))
+    [
+      ("flag wait=4", fun _ -> tbtso_flag 4);
+      ("flag wait=64", fun _ -> tbtso_flag 64);
+      ("flag wait=Δ", fun d -> tbtso_flag d);
+    ]
+
+let test_zone_stats_exposed () =
+  (* The wait ≈ Δ race exercises both zone rewrites and all three
+     independence classes; the counters must surface in stats and its
+     JSON rendering. *)
+  let r = explore ~mode:(M_tbtso 64) (tbtso_flag 64) in
+  check_bool "zones merged" true (r.stats.zones_merged > 0);
+  check_bool "canonical states re-interned" true (r.stats.canon_hits > 0);
+  check_bool "class split sums to total" true
+    (r.stats.dd_skips + r.stats.di_skips + r.stats.ii_skips
+    = r.stats.sleep_skips);
+  match stats_json r.stats with
+  | Tbtso_obs.Json.Obj fields ->
+      List.iter
+        (fun k -> check_bool ("stats_json field " ^ k) true (List.mem_assoc k fields))
+        [ "canon_hits"; "zones_merged"; "dd_skips"; "di_skips"; "ii_skips" ]
+  | _ -> Alcotest.fail "stats_json not an object"
 
 let test_explore_partial_result () =
   let r = explore ~mode:M_tso ~max_states:10 sb in
@@ -706,6 +791,10 @@ let () =
           Alcotest.test_case "boundary grid vs reference" `Quick test_diff_boundary_grid;
           Alcotest.test_case "recursion killer (Wait 200k)" `Quick test_recursion_killer;
           Alcotest.test_case "paper-scale Δ ∈ {100, 500}" `Quick test_paper_scale_delta;
+          Alcotest.test_case "corpus ≡ reference, every mode" `Quick
+            test_corpus_matches_reference;
+          Alcotest.test_case "flag states flat in Δ" `Quick test_flag_flat_in_delta;
+          Alcotest.test_case "zone stats exposed" `Quick test_zone_stats_exposed;
           Alcotest.test_case "partial result on budget" `Quick test_explore_partial_result;
         ] );
       ( "parser",

@@ -1,0 +1,191 @@
+(* Unit and property tests for the zone abstraction backing the litmus
+   explorer: normalization shape invariants (saturation, base/gap
+   clamping, order/tie preservation, idempotence) and the inclusion
+   order, including the outcome-subset reading of deadline inclusion
+   (Δ-monotonicity). *)
+
+open Tsim
+
+let check_bool = Alcotest.(check bool)
+let check_arr = Alcotest.(check (array int))
+
+let wk = Zone.Wake
+let dl = Zone.Deadline
+
+let norm ?(horizon = 1000) ?(base_cap = 5) ?(gap_cap = 5) kinds values =
+  Zone.normalize ~horizon ~base_cap ~gap_cap (Array.of_list kinds)
+    (Array.of_list values)
+
+(* --- normalize: the two rewrites --- *)
+
+let test_saturation () =
+  let v = norm ~horizon:10 [ dl; dl; wk ] [ 9; 10; 50 ] in
+  check_bool "deadline below horizon kept finite" true (v.(0) <> Zone.no_deadline);
+  check_bool "deadline at horizon saturates" true (v.(1) = Zone.no_deadline);
+  check_bool "wake never saturates" true (v.(2) <> Zone.no_deadline);
+  (* An explicit no_deadline passes through untouched. *)
+  let v = norm ~horizon:10 [ dl ] [ Zone.no_deadline ] in
+  check_bool "no_deadline is a fixpoint" true (v.(0) = Zone.no_deadline)
+
+let test_base_and_gap_clamp () =
+  (* base 7 → 3, gap 2 < 4 kept exactly, gap 91 → 4. *)
+  check_arr "clamped chain" [| 3; 5; 9 |]
+    (norm ~base_cap:3 ~gap_cap:4 [ wk; wk; wk ] [ 7; 9; 100 ]);
+  check_arr "identity below the caps" [| 1; 2; 4 |]
+    (norm [ wk; wk; wk ] [ 1; 2; 4 ]);
+  (* A value/gap exactly at its cap is pinned, not shrunk further. *)
+  check_arr "pinned at the caps" [| 3; 7 |]
+    (norm ~base_cap:3 ~gap_cap:4 [ wk; wk ] [ 3; 7 ])
+
+let test_ties_preserved () =
+  let v = norm ~base_cap:2 ~gap_cap:2 [ wk; dl; wk; dl ] [ 50; 80; 50; 80 ] in
+  check_bool "equal timers stay equal" true (v.(0) = v.(2) && v.(1) = v.(3));
+  check_bool "strict order survives clamping" true (v.(0) < v.(1))
+
+let test_saturated_excluded_from_chain () =
+  (* The saturated deadline must not act as a chain anchor: the finite
+     pair clamps the same as if it were alone. *)
+  let with_sat = norm ~horizon:10 ~base_cap:2 ~gap_cap:3 [ wk; dl ] [ 20; 40 ] in
+  let alone = norm ~horizon:1000 ~base_cap:2 ~gap_cap:3 [ wk ] [ 20 ] in
+  check_bool "saturated" true (with_sat.(1) = Zone.no_deadline);
+  check_bool "finite part unaffected" true (with_sat.(0) = alone.(0))
+
+(* --- normalize: random-vector properties --- *)
+
+let vec_arb =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat "; "
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s%d" (match k with Zone.Wake -> "w" | Zone.Deadline -> "d") v)
+           l))
+    QCheck.Gen.(
+      list_size (int_range 1 7)
+        (oneof
+           [
+             map (fun v -> (Zone.Wake, 1 + v)) (int_bound 199);
+             map (fun v -> (Zone.Deadline, v)) (int_bound 199);
+           ]))
+
+let params_gen =
+  QCheck.Gen.(triple (int_range 1 60) (int_range 1 9) (int_range 1 9))
+
+let arb =
+  QCheck.make
+    ~print:(fun (l, (h, b, g)) ->
+      Printf.sprintf "h=%d base=%d gap=%d [%s]" h b g
+        (QCheck.Print.list
+           (fun (k, v) ->
+             Printf.sprintf "%s%d" (match k with Zone.Wake -> "w" | Zone.Deadline -> "d") v)
+           l))
+    QCheck.Gen.(pair (QCheck.gen vec_arb) params_gen)
+
+let split l = (Array.of_list (List.map fst l), Array.of_list (List.map snd l))
+
+let prop_idempotent =
+  QCheck.Test.make ~name:"normalize is idempotent" ~count:500 arb
+    (fun (l, (horizon, base_cap, gap_cap)) ->
+      let kinds, values = split l in
+      let once = Zone.normalize ~horizon ~base_cap ~gap_cap kinds values in
+      Zone.normalize ~horizon ~base_cap ~gap_cap kinds once = once)
+
+let prop_shape =
+  QCheck.Test.make
+    ~name:"normalize: monotone, order/tie- and positivity-preserving" ~count:500
+    arb
+    (fun (l, (horizon, base_cap, gap_cap)) ->
+      let kinds, values = split l in
+      let out = Zone.normalize ~horizon ~base_cap ~gap_cap kinds values in
+      let n = Array.length values in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if out.(i) = Zone.no_deadline then
+          (* Only an unreachable deadline saturates. *)
+          ok :=
+            !ok && kinds.(i) = Zone.Deadline
+            && (values.(i) = Zone.no_deadline || values.(i) >= horizon)
+        else (
+          ok := !ok && out.(i) <= values.(i);
+          ok := !ok && (values.(i) < 1 || out.(i) >= 1);
+          for j = 0 to n - 1 do
+            if out.(j) <> Zone.no_deadline then
+              ok := !ok && compare (out.(i)) (out.(j)) = compare values.(i) values.(j)
+          done)
+      done;
+      !ok)
+
+(* --- inclusion order --- *)
+
+let zone ?(horizon = 1000) ?(base_cap = 1000) ?(gap_cap = 1000) timers =
+  Zone.of_timers ~horizon ~base_cap ~gap_cap timers
+
+let test_leq () =
+  let a = zone [ (wk, 3); (dl, 4) ] in
+  let b = zone [ (wk, 3); (dl, 6) ] in
+  let c = zone [ (wk, 2); (dl, 6) ] in
+  let top = zone [ (wk, 3); (dl, Zone.no_deadline) ] in
+  check_bool "reflexive" true (Zone.leq a a);
+  check_bool "deadline shrink included" true (Zone.leq a b);
+  check_bool "not the other way" false (Zone.leq b a);
+  check_bool "wakes must agree exactly" false (Zone.leq c b);
+  check_bool "no_deadline is top" true (Zone.leq b top);
+  check_bool "kind sequences must match" false
+    (Zone.leq a (zone [ (wk, 3); (wk, 4) ]));
+  check_bool "lengths must match" false (Zone.leq a (zone [ (wk, 3) ]));
+  check_bool "equal implies leq both ways" true
+    (Zone.equal a (zone [ (wk, 3); (dl, 4) ])
+    && Zone.leq a (zone [ (wk, 3); (dl, 4) ]))
+
+(* Zone inclusion's outcome-level reading: shrinking every deadline
+   (running the same program under a smaller Δ) can only remove
+   outcomes. This is the Δ-monotonicity chain from the .mli, checked
+   against the explorer itself. *)
+let test_leq_outcome_subset () =
+  let open Litmus in
+  let subset a b = List.for_all (fun o -> List.mem o b) a in
+  let flag w =
+    [
+      [ Store (0, 1); Load (1, 0) ];
+      [ Store (1, 1); Fence; Wait w; Load (0, 1) ];
+    ]
+  in
+  List.iter
+    (fun w ->
+      let p = flag w in
+      List.iter
+        (fun (dlo, dhi) ->
+          check_bool
+            (Printf.sprintf "wait=%d: TBTSO[%d] ⊆ TBTSO[%d]" w dlo dhi)
+            true
+            (subset
+               (enumerate ~mode:(M_tbtso dlo) p)
+               (enumerate ~mode:(M_tbtso dhi) p)))
+        [ (1, 2); (2, 4); (4, 8); (8, 64) ];
+      check_bool
+        (Printf.sprintf "wait=%d: TBTSO[64] ⊆ TSO" w)
+        true
+        (subset (enumerate ~mode:(M_tbtso 64) p) (enumerate ~mode:M_tso p)))
+    [ 3; 8 ]
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "zone"
+    [
+      ( "normalize",
+        [
+          Alcotest.test_case "∞-saturation" `Quick test_saturation;
+          Alcotest.test_case "base/gap clamping" `Quick test_base_and_gap_clamp;
+          Alcotest.test_case "ties preserved" `Quick test_ties_preserved;
+          Alcotest.test_case "saturated timers leave the chain" `Quick
+            test_saturated_excluded_from_chain;
+        ] );
+      qsuite "properties" [ prop_idempotent; prop_shape ];
+      ( "inclusion",
+        [
+          Alcotest.test_case "leq algebra" `Quick test_leq;
+          Alcotest.test_case "leq ⇒ outcome subset (Δ-monotonicity)" `Quick
+            test_leq_outcome_subset;
+        ] );
+    ]

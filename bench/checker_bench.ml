@@ -19,7 +19,14 @@
    tbtso-delta-sweep/1 document). With --gate the process exits 1
    unless every swept program's state count at Δ = 64 is within 2× of
    its count at Δ = 4 — the CI regression gate for the zone
-   abstraction. *)
+   abstraction.
+
+   --sat-sweep runs the SAT second oracle over the same flag programs
+   and Δ grid, cross-checking its outcome set against the explorer at
+   every point and reporting how the encoding (vars, clauses) and the
+   solver work (solves, conflicts) scale with Δ (the EXPERIMENTS.md
+   "Second oracle" table; --json emits a tbtso-sat-sweep/1 document).
+   With --gate the process exits 1 on any oracle disagreement. *)
 
 open Tsim
 open Litmus
@@ -218,6 +225,92 @@ let run_delta_sweep ~gate ~json_path ~domains =
     prerr_endline "delta-sweep gate failed: state count not flat in Δ";
     exit 1)
 
+(* --- SAT-oracle sweep (--sat-sweep) --- *)
+
+let run_sat_sweep ~gate ~json_path ~domains =
+  pf "SAT second-oracle sweep: encoding size and agreement per Δ\n";
+  pf "(every point cross-checks the axiomatic outcome set against the \
+      explorer)\n\n";
+  let cases =
+    List.concat_map
+      (fun (name, prog) -> List.map (fun d -> (name, prog, d)) sweep_deltas)
+      sweep_programs
+  in
+  let results =
+    Pool.with_pool ~domains (fun pool ->
+        Pool.map_list pool
+          (fun (_, prog, d) ->
+            let p = prog d in
+            let mode = M_tbtso d in
+            let sat, sat_dt = time (fun () -> Axiomatic.explore ~mode p) in
+            let op, op_dt = time (fun () -> explore ~mode p) in
+            (sat, sat_dt, op, op_dt))
+          cases)
+  in
+  let rows = List.combine cases results in
+  let sweep_records =
+    List.map
+      (fun (name, _) ->
+        pf "%s\n" name;
+        let agree_all = ref true in
+        let points =
+          List.map
+            (fun d ->
+              let _, (sat, sat_dt, (op : Litmus.result), op_dt) =
+                List.find (fun ((n, _, d'), _) -> n = name && d' = d) rows
+              in
+              let s = sat.Axiomatic.stats in
+              let agree =
+                sat.Axiomatic.complete && op.complete
+                && sat.Axiomatic.outcomes = op.outcomes
+              in
+              if not agree then agree_all := false;
+              pf
+                "  Δ = %4d  %6d vars %7d clauses %5d conflicts  sat \
+                 %7.3fs  explorer %7.3fs  %s\n"
+                d s.Axiomatic.vars s.Axiomatic.clauses s.Axiomatic.conflicts
+                sat_dt op_dt
+                (if agree then "agree" else "ORACLE DISAGREEMENT!");
+              Json.obj
+                [
+                  ("delta", Json.Int d);
+                  ("agree", Json.Bool agree);
+                  ("sat_wall_seconds", Json.Float sat_dt);
+                  ("explorer_wall_seconds", Json.Float op_dt);
+                  ("outcomes", Json.Int (List.length sat.Axiomatic.outcomes));
+                  ("sat_stats", Axiomatic.stats_json s);
+                ])
+            sweep_deltas
+        in
+        pf "\n";
+        ( !agree_all,
+          Json.obj
+            [
+              ("program", Json.String name);
+              ("points", Json.List points);
+              ("agree", Json.Bool !agree_all);
+            ] ))
+      sweep_programs
+  in
+  let all_agree = List.for_all fst sweep_records in
+  pf "oracles %s over the whole sweep\n"
+    (if all_agree then "AGREE" else "DISAGREE");
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      Json.write_file path
+        (Json.obj
+           [
+             ("schema", Json.String "tbtso-sat-sweep/1");
+             ("domains", Json.Int domains);
+             ("agree", Json.Bool all_agree);
+             ("programs", Json.List (List.map snd sweep_records));
+           ]);
+      pf "(wrote %s)\n" path);
+  if gate && not all_agree then (
+    prerr_endline "sat-sweep gate failed: the oracles disagree";
+    exit 1)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
@@ -243,6 +336,9 @@ let () =
   let domains = if jobs = 0 then Pool.default_domains () else jobs in
   if List.mem "--delta-sweep" args then (
     run_delta_sweep ~gate:(List.mem "--gate" args) ~json_path ~domains;
+    exit 0);
+  if List.mem "--sat-sweep" args then (
+    run_sat_sweep ~gate:(List.mem "--gate" args) ~json_path ~domains;
     exit 0);
   pf "Checker throughput (states/s), explorer vs reference enumerator\n";
   pf "('!' marks an exploration cut off by the state budget; %d domain%s)\n\n"

@@ -15,6 +15,30 @@ module Pool = Tbtso_par.Pool
 
 let mode_name = Litmus_parse.mode_name
 
+let report_one (v : Litmus_fanout.verdict) =
+  let outcomes =
+    match (v.result, v.sat) with
+    | Some r, _ -> r.Litmus_parse.outcome_count
+    | None, Some sc -> sc.Litmus_fanout.sat_outcome_count
+    | None, None -> 0
+  in
+  Printf.printf "  %-12s %4d outcomes   %s\n" (mode_name v.task.mode) outcomes
+    (Litmus_fanout.verdict_string v);
+  (match v.result with
+  | Some r ->
+      Format.printf "  %-12s [%a]@." "" Litmus.pp_stats r.Litmus_parse.stats
+  | None -> ());
+  (match v.sat with
+  | Some sc ->
+      Format.printf "  %-12s [sat: %a]@." "" Axiomatic.pp_stats
+        sc.Litmus_fanout.sat_stats
+  | None -> ());
+  match Litmus_fanout.disagreement_witness v with
+  | Some o ->
+      Format.printf "  %-12s witness %a@." ""
+        Litmus.pp_outcome o
+  | None -> ()
+
 let report_verdicts verdicts =
   let last_path = ref None in
   List.iter
@@ -24,10 +48,7 @@ let report_verdicts verdicts =
         Printf.printf "%s (%s):\n" v.task.test.Litmus_parse.name v.task.path;
         last_path := Some v.task.path
       end;
-      Printf.printf "  %-12s %4d outcomes   %s\n" (mode_name v.task.mode)
-        v.result.outcome_count
-        (Litmus_fanout.verdict_string v);
-      Format.printf "  %-12s [%a]@." "" Litmus.pp_stats v.result.stats)
+      report_one v)
     verdicts;
   if verdicts <> [] then print_newline ()
 
@@ -72,14 +93,37 @@ let max_states_arg =
 
 let json_arg =
   let doc =
-    "Also write the verdicts as JSON (schema tbtso-litmus/2): one record per \
+    "Also write the verdicts as JSON (schema tbtso-litmus/2, or tbtso-sat/1 \
+     when $(b,--oracle) sat or both adds SAT-oracle fields): one record per \
      (file, mode) pair with holds/complete/outcomes and the full exploration \
      statistics, plus aggregate checker metrics (total states, peak frontier, \
      zone-canonicalization hits and merges, sleep-set hits split by \
-     independence class, time-leap count, states/second). PATH '-' writes \
-     the JSON to stdout and suppresses the human-readable report."
+     independence class, time-leap count, states/second, and the sat.* \
+     solver counters when the SAT oracle ran). PATH '-' writes the JSON to \
+     stdout and suppresses the human-readable report."
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+
+let oracle_arg =
+  let doc =
+    "Which oracle answers each (file, mode) check: $(b,explorer) (the \
+     operational state-space explorer, default), $(b,sat) (the axiomatic \
+     CDCL/SAT outcome enumeration), or $(b,both), which runs the two \
+     structurally independent oracles and cross-checks their exact outcome \
+     sets — any mismatch is reported as ORACLE DISAGREEMENT with a \
+     minimized witness outcome and exits 3."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("explorer", Litmus_fanout.Explorer);
+             ("sat", Litmus_fanout.Sat);
+             ("both", Litmus_fanout.Both);
+           ])
+        Litmus_fanout.Explorer
+    & info [ "oracle" ] ~docv:"ORACLE" ~doc)
 
 let jobs_arg =
   let doc =
@@ -103,12 +147,14 @@ let check_exits =
           anywhere in the run dominates and exits 1."
   :: Cmd.Exit.info 3
        ~doc:
-         "a litmus file could not be read or parsed, or an option value was \
-          invalid."
+         "the two oracles of $(b,--oracle both) DISAGREED on some exact \
+          outcome set (one of them is provably wrong — a minimized witness \
+          outcome is printed), or a litmus file could not be read or \
+          parsed, or an option value was invalid."
   :: Cmd.Exit.defaults
 
 let check_cmd =
-  let run modes max_states json jobs files =
+  let run modes max_states json jobs oracle files =
     if max_states < 1 then begin
       Printf.eprintf "--max-states must be at least 1\n";
       3
@@ -124,16 +170,22 @@ let check_cmd =
         let tasks = Litmus_fanout.load ~modes files in
         let domains = if jobs = 0 then Pool.default_domains () else jobs in
         let verdicts =
-          if domains <= 1 then Litmus_fanout.check ~max_states tasks
+          if domains <= 1 then Litmus_fanout.check ~max_states ~oracle tasks
           else
             Pool.with_pool ~domains (fun pool ->
-                let vs = Litmus_fanout.check ~pool ~max_states tasks in
+                let vs = Litmus_fanout.check ~pool ~max_states ~oracle tasks in
                 Pool.record_metrics pool registry;
                 vs)
         in
         List.iter
           (fun (v : Litmus_fanout.verdict) ->
-            Litmus.record_stats registry v.result.stats)
+            (match v.result with
+            | Some r -> Litmus.record_stats registry r.Litmus_parse.stats
+            | None -> ());
+            match v.sat with
+            | Some sc ->
+                Axiomatic.record_stats registry sc.Litmus_fanout.sat_stats
+            | None -> ())
           verdicts;
         if not quiet then report_verdicts verdicts;
         (match json with
@@ -169,7 +221,9 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~exits:check_exits ~man
        ~doc:"Exhaustively check litmus files under the chosen memory models")
-    Term.(const run $ modes_arg $ max_states_arg $ json_arg $ jobs_arg $ files_arg)
+    Term.(
+      const run $ modes_arg $ max_states_arg $ json_arg $ jobs_arg $ oracle_arg
+      $ files_arg)
 
 let demo_cmd =
   let run () =
@@ -182,13 +236,7 @@ let demo_cmd =
            (fun mode -> { Litmus_fanout.path = "<demo>"; test = t; mode })
            [ Litmus.M_sc; Litmus.M_tso; Litmus.M_tbtso 4 ])
     in
-    List.iter
-      (fun (v : Litmus_fanout.verdict) ->
-        Printf.printf "  %-12s %4d outcomes   %s\n" (mode_name v.task.mode)
-          v.result.outcome_count
-          (Litmus_fanout.verdict_string v);
-        Format.printf "  %-12s [%a]@." "" Litmus.pp_stats v.result.stats)
-      verdicts;
+    List.iter report_one verdicts;
     0
   in
   Cmd.v

@@ -1,0 +1,480 @@
+(* CDCL SAT solver: two-watched-literal propagation, first-UIP learning,
+   activity decisions with phase saving, Luby restarts, assumptions.
+   See solver.mli for why this stays deliberately classical. *)
+
+type lit = int
+
+let pos v = v lsl 1
+let neg v = (v lsl 1) lor 1
+let negate l = l lxor 1
+let lit_var l = l lsr 1
+let lit_sign l = l land 1 = 0
+
+(* Clauses are literal arrays; the two watched literals live at indices 0
+   and 1. [dummy] doubles as the "no reason" sentinel (compared with ==). *)
+type clause = { lits : lit array; learnt : bool }
+
+let dummy = { lits = [||]; learnt = false }
+
+(* Growable clause vector, used for the per-literal watch lists. *)
+type cvec = { mutable cdata : clause array; mutable csz : int }
+
+let cvec_make () = { cdata = [||]; csz = 0 }
+
+let cvec_push v c =
+  let cap = Array.length v.cdata in
+  if v.csz = cap then begin
+    let d = Array.make (max 4 (2 * cap)) dummy in
+    Array.blit v.cdata 0 d 0 v.csz;
+    v.cdata <- d
+  end;
+  v.cdata.(v.csz) <- c;
+  v.csz <- v.csz + 1
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  learned : int;
+  restarts : int;
+}
+
+type t = {
+  (* Per-variable state, grown by [new_var]. *)
+  mutable nvars : int;
+  mutable assign : int array;  (* -1 unassigned / 0 false / 1 true *)
+  mutable level : int array;
+  mutable reason : clause array;  (* dummy = decision or root unit *)
+  mutable activity : float array;
+  mutable phase : bool array;
+  mutable seen : bool array;  (* conflict-analysis scratch *)
+  mutable model : int array;  (* snapshot of [assign] after SAT *)
+  mutable watches : cvec array;  (* indexed by literal *)
+  (* Trail. *)
+  mutable trail : lit array;
+  mutable trail_sz : int;
+  mutable trail_lim : int array;  (* trail size at each decision level *)
+  mutable n_levels : int;
+  mutable qhead : int;
+  (* Heuristics. *)
+  mutable var_inc : float;
+  (* Status and bookkeeping. *)
+  mutable ok : bool;
+  mutable learnts : clause list;
+  mutable n_clauses : int;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable n_learned : int;
+  mutable restarts : int;
+}
+
+let create () =
+  {
+    nvars = 0;
+    assign = [||];
+    level = [||];
+    reason = [||];
+    activity = [||];
+    phase = [||];
+    seen = [||];
+    model = [||];
+    watches = [||];
+    trail = [||];
+    trail_sz = 0;
+    trail_lim = [||];
+    n_levels = 0;
+    qhead = 0;
+    var_inc = 1.0;
+    ok = true;
+    learnts = [];
+    n_clauses = 0;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    n_learned = 0;
+    restarts = 0;
+  }
+
+let grow_int a n fill =
+  let cap = Array.length !a in
+  if n > cap then begin
+    let d = Array.make (max 16 (max n (2 * cap))) fill in
+    Array.blit !a 0 d 0 cap;
+    a := d
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  let gi r fill =
+    let a = ref r in
+    grow_int a (v + 1) fill;
+    !a
+  in
+  s.assign <- gi s.assign (-1);
+  s.level <- gi s.level 0;
+  s.model <- gi s.model (-1);
+  (let cap = Array.length s.reason in
+   if v >= cap then begin
+     let d = Array.make (max 16 (2 * max 1 cap)) dummy in
+     Array.blit s.reason 0 d 0 cap;
+     s.reason <- d
+   end);
+  (let cap = Array.length s.activity in
+   if v >= cap then begin
+     let d = Array.make (max 16 (2 * max 1 cap)) 0.0 in
+     Array.blit s.activity 0 d 0 cap;
+     s.activity <- d
+   end);
+  (let cap = Array.length s.phase in
+   if v >= cap then begin
+     let d = Array.make (max 16 (2 * max 1 cap)) false in
+     Array.blit s.phase 0 d 0 cap;
+     s.phase <- d
+   end);
+  (let cap = Array.length s.seen in
+   if v >= cap then begin
+     let d = Array.make (max 16 (2 * max 1 cap)) false in
+     Array.blit s.seen 0 d 0 cap;
+     s.seen <- d
+   end);
+  (let want = 2 * (v + 1) in
+   let cap = Array.length s.watches in
+   if want > cap then begin
+     let d = Array.init (max 32 (max want (2 * cap))) (fun _ -> cvec_make ()) in
+     Array.blit s.watches 0 d 0 cap;
+     s.watches <- d
+   end);
+  (let a = ref s.trail in
+   grow_int a (v + 1) 0;
+   s.trail <- !a);
+  (let a = ref s.trail_lim in
+   grow_int a (v + 2) 0;
+   s.trail_lim <- !a);
+  v
+
+let n_vars s = s.nvars
+
+let n_clauses s = s.n_clauses
+
+let ok s = s.ok
+
+(* -1 unknown / 0 false / 1 true. *)
+let lit_val s l =
+  let a = s.assign.(lit_var l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let enqueue s l reason =
+  let v = lit_var l in
+  s.assign.(v) <- 1 lxor (l land 1);
+  s.level.(v) <- s.n_levels;
+  s.reason.(v) <- reason;
+  s.trail.(s.trail_sz) <- l;
+  s.trail_sz <- s.trail_sz + 1
+
+let new_level s =
+  (let cap = Array.length s.trail_lim in
+   if s.n_levels >= cap then begin
+     let d = Array.make (max 16 (2 * max 1 cap)) 0 in
+     Array.blit s.trail_lim 0 d 0 cap;
+     s.trail_lim <- d
+   end);
+  s.trail_lim.(s.n_levels) <- s.trail_sz;
+  s.n_levels <- s.n_levels + 1
+
+let cancel_until s lvl =
+  if s.n_levels > lvl then begin
+    let lim = s.trail_lim.(lvl) in
+    for i = s.trail_sz - 1 downto lim do
+      let v = lit_var s.trail.(i) in
+      s.phase.(v) <- s.assign.(v) = 1;
+      s.assign.(v) <- -1;
+      s.reason.(v) <- dummy
+    done;
+    s.trail_sz <- lim;
+    s.qhead <- lim;
+    s.n_levels <- lvl
+  end
+
+let attach s c =
+  cvec_push s.watches.(c.lits.(0)) c;
+  cvec_push s.watches.(c.lits.(1)) c
+
+(* Unit propagation. Returns the conflicting clause, or [dummy] if the
+   assignment closed without conflict. A clause lives in the watch lists
+   of its two watched literals; when a watched literal becomes false we
+   either find a replacement watch, keep it satisfied through the other
+   watch, propagate the other watch, or report it as the conflict. *)
+let propagate s =
+  let confl = ref dummy in
+  while !confl == dummy && s.qhead < s.trail_sz do
+    let p = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    let fl = negate p in
+    let ws = s.watches.(fl) in
+    let n = ws.csz in
+    let i = ref 0 in
+    let j = ref 0 in
+    while !i < n do
+      let c = ws.cdata.(!i) in
+      incr i;
+      let lits = c.lits in
+      if lits.(0) = fl then begin
+        lits.(0) <- lits.(1);
+        lits.(1) <- fl
+      end;
+      let first = lits.(0) in
+      if lit_val s first = 1 then begin
+        ws.cdata.(!j) <- c;
+        incr j
+      end
+      else begin
+        (* Look for a non-false replacement watch. *)
+        let len = Array.length lits in
+        let k = ref 2 in
+        while !k < len && lit_val s lits.(!k) = 0 do
+          incr k
+        done;
+        if !k < len then begin
+          lits.(1) <- lits.(!k);
+          lits.(!k) <- fl;
+          cvec_push s.watches.(lits.(1)) c
+        end
+        else begin
+          ws.cdata.(!j) <- c;
+          incr j;
+          if lit_val s first = 0 then begin
+            (* Conflict: keep the remaining watches and stop. *)
+            while !i < n do
+              ws.cdata.(!j) <- ws.cdata.(!i);
+              incr j;
+              incr i
+            done;
+            confl := c;
+            s.qhead <- s.trail_sz
+          end
+          else enqueue s first c
+        end
+      end
+    done;
+    ws.csz <- !j
+  done;
+  !confl
+
+let rescale_activity s =
+  for v = 0 to s.nvars - 1 do
+    s.activity.(v) <- s.activity.(v) *. 1e-100
+  done;
+  s.var_inc <- s.var_inc *. 1e-100
+
+let bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then rescale_activity s
+
+(* First-UIP conflict analysis. Returns the learned clause (asserting
+   literal at index 0, a maximal-backjump-level literal at index 1) and
+   the backjump level. Assumes the conflict is at a level > 0. *)
+let analyze s confl =
+  let cur = s.n_levels in
+  let tail = ref [] in
+  let btlevel = ref 0 in
+  let counter = ref 0 in
+  let to_clear = ref [] in
+  let p = ref (-1) in
+  (* -1: initial round, consider every literal of the conflict clause;
+     afterwards [p] is the trail literal being resolved on and index 0 of
+     its reason clause (== p) is skipped. *)
+  let c = ref confl in
+  let idx = ref (s.trail_sz - 1) in
+  let uip = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let lits = (!c).lits in
+    let start = if !p < 0 then 0 else 1 in
+    for k = start to Array.length lits - 1 do
+      let q = lits.(k) in
+      let v = lit_var q in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        to_clear := v :: !to_clear;
+        bump s v;
+        if s.level.(v) >= cur then incr counter
+        else begin
+          tail := q :: !tail;
+          if s.level.(v) > !btlevel then btlevel := s.level.(v)
+        end
+      end
+    done;
+    (* Next trail literal (at the current level) to resolve on. *)
+    while not s.seen.(lit_var s.trail.(!idx)) do
+      decr idx
+    done;
+    let pl = s.trail.(!idx) in
+    decr idx;
+    s.seen.(lit_var pl) <- false;
+    decr counter;
+    if !counter = 0 then begin
+      uip := pl;
+      continue_ := false
+    end
+    else begin
+      p := pl;
+      c := s.reason.(lit_var pl)
+    end
+  done;
+  List.iter (fun v -> s.seen.(v) <- false) !to_clear;
+  let tail = !tail in
+  let lits = Array.of_list (negate !uip :: tail) in
+  (* Put a literal of the backjump level at index 1 so it can be watched. *)
+  if Array.length lits > 1 then begin
+    let best = ref 1 in
+    for k = 2 to Array.length lits - 1 do
+      if s.level.(lit_var lits.(k)) > s.level.(lit_var lits.(!best)) then
+        best := k
+    done;
+    let tmp = lits.(1) in
+    lits.(1) <- lits.(!best);
+    lits.(!best) <- tmp
+  end;
+  ({ lits; learnt = true }, !btlevel)
+
+let add_clause s lits =
+  if s.ok then begin
+    (* Root-level simplification: dedupe, drop false-at-root literals,
+       ignore satisfied and tautological clauses. *)
+    let keep = ref [] in
+    let taut = ref false in
+    let sat = ref false in
+    List.iter
+      (fun l ->
+        if not (!taut || !sat) then
+          match lit_val s l with
+          | 1 when s.level.(lit_var l) = 0 -> sat := true
+          | 0 when s.level.(lit_var l) = 0 -> ()
+          | _ ->
+              if List.mem (negate l) !keep then taut := true
+              else if not (List.mem l !keep) then keep := l :: !keep)
+      lits;
+    if not (!taut || !sat) then
+      match !keep with
+      | [] -> s.ok <- false
+      | [ l ] ->
+          s.n_clauses <- s.n_clauses + 1;
+          (match lit_val s l with
+          | 1 -> ()
+          | 0 -> s.ok <- false
+          | _ -> enqueue s l dummy)
+      | l0 :: l1 :: _ ->
+          let arr = Array.of_list !keep in
+          ignore l0;
+          ignore l1;
+          let c = { lits = arr; learnt = false } in
+          s.n_clauses <- s.n_clauses + 1;
+          attach s c
+  end
+
+(* Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let luby i =
+  let rec go size seq i =
+    if size - 1 = i then 1 lsl seq
+    else if i >= size / 2 then go (size / 2) (seq - 1) (i - (size / 2))
+    else go (size / 2) (seq - 1) i
+  in
+  let rec outer size seq =
+    if size >= i + 1 then go size seq i else outer ((2 * size) + 1) (seq + 1)
+  in
+  outer 1 0
+
+let pick_branch s =
+  let best = ref (-1) in
+  let best_act = ref neg_infinity in
+  for v = 0 to s.nvars - 1 do
+    if s.assign.(v) < 0 && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  !best
+
+let solve ?(assumptions = []) s =
+  cancel_until s 0;
+  if not s.ok then false
+  else begin
+    let asn = Array.of_list assumptions in
+    let nasn = Array.length asn in
+    let restart_base = 100 in
+    let conflicts_budget = ref (restart_base * luby s.restarts) in
+    let result = ref None in
+    while !result = None do
+      let confl = propagate s in
+      if confl != dummy then begin
+        s.conflicts <- s.conflicts + 1;
+        decr conflicts_budget;
+        if s.n_levels = 0 then begin
+          s.ok <- false;
+          result := Some false
+        end
+        else begin
+          let learnt, btlevel = analyze s confl in
+          cancel_until s btlevel;
+          if Array.length learnt.lits = 1 then enqueue s learnt.lits.(0) dummy
+          else begin
+            attach s learnt;
+            enqueue s learnt.lits.(0) learnt
+          end;
+          s.learnts <- learnt :: s.learnts;
+          s.n_learned <- s.n_learned + 1;
+          s.var_inc <- s.var_inc /. 0.95
+        end
+      end
+      else if !conflicts_budget <= 0 && s.n_levels > nasn then begin
+        (* Restart: rewind to the root; the assumption prefix is re-made
+           by the decision steps below. *)
+        s.restarts <- s.restarts + 1;
+        conflicts_budget := restart_base * luby s.restarts;
+        cancel_until s 0
+      end
+      else if s.n_levels < nasn then begin
+        (* Extend the assumption prefix: one level per assumption, a
+           dummy level when it is already implied. *)
+        let a = asn.(s.n_levels) in
+        match lit_val s a with
+        | 1 -> new_level s
+        | 0 -> result := Some false
+        | _ ->
+            new_level s;
+            enqueue s a dummy
+      end
+      else begin
+        match pick_branch s with
+        | -1 ->
+            (* Full model. *)
+            Array.blit s.assign 0 s.model 0 s.nvars;
+            result := Some true
+        | v ->
+            s.decisions <- s.decisions + 1;
+            new_level s;
+            enqueue s (if s.phase.(v) then pos v else neg v) dummy
+      end
+    done;
+    cancel_until s 0;
+    !result = Some true
+  end
+
+let value s v = s.model.(v) = 1
+
+let lit_value s l = s.model.(lit_var l) lxor (l land 1) = 1
+
+let stats s =
+  {
+    conflicts = s.conflicts;
+    decisions = s.decisions;
+    propagations = s.propagations;
+    learned = s.n_learned;
+    restarts = s.restarts;
+  }
+
+let learned_clauses s =
+  List.rev_map (fun c -> Array.to_list c.lits) s.learnts

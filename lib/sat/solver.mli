@@ -1,0 +1,89 @@
+(** Zero-dependency CDCL SAT solver.
+
+    Built as the engine of the repo's {e second} litmus oracle
+    ({!Tsim.Axiomatic}): where the operational explorer walks store-buffer
+    states, the axiomatic oracle compiles a litmus program to clauses and
+    asks this solver for every model class — so this module must share no
+    code or state-space view with the explorer. It is a deliberately
+    classical conflict-driven clause-learning solver:
+
+    - {b two-watched-literal} unit propagation;
+    - {b first-UIP} conflict analysis with activity (VSIDS-style) variable
+      bumping and phase saving;
+    - {b Luby restarts};
+    - {b solve under assumptions} — a [solve ?assumptions] call treats the
+      given literals as temporary top decisions, so a caller can re-query
+      the same formula cheaply (the clause database, learned clauses and
+      activities persist across calls);
+    - {b incremental clause addition} between solves, which is exactly what
+      iterated model enumeration with blocking clauses needs.
+
+    There is no preprocessing, clause-database reduction or literal-block
+    distance heuristic: the litmus encodings are thousands of clauses at
+    most, and a transparent solver is worth more here than a fast one —
+    {!learned_clauses} exposes the learned set so tests can check each
+    learned clause is entailed by the original formula. *)
+
+type t
+
+type lit = private int
+(** A literal: variable [v] positively as [pos v], negated as [neg v]. *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; variables are dense ints from 0. *)
+
+val pos : int -> lit
+
+val neg : int -> lit
+
+val negate : lit -> lit
+
+val lit_var : lit -> int
+
+val lit_sign : lit -> bool
+(** [true] for a positive literal. *)
+
+val n_vars : t -> int
+
+val n_clauses : t -> int
+(** Problem clauses added (after root-level simplification; satisfied and
+    tautological clauses are not counted). Learned clauses are separate —
+    see {!stats}. *)
+
+val add_clause : t -> lit list -> unit
+(** Add a clause (at the root level; any ongoing solve's trail was rewound
+    by the previous [solve] return). Duplicate literals are dropped,
+    tautologies ignored; adding the empty clause (or a clause false under
+    root-level units) makes the solver permanently unsatisfiable. *)
+
+val ok : t -> bool
+(** [false] once root-level unsatisfiability has been established; every
+    further [solve] returns [false] immediately. *)
+
+val solve : ?assumptions:lit list -> t -> bool
+(** Is the formula satisfiable (under the assumptions, if given)?
+    [false] under assumptions does not mark the solver [not ok] unless
+    unsatisfiability holds at the root. After [true], the model is
+    available through {!value} / {!lit_value} until the next [solve] or
+    [add_clause]. *)
+
+val value : t -> int -> bool
+(** Model value of a variable, after a satisfiable {!solve}. *)
+
+val lit_value : t -> lit -> bool
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  learned : int;  (** Learned clauses currently retained. *)
+  restarts : int;
+}
+
+val stats : t -> stats
+
+val learned_clauses : t -> lit list list
+(** The learned clauses, for invariant checks in tests: each must be a
+    logical consequence of the clauses added through {!add_clause}. *)

@@ -1,0 +1,634 @@
+(* Axiomatic second oracle: compile a litmus program (per Loadeq path
+   combination) into clauses over order-encoded action times and
+   read-from choices, then enumerate outcomes with blocking clauses.
+   The encoding and its operational-equivalence argument are documented
+   in axiomatic.mli; this file deliberately shares nothing with
+   Litmus's exploration machinery beyond the AST and outcome types. *)
+
+module S = Tbtso_sat.Solver
+
+type stats = {
+  paths : int;
+  vars : int;
+  clauses : int;
+  solves : int;
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  learned : int;
+  restarts : int;
+  outcomes : int;
+  elapsed : float;
+}
+
+type result = { outcomes : Litmus.outcome list; complete : bool; stats : stats }
+
+let default_max_outcomes = 65_536
+
+(* An executed instruction on a fixed control path; [taken] is the
+   Loadeq branch decision (false for every other instruction). *)
+type pexec = { op : Litmus.instr; taken : bool }
+
+(* A write event: the commit-time event id, the value written, and —
+   for CAS, whose write happens only on success — an activation
+   literal. *)
+type wrt = {
+  wev : int;
+  wval : int;
+  wact : S.lit option;
+  wthread : int;
+  wpos : int;
+}
+
+(* Observable literals, the projection outcomes are read off and
+   blocking clauses are built over. Each value group is exactly-one. *)
+type obs =
+  | Ob_val of int * int * (int * S.lit) list  (* thread, reg, value -> lit *)
+  | Ob_cas of int * int * S.lit  (* thread, reg, success *)
+  | Ob_mem of int * (int * S.lit) list  (* addr, value -> lit *)
+
+let validate programs =
+  List.iter
+    (List.iter (function
+      | Litmus.Wait d when d < 0 ->
+          invalid_arg "Axiomatic.explore: negative wait duration"
+      | Litmus.Loadeq (_, _, skip) when skip < 0 ->
+          invalid_arg "Axiomatic.explore: negative loadeq skip"
+      | _ -> ()))
+    programs
+
+(* All control paths of one thread: the executed instruction sequence
+   for every combination of Loadeq branch decisions. Skips are forward
+   (validated), so this terminates. *)
+let thread_paths prog =
+  let prog = Array.of_list prog in
+  let len = Array.length prog in
+  let rec go pc =
+    if pc >= len then [ [] ]
+    else
+      match prog.(pc) with
+      | Litmus.Loadeq (_, _, skip) as op ->
+          List.map (fun r -> { op; taken = true } :: r) (go (pc + 1 + skip))
+          @ List.map (fun r -> { op; taken = false } :: r) (go (pc + 1))
+      | op -> List.map (fun r -> { op; taken = false } :: r) (go (pc + 1))
+  in
+  List.map Array.of_list (go 0)
+
+let product per_thread =
+  List.fold_right
+    (fun paths acc ->
+      List.concat_map (fun p -> List.map (fun rest -> p :: rest) acc) paths)
+    per_thread [ [] ]
+  |> List.map Array.of_list
+
+(* Tri-valued literals let the encoder treat boundary time atoms
+   (T ≤ 0, T ≤ H) as constants. *)
+type tri = T | F | L of S.lit
+
+(* Encode one path combination into a fresh solver. Returns the solver
+   and the observable projection. *)
+let encode ~mode (combo : pexec array array) =
+  let s = S.create () in
+  let n = Array.length combo in
+  let buffered = mode <> Litmus.M_sc in
+  (* Event table: one issue event per executed instruction, one commit
+     event per executed store in a buffered mode. CAS writes (and SC
+     stores) commit at their own issue slot, so they alias. *)
+  let issue = Array.map (Array.map (fun _ -> -1)) combo in
+  let commit = Array.map (Array.map (fun _ -> -1)) combo in
+  let ev_meta = ref [] in
+  let nev = ref 0 in
+  let add_event i k is_commit =
+    let e = !nev in
+    incr nev;
+    ev_meta := (i, k, is_commit) :: !ev_meta;
+    e
+  in
+  Array.iteri
+    (fun i path ->
+      Array.iteri
+        (fun k px ->
+          let e = add_event i k false in
+          issue.(i).(k) <- e;
+          match px.op with
+          | Litmus.Store _ ->
+              commit.(i).(k) <- (if buffered then add_event i k true else e)
+          | Litmus.Cas _ -> commit.(i).(k) <- e
+          | _ -> ())
+        path)
+    combo;
+  let ev_meta = Array.of_list (List.rev !ev_meta) in
+  let nev = !nev in
+  (* Horizon: every operational execution takes at most one slot per
+     instruction, one per drain, and one per tick of wait mass (idling
+     is only enabled under an active wait). *)
+  let h =
+    Array.fold_left
+      (fun acc path ->
+        Array.fold_left
+          (fun acc px ->
+            acc + 1
+            +
+            match px.op with
+            | Litmus.Store _ when buffered -> 1
+            | Litmus.Wait d -> d
+            | _ -> 0)
+          acc path)
+      0 combo
+  in
+  (* Order encoding: o e t ⟺ T_e ≤ t, for t ∈ 1..H−1. *)
+  let tl =
+    Array.init nev (fun _ ->
+        Array.init (max 0 (h - 1)) (fun _ -> S.pos (S.new_var s)))
+  in
+  let o e t = if t <= 0 then F else if t >= h then T else L tl.(e).(t - 1) in
+  let ntri = function T -> F | F -> T | L l -> L (S.negate l) in
+  let add_cl lits =
+    let rec go acc = function
+      | [] -> Some acc
+      | T :: _ -> None
+      | F :: r -> go acc r
+      | L l :: r -> go (l :: acc) r
+    in
+    match go [] lits with None -> () | Some ls -> S.add_clause s ls
+  in
+  for e = 0 to nev - 1 do
+    for t = 1 to h - 2 do
+      add_cl [ ntri (o e t); o e (t + 1) ]
+    done
+  done;
+  (* T_u + g ≤ T_v, as direct clauses over the ladders. *)
+  let le_gap u v g =
+    for t = 1 to h do
+      add_cl [ ntri (o v t); o u (t - g) ]
+    done
+  in
+  (* Reified strict comparison T_u < T_v. The two clause directions
+     force ¬lt(u,v) ⟺ T_v < T_u, so creating the literal for a pair
+     also makes their times distinct. *)
+  let ltc = Hashtbl.create 97 in
+  let rec lt u v =
+    if u = v then F
+    else if u > v then ntri (lt v u)
+    else
+      match Hashtbl.find_opt ltc (u, v) with
+      | Some p -> L p
+      | None ->
+          let p = S.pos (S.new_var s) in
+          Hashtbl.add ltc (u, v) p;
+          for t = 1 to h do
+            add_cl [ L (S.negate p); ntri (o v t); o u (t - 1) ];
+            add_cl [ L p; ntri (o u t); o v (t - 1) ]
+          done;
+          L p
+  in
+  (* One action per time slot: force distinctness for every event pair
+     whose order is not already entailed (same-thread issues are
+     po-ordered, same-thread commits FIFO-ordered, and an issue
+     precedes any commit of a po-later-or-equal store). *)
+  for u = 0 to nev - 1 do
+    for v = u + 1 to nev - 1 do
+      let ti, ki, ci = ev_meta.(u) and tj, kj, cj = ev_meta.(v) in
+      let ordered =
+        ti = tj
+        && (ci = cj
+           || ((not ci) && cj && kj >= ki)
+           || (ci && (not cj) && ki >= kj))
+      in
+      if not ordered then ignore (lt u v)
+    done
+  done;
+  (* Program order, with wait gaps. *)
+  Array.iteri
+    (fun i path ->
+      for k = 1 to Array.length path - 1 do
+        let g =
+          match path.(k - 1).op with Litmus.Wait d -> d + 1 | _ -> 1
+        in
+        le_gap issue.(i).(k - 1) issue.(i).(k) g
+      done)
+    combo;
+  (* Store-buffer axioms: commit windows, FIFO, capacity, drain
+     barriers before Fence/Cas. *)
+  let delta = match mode with Litmus.M_tbtso d -> Some d | _ -> None in
+  let cap = match mode with Litmus.M_tsos c -> Some c | _ -> None in
+  Array.iteri
+    (fun i path ->
+      let stores = ref [] in
+      (* executed store positions, newest first *)
+      let last_store = ref (-1) in
+      Array.iteri
+        (fun k px ->
+          match px.op with
+          | Litmus.Store _ ->
+              if buffered then begin
+                le_gap issue.(i).(k) commit.(i).(k) 1;
+                (match delta with
+                | Some d -> le_gap commit.(i).(k) issue.(i).(k) (-d)
+                | None -> ());
+                (match !stores with
+                | prev :: _ -> le_gap commit.(i).(prev) commit.(i).(k) 1
+                | [] -> ());
+                match cap with
+                | Some c when c <= 0 -> add_cl [] (* store never enabled *)
+                | Some c -> (
+                    match List.nth_opt !stores (c - 1) with
+                    | Some old -> le_gap commit.(i).(old) issue.(i).(k) 1
+                    | None -> ())
+                | None -> ()
+              end;
+              stores := k :: !stores;
+              last_store := k
+          | Litmus.Fence | Litmus.Cas _ ->
+              if buffered && !last_store >= 0 then
+                le_gap commit.(i).(!last_store) issue.(i).(k) 1
+          | _ -> ())
+        path)
+    combo;
+  (* CAS success literals, then the write table. *)
+  let cas_s = Array.map (Array.map (fun _ -> None)) combo in
+  Array.iteri
+    (fun i path ->
+      Array.iteri
+        (fun k px ->
+          match px.op with
+          | Litmus.Cas _ -> cas_s.(i).(k) <- Some (S.pos (S.new_var s))
+          | _ -> ())
+        path)
+    combo;
+  let writes = Hashtbl.create 7 in
+  let add_write a w =
+    Hashtbl.replace writes a
+      (w :: Option.value ~default:[] (Hashtbl.find_opt writes a))
+  in
+  Array.iteri
+    (fun i path ->
+      Array.iteri
+        (fun k px ->
+          match px.op with
+          | Litmus.Store (a, v) ->
+              add_write a
+                {
+                  wev = commit.(i).(k);
+                  wval = v;
+                  wact = None;
+                  wthread = i;
+                  wpos = k;
+                }
+          | Litmus.Cas (a, _, d, _) ->
+              add_write a
+                {
+                  wev = issue.(i).(k);
+                  wval = d;
+                  wact = cas_s.(i).(k);
+                  wthread = i;
+                  wpos = k;
+                }
+          | _ -> ())
+        path)
+    combo;
+  let writes_to a = Option.value ~default:[] (Hashtbl.find_opt writes a) in
+  (* Newest program-order-earlier same-thread store to [a] — the
+     forwarding source, statically known per path thanks to FIFO. *)
+  let wstar i k a =
+    let res = ref None in
+    for j = 0 to k - 1 do
+      match combo.(i).(j).op with
+      | Litmus.Store (a', v) when a' = a -> res := Some (commit.(i).(j), v)
+      | _ -> ()
+    done;
+    !res
+  in
+  (* Read-from: an exactly-one choice among forwarding (the w* entry is
+     still buffered), the co-latest committed write, and the initial 0.
+     Returns the (source literal, value) alternatives; the exclusivity
+     of the alternatives is semantic (their side conditions contradict
+     pairwise), so only the at-least-one clause is added. *)
+  let encode_read i k a ~fwd =
+    let x = issue.(i).(k) in
+    let cands =
+      List.filter
+        (fun w -> not (w.wthread = i && w.wpos >= k))
+        (writes_to a)
+    in
+    let fwd_lit = match fwd with Some (c, _) -> Some (lt x c) | None -> None in
+    let mem_srcs =
+      List.map
+        (fun w ->
+          let r = S.pos (S.new_var s) in
+          (match w.wact with
+          | Some al -> add_cl [ L (S.negate r); L al ]
+          | None -> ());
+          add_cl [ L (S.negate r); lt w.wev x ];
+          (match fwd with
+          | Some (c, _) -> add_cl [ L (S.negate r); lt c x ]
+          | None -> ());
+          List.iter
+            (fun w' ->
+              if not (w'.wthread = w.wthread && w'.wpos = w.wpos) then
+                add_cl
+                  ([ L (S.negate r) ]
+                  @ (match w'.wact with
+                    | Some al -> [ L (S.negate al) ]
+                    | None -> [])
+                  @ [ lt w'.wev w.wev; lt x w'.wev ]))
+            cands;
+          (r, w))
+        cands
+    in
+    let init_src =
+      match fwd with
+      | Some _ -> None (* w* either forwards or committed earlier *)
+      | None ->
+          let r0 = S.pos (S.new_var s) in
+          List.iter
+            (fun w ->
+              add_cl
+                ([ L (S.negate r0) ]
+                @ (match w.wact with
+                  | Some al -> [ L (S.negate al) ]
+                  | None -> [])
+                @ [ lt x w.wev ]))
+            cands;
+          Some r0
+    in
+    let srcs =
+      (match (fwd, fwd_lit) with
+      | Some (_, v), Some l -> [ (l, v) ]
+      | _ -> [])
+      @ (match init_src with Some r0 -> [ (L r0, 0) ] | None -> [])
+      @ List.map (fun (r, w) -> (L r, w.wval)) mem_srcs
+    in
+    add_cl (List.map fst srcs);
+    srcs
+  in
+  (* Collapse source alternatives to per-value literals (the observable
+     granularity): rf → its value, pairwise at-most-one. *)
+  let val_lits srcs =
+    let tbl = Hashtbl.create 7 in
+    List.iter
+      (fun (l, v) ->
+        let vl =
+          match Hashtbl.find_opt tbl v with
+          | Some vl -> vl
+          | None ->
+              let vl = S.pos (S.new_var s) in
+              Hashtbl.add tbl v vl;
+              vl
+        in
+        add_cl [ ntri l; L vl ])
+      srcs;
+    let pairs = Hashtbl.fold (fun v l acc -> (v, l) :: acc) tbl [] in
+    let rec amo = function
+      | [] -> ()
+      | (_, l) :: rest ->
+          List.iter
+            (fun (_, l') -> add_cl [ L (S.negate l); L (S.negate l') ])
+            rest;
+          amo rest
+    in
+    amo pairs;
+    pairs
+  in
+  (* Last program-order writer of each register: only those loads are
+     observable; earlier (dead) loads need no read-from machinery. *)
+  let regs_bound =
+    Array.fold_left
+      (fun acc path ->
+        Array.fold_left
+          (fun acc px ->
+            match px.op with
+            | Litmus.Load (_, r) | Litmus.Cas (_, _, _, r) -> max acc (r + 1)
+            | _ -> acc)
+          acc path)
+      0 combo
+  in
+  let lastw = Array.make_matrix n (max 1 regs_bound) (-1) in
+  Array.iteri
+    (fun i path ->
+      Array.iteri
+        (fun k px ->
+          match px.op with
+          | Litmus.Load (_, r) | Litmus.Cas (_, _, _, r) -> lastw.(i).(r) <- k
+          | _ -> ())
+        path)
+    combo;
+  let observables = ref [] in
+  Array.iteri
+    (fun i path ->
+      Array.iteri
+        (fun k px ->
+          match px.op with
+          | Litmus.Load (a, r) when lastw.(i).(r) = k ->
+              let srcs = encode_read i k a ~fwd:(wstar i k a) in
+              observables := Ob_val (i, r, val_lits srcs) :: !observables
+          | Litmus.Load _ -> ()
+          | Litmus.Loadeq (a, v0, _) ->
+              (* The path fixed this branch; pin the read's value. *)
+              let srcs = encode_read i k a ~fwd:(wstar i k a) in
+              List.iter
+                (fun (l, v) ->
+                  if px.taken then (if v <> v0 then add_cl [ ntri l ])
+                  else if v = v0 then add_cl [ ntri l ])
+                srcs
+          | Litmus.Cas (a, e, _, r) ->
+              (* Reads memory directly: the drain barrier above forces
+                 any own earlier store to have committed. *)
+              let sl = Option.get cas_s.(i).(k) in
+              let srcs = encode_read i k a ~fwd:None in
+              List.iter
+                (fun (l, v) ->
+                  if v = e then add_cl [ ntri l; L sl ]
+                  else add_cl [ ntri l; L (S.negate sl) ])
+                srcs;
+              if lastw.(i).(r) = k then
+                observables := Ob_cas (i, r, sl) :: !observables
+          | _ -> ())
+        path)
+    combo;
+  (* Final memory: the co-latest active write per address (exactly-one
+     with the no-active-write case). *)
+  Hashtbl.iter
+    (fun a ws ->
+      let fws =
+        List.map
+          (fun w ->
+            let f = S.pos (S.new_var s) in
+            (match w.wact with
+            | Some al -> add_cl [ L (S.negate f); L al ]
+            | None -> ());
+            List.iter
+              (fun w' ->
+                if not (w'.wthread = w.wthread && w'.wpos = w.wpos) then
+                  add_cl
+                    ([ L (S.negate f) ]
+                    @ (match w'.wact with
+                      | Some al -> [ L (S.negate al) ]
+                      | None -> [])
+                    @ [ lt w'.wev w.wev ]))
+              ws;
+            (f, w))
+          ws
+      in
+      let m0 = S.pos (S.new_var s) in
+      List.iter
+        (fun w ->
+          add_cl
+            ([ L (S.negate m0) ]
+            @
+            match w.wact with
+            | Some al -> [ L (S.negate al) ]
+            | None -> []))
+        ws;
+      add_cl (L m0 :: List.map (fun (f, _) -> L f) fws);
+      let pairs =
+        val_lits
+          (List.map (fun (f, w) -> (L f, w.wval)) fws @ [ (L m0, 0) ])
+      in
+      observables := Ob_mem (a, pairs) :: !observables)
+    writes;
+  (s, !observables)
+
+let explore ~mode ?(addrs = 4) ?(regs = 4)
+    ?(max_outcomes = default_max_outcomes) programs =
+  validate programs;
+  let t0 = Sys.time () in
+  let combos = product (List.map thread_paths programs) in
+  let n = List.length programs in
+  let found = Hashtbl.create 64 in
+  let paths = ref 0
+  and vars = ref 0
+  and clauses = ref 0
+  and solves = ref 0
+  and conflicts = ref 0
+  and decisions = ref 0
+  and propagations = ref 0
+  and learned = ref 0
+  and restarts = ref 0 in
+  let complete = ref true in
+  List.iter
+    (fun combo ->
+      if !complete then begin
+        incr paths;
+        let s, observables = encode ~mode combo in
+        vars := !vars + S.n_vars s;
+        clauses := !clauses + S.n_clauses s;
+        let extract () =
+          let regs_a = Array.init n (fun _ -> Array.make regs 0) in
+          let mem = Array.make addrs 0 in
+          List.iter
+            (function
+              | Ob_val (i, r, pairs) ->
+                  List.iter
+                    (fun (v, l) -> if S.lit_value s l then regs_a.(i).(r) <- v)
+                    pairs
+              | Ob_cas (i, r, sl) ->
+                  regs_a.(i).(r) <- (if S.lit_value s sl then 1 else 0)
+              | Ob_mem (a, pairs) ->
+                  List.iter
+                    (fun (v, l) -> if S.lit_value s l then mem.(a) <- v)
+                    pairs)
+            observables;
+          { Litmus.regs = regs_a; mem }
+        in
+        let block () =
+          (* Forbid the current observable projection; further models
+             of this class would map to the same outcome. *)
+          S.add_clause s
+            (List.concat_map
+               (function
+                 | Ob_val (_, _, pairs) | Ob_mem (_, pairs) ->
+                     List.filter_map
+                       (fun (_, l) ->
+                         if S.lit_value s l then Some (S.negate l) else None)
+                       pairs
+                 | Ob_cas (_, _, sl) ->
+                     [ (if S.lit_value s sl then S.negate sl else sl) ])
+               observables)
+        in
+        let continue_ = ref true in
+        while !continue_ do
+          incr solves;
+          if not (S.solve s) then continue_ := false
+          else begin
+            Hashtbl.replace found (extract ()) ();
+            if Hashtbl.length found >= max_outcomes then begin
+              complete := false;
+              continue_ := false
+            end
+            else block ()
+          end
+        done;
+        let st = S.stats s in
+        conflicts := !conflicts + st.S.conflicts;
+        decisions := !decisions + st.S.decisions;
+        propagations := !propagations + st.S.propagations;
+        learned := !learned + st.S.learned;
+        restarts := !restarts + st.S.restarts
+      end)
+    combos;
+  let all = Hashtbl.fold (fun o () acc -> o :: acc) found [] in
+  {
+    outcomes = List.sort compare all;
+    complete = !complete;
+    stats =
+      {
+        paths = !paths;
+        vars = !vars;
+        clauses = !clauses;
+        solves = !solves;
+        conflicts = !conflicts;
+        decisions = !decisions;
+        propagations = !propagations;
+        learned = !learned;
+        restarts = !restarts;
+        outcomes = Hashtbl.length found;
+        elapsed = Sys.time () -. t0;
+      };
+  }
+
+let enumerate ~mode ?addrs ?regs ?max_outcomes programs =
+  let r = explore ~mode ?addrs ?regs ?max_outcomes programs in
+  if not r.complete then
+    failwith "Axiomatic.enumerate: outcome budget exhausted";
+  r.outcomes
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "%d paths, %d vars, %d clauses, %d solves, %d conflicts, %d decisions, \
+     %d learned, %d restarts, %d outcomes, %.3fs"
+    s.paths s.vars s.clauses s.solves s.conflicts s.decisions s.learned
+    s.restarts s.outcomes s.elapsed
+
+let stats_json s =
+  let open Tbtso_obs in
+  Json.obj
+    [
+      ("paths", Json.Int s.paths);
+      ("vars", Json.Int s.vars);
+      ("clauses", Json.Int s.clauses);
+      ("solves", Json.Int s.solves);
+      ("conflicts", Json.Int s.conflicts);
+      ("decisions", Json.Int s.decisions);
+      ("propagations", Json.Int s.propagations);
+      ("learned", Json.Int s.learned);
+      ("restarts", Json.Int s.restarts);
+      ("outcomes", Json.Int s.outcomes);
+      ("elapsed_s", Json.Float s.elapsed);
+    ]
+
+let record_stats registry s =
+  let open Tbtso_obs in
+  Metrics.add (Metrics.counter registry "sat.paths") s.paths;
+  Metrics.add (Metrics.counter registry "sat.vars") s.vars;
+  Metrics.add (Metrics.counter registry "sat.clauses") s.clauses;
+  Metrics.add (Metrics.counter registry "sat.solves") s.solves;
+  Metrics.add (Metrics.counter registry "sat.conflicts") s.conflicts;
+  Metrics.add (Metrics.counter registry "sat.decisions") s.decisions;
+  Metrics.add (Metrics.counter registry "sat.propagations") s.propagations;
+  Metrics.add (Metrics.counter registry "sat.learned") s.learned;
+  Metrics.add (Metrics.counter registry "sat.restarts") s.restarts;
+  Metrics.add (Metrics.counter registry "sat.outcomes") s.outcomes;
+  Metrics.add (Metrics.counter registry "sat.explorations") 1;
+  let elapsed = Metrics.gauge registry "sat.elapsed_s" in
+  Metrics.set elapsed (Metrics.gauge_value elapsed +. s.elapsed)

@@ -1,0 +1,120 @@
+(** Axiomatic (SAT-based) second oracle for the litmus checker.
+
+    {!Litmus.explore} and {!Litmus.enumerate_reference} are both
+    {e operational}: they walk interleavings of an explicit
+    store-buffer machine, and they share authorship and the state-space
+    view, so a common blind spot would go unnoticed. This module answers
+    the same question — the exact reachable outcome set of a litmus
+    program under a memory mode — from a structurally disjoint angle: it
+    compiles the program into a {e declarative} constraint system over
+    integer action times and read-from choices, and has a CDCL SAT
+    solver ({!Tbtso_sat.Solver}) enumerate the models.
+
+    {2 The encoding}
+
+    The operational model advances a global clock by one tick per action
+    (instruction, drain, or idle). The encoding assigns every executed
+    action a time slot in [1..H]:
+
+    - each executed instruction gets an {e issue} time [X]; each
+      executed store in a buffered mode additionally gets a {e commit}
+      (drain) time [C] ([C = X] under SC, and for CAS, which writes
+      memory directly);
+    - all action times are pairwise distinct (one action per tick),
+      via order-encoded integers (booleans [T ≤ t] with ladder clauses)
+      and reified comparison literals;
+    - program order: consecutive instructions of a thread satisfy
+      [X' ≥ X + 1], and [X' ≥ X + d + 1] after [Wait d];
+    - store buffers are FIFO: same-thread commits in program order;
+    - mode axioms: SC has [C = X]; TSO has [C > X]; TBTSO[Δ] adds
+      [C ≤ X + Δ] (the paper's temporal drain bound); TSO[S] adds
+      [C{_ k−S} < X{_ k}] (capacity);
+    - [Fence]/[Cas] require every program-order-earlier same-thread
+      store to have committed ([C < X]);
+    - each read takes its value from its thread's newest still-buffered
+      same-address store (forwarding) if one exists, else from the
+      co-latest committed write before it, else the initial 0 —
+      expressed as an exactly-one read-from choice with side conditions;
+    - [Loadeq] control flow is resolved {e outside} the solver: every
+      combination of per-thread taken/not-taken paths is encoded
+      separately (a taken branch pins its read's value set).
+
+    The idle-tick rule ("idle only while some thread waits") needs no
+    clauses: any satisfying time assignment with uncovered gaps
+    compresses — by deleting unoccupied, unwaited-for slots — to a valid
+    operational execution with the same outcome, and conversely every
+    operational execution of length ≤ H embeds directly, with
+    H = Σ (instructions + buffered stores) + Σ wait durations.
+
+    Outcomes are enumerated by iterated solving under blocking clauses
+    over the {e observable} literals (final register values, CAS
+    success, final memory), so each solver model class maps to one
+    outcome and the iteration count is the outcome count + 1.
+
+    The module deliberately shares no exploration code with
+    {!Litmus}: it reuses only the instruction AST and the
+    {!Litmus.outcome} type, so the two oracles can disagree — which is
+    exactly what [tbtso-litmus check --oracle both] tests for. *)
+
+type stats = {
+  paths : int;  (** Loadeq path combinations encoded. *)
+  vars : int;  (** SAT variables, summed over path encodings. *)
+  clauses : int;  (** Problem clauses, summed over path encodings. *)
+  solves : int;  (** Solver calls (≥ outcomes + paths). *)
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  learned : int;  (** Clauses learned across all solves. *)
+  restarts : int;
+  outcomes : int;  (** Distinct outcomes found. *)
+  elapsed : float;  (** CPU seconds spent encoding + solving. *)
+}
+
+type result = {
+  outcomes : Litmus.outcome list;  (** Deduplicated and sorted. *)
+  complete : bool;
+      (** [false] when [max_outcomes] was reached: [outcomes] is then
+          a sound but possibly incomplete set. *)
+  stats : stats;
+}
+
+val default_max_outcomes : int
+(** 65536 outcomes. *)
+
+val explore :
+  mode:Litmus.mode ->
+  ?addrs:int ->
+  ?regs:int ->
+  ?max_outcomes:int ->
+  Litmus.instr list list ->
+  result
+(** All reachable outcomes of the program under [mode], by SAT
+    enumeration. [addrs] and [regs] default to 4 and size the outcome
+    arrays exactly like {!Litmus.explore}, so the two oracles' outcome
+    lists are directly comparable ([List.sort compare] order included).
+    @raise Invalid_argument on negative [Wait] durations or negative
+    [Loadeq] skips (the operational model deadlocks or loops on these;
+    no litmus file or generator produces them). *)
+
+val enumerate :
+  mode:Litmus.mode ->
+  ?addrs:int ->
+  ?regs:int ->
+  ?max_outcomes:int ->
+  Litmus.instr list list ->
+  Litmus.outcome list
+(** [(explore ...).outcomes], for callers that only want the set.
+    @raise Failure if the outcome budget was exhausted. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One-line rendering of solver statistics. *)
+
+val stats_json : stats -> Tbtso_obs.Json.t
+(** Flat object with every {!stats} field. *)
+
+val record_stats : Tbtso_obs.Metrics.t -> stats -> unit
+(** Accumulate one oracle run into a registry: counters [sat.paths],
+    [sat.vars], [sat.clauses], [sat.solves], [sat.conflicts],
+    [sat.decisions], [sat.propagations], [sat.learned], [sat.restarts],
+    [sat.outcomes] and [sat.explorations] sum across calls; gauge
+    [sat.elapsed_s] sums solver CPU time. *)

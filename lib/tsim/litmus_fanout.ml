@@ -1,8 +1,22 @@
 module Json = Tbtso_obs.Json
 
+type oracle = Explorer | Sat | Both
+
 type task = { path : string; test : Litmus_parse.t; mode : Litmus.mode }
 
-type verdict = { task : task; result : Litmus_parse.check_result }
+type sat_check = {
+  sat_holds : bool;
+  sat_outcome_count : int;
+  sat_complete : bool;
+  sat_stats : Axiomatic.stats;
+}
+
+type verdict = {
+  task : task;
+  result : Litmus_parse.check_result option;
+  sat : sat_check option;
+  disagree : Litmus.outcome list option;
+}
 
 let load ~modes paths =
   List.concat_map
@@ -17,19 +31,74 @@ let load ~modes paths =
       List.map (fun mode -> { path; test; mode }) modes)
     paths
 
-let check ?pool ?max_states tasks =
+let sat_of test (r : Axiomatic.result) =
+  {
+    sat_holds = Litmus_parse.holds_on test r.outcomes;
+    sat_outcome_count = List.length r.outcomes;
+    sat_complete = r.complete;
+    sat_stats = r.stats;
+  }
+
+let check ?pool ?max_states ?(oracle = Explorer) tasks =
   let one task =
-    { task; result = Litmus_parse.check ?max_states task.test ~mode:task.mode }
+    match oracle with
+    | Explorer ->
+        {
+          task;
+          result =
+            Some (Litmus_parse.check ?max_states task.test ~mode:task.mode);
+          sat = None;
+          disagree = None;
+        }
+    | Sat ->
+        let r =
+          Axiomatic.explore ~mode:task.mode task.test.Litmus_parse.program
+        in
+        { task; result = None; sat = Some (sat_of task.test r); disagree = None }
+    | Both ->
+        let op =
+          Litmus.explore ~mode:task.mode ?max_states
+            task.test.Litmus_parse.program
+        in
+        let sx =
+          Axiomatic.explore ~mode:task.mode task.test.Litmus_parse.program
+        in
+        (* A partial exploration is a sound subset for either oracle, so
+           a disagreement is provable whenever an outcome escapes a
+           COMPLETE other side; with both sides complete the symmetric
+           difference is the witness set. *)
+        let diff a b = List.filter (fun o -> not (List.mem o b)) a in
+        let witnesses =
+          match (op.Litmus.complete, sx.Axiomatic.complete) with
+          | true, true ->
+              diff op.Litmus.outcomes sx.Axiomatic.outcomes
+              @ diff sx.Axiomatic.outcomes op.Litmus.outcomes
+          | true, false -> diff sx.Axiomatic.outcomes op.Litmus.outcomes
+          | false, true -> diff op.Litmus.outcomes sx.Axiomatic.outcomes
+          | false, false -> []
+        in
+        {
+          task;
+          result = Some (Litmus_parse.check_explored task.test op);
+          sat = Some (sat_of task.test sx);
+          disagree =
+            (match List.sort compare witnesses with
+            | [] -> None
+            | ws -> Some ws);
+        }
   in
   match pool with
   | None -> List.map one tasks
   | Some pool -> Tbtso_par.Pool.map_list pool one tasks
 
+let disagreement_witness v =
+  match v.disagree with None -> None | Some ws -> Some (List.hd ws)
+
 (* Budget exhaustion is a reported result, never an exception: an
    [exists] witness found in a partial exploration is still definitive,
    everything else degrades to "inconclusive". *)
-let severity v =
-  match (v.task.test.Litmus_parse.quantifier, v.result.complete, v.result.holds) with
+let severity_of quantifier ~complete ~holds =
+  match (quantifier, complete, holds) with
   | Litmus_parse.Exists, _, true -> `Ok
   | Litmus_parse.Exists, true, false -> `Ok
   | Litmus_parse.Exists, false, false -> `Inconclusive
@@ -37,8 +106,34 @@ let severity v =
   | Litmus_parse.Forall, true, false -> `Violated
   | Litmus_parse.Forall, false, _ -> `Inconclusive
 
-let verdict_string v =
-  match (v.task.test.Litmus_parse.quantifier, v.result.complete, v.result.holds) with
+let severity v =
+  if v.disagree <> None then `Disagree
+  else
+    let q = v.task.test.Litmus_parse.quantifier in
+    let sides =
+      (match v.result with
+      | Some r ->
+          [ severity_of q ~complete:r.Litmus_parse.complete ~holds:r.Litmus_parse.holds ]
+      | None -> [])
+      @
+      match v.sat with
+      | Some sc ->
+          [ severity_of q ~complete:sc.sat_complete ~holds:sc.sat_holds ]
+      | None -> []
+    in
+    let rank = function
+      | `Ok -> 0
+      | `Inconclusive -> 1
+      | `Violated -> 2
+      | `Disagree -> 3
+    in
+    List.fold_left
+      (fun acc s -> if rank s > rank acc then s else acc)
+      (`Ok : [ `Ok | `Violated | `Inconclusive | `Disagree ])
+      sides
+
+let verdict_cell quantifier ~complete ~holds =
+  match (quantifier, complete, holds) with
   | Litmus_parse.Exists, _, true -> "witness OBSERVABLE"
   | Litmus_parse.Exists, true, false -> "witness impossible"
   | Litmus_parse.Forall, true, true -> "invariant holds"
@@ -46,19 +141,56 @@ let verdict_string v =
   | (Litmus_parse.Exists | Litmus_parse.Forall), false, _ ->
       "INCONCLUSIVE (state budget exceeded)"
 
+let verdict_string v =
+  match v.disagree with
+  | Some ws ->
+      Printf.sprintf "ORACLE DISAGREEMENT (%d outcome%s differ)"
+        (List.length ws)
+        (if List.length ws = 1 then "" else "s")
+  | None -> (
+      let q = v.task.test.Litmus_parse.quantifier in
+      match (v.result, v.sat) with
+      | Some r, _ ->
+          verdict_cell q ~complete:r.Litmus_parse.complete
+            ~holds:r.Litmus_parse.holds
+      | None, Some sc ->
+          verdict_cell q ~complete:sc.sat_complete ~holds:sc.sat_holds
+      | None, None -> "NO ORACLE RAN")
+
 let exit_code verdicts =
   List.fold_left
     (fun code v ->
       match severity v with
-      | `Violated -> 1
-      | `Inconclusive -> if code = 1 then code else 2
+      | `Disagree -> 3
+      | `Violated -> if code = 3 then code else 1
+      | `Inconclusive -> if code = 3 || code = 1 then code else 2
       | `Ok -> code)
     0 verdicts
 
+let sat_json sc =
+  Json.obj
+    [
+      ("holds", Json.Bool sc.sat_holds);
+      ("outcomes", Json.Int sc.sat_outcome_count);
+      ("complete", Json.Bool sc.sat_complete);
+      ("stats", Axiomatic.stats_json sc.sat_stats);
+    ]
+
 let record v =
   let base =
-    match Litmus_parse.check_result_json v.result with
-    | Json.Obj fields -> fields
+    match v.result with
+    | Some r -> (
+        match Litmus_parse.check_result_json r with
+        | Json.Obj fields -> fields
+        | _ -> [])
+    | None -> []
+  in
+  let sat_fields =
+    match v.sat with Some sc -> [ ("sat", sat_json sc) ] | None -> []
+  in
+  let agree_fields =
+    match (v.result, v.sat) with
+    | Some _, Some _ -> [ ("oracles_agree", Json.Bool (v.disagree = None)) ]
     | _ -> []
   in
   Json.obj
@@ -66,12 +198,16 @@ let record v =
     :: ("name", Json.String v.task.test.Litmus_parse.name)
     :: ("mode", Json.String (Litmus_parse.mode_name v.task.mode))
     :: ("verdict", Json.String (verdict_string v))
-    :: base)
+    :: (base @ sat_fields @ agree_fields))
 
 let json_doc ~registry verdicts =
+  let schema =
+    if List.exists (fun v -> v.sat <> None) verdicts then "tbtso-sat/1"
+    else "tbtso-litmus/2"
+  in
   Json.obj
     [
-      ("schema", Json.String "tbtso-litmus/2");
+      ("schema", Json.String schema);
       ("results", Json.List (List.map record verdicts));
       ("totals", Tbtso_obs.Metrics.to_json registry);
     ]

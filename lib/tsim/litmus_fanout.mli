@@ -6,10 +6,22 @@
     and JSON documents (byte-for-byte, up to the explicitly time-valued
     stats fields and the [par.*] pool metrics).
 
-    Safe to fan out because each {!Litmus_parse.check} call builds its
-    entire exploration state per call — the [tsim] library keeps no
+    Each task can be answered by one of two independent oracles — the
+    operational explorer ({!Litmus_parse.check} over {!Litmus.explore})
+    or the axiomatic SAT encoding ({!Axiomatic.explore}) — or by
+    {e both}, in which case their outcome sets are cross-checked and
+    any mismatch becomes the dominant {b [`Disagree]} severity (exit
+    code 3): one oracle is provably wrong about the paper's model.
+
+    Safe to fan out because each check builds its entire exploration
+    (or solver) state per call — the [tsim] library keeps no
     module-level mutable state (audited for the worker-pool change; keep
     it that way). *)
+
+type oracle =
+  | Explorer  (** Operational state-space exploration (default). *)
+  | Sat  (** Axiomatic SAT enumeration only. *)
+  | Both  (** Run both and cross-check the exact outcome sets. *)
 
 type task = {
   path : string;  (** Source file, as given. *)
@@ -17,7 +29,25 @@ type task = {
   mode : Litmus.mode;
 }
 
-type verdict = { task : task; result : Litmus_parse.check_result }
+type sat_check = {
+  sat_holds : bool;  (** Condition verdict over the SAT outcome set. *)
+  sat_outcome_count : int;
+  sat_complete : bool;  (** [false] when the outcome budget was hit. *)
+  sat_stats : Axiomatic.stats;
+}
+
+type verdict = {
+  task : task;
+  result : Litmus_parse.check_result option;
+      (** Explorer verdict; [None] when [oracle = Sat]. *)
+  sat : sat_check option;
+      (** SAT-oracle verdict; [None] when [oracle = Explorer]. *)
+  disagree : Litmus.outcome list option;
+      (** [Both] only: outcomes on which the oracles provably disagree
+          (sorted; an outcome found by one oracle but absent from the
+          other {e complete} oracle). [None] means no disagreement was
+          provable — which is agreement when both sides are complete. *)
+}
 
 val load : modes:Litmus.mode list -> string list -> task list
 (** Read and parse each file (sequentially — parsing is trivial next to
@@ -25,32 +55,50 @@ val load : modes:Litmus.mode list -> string list -> task list
     @raise Litmus_parse.Parse_error or [Sys_error] on a bad file. *)
 
 val check :
-  ?pool:Tbtso_par.Pool.t -> ?max_states:int -> task list -> verdict list
-(** Run every task and return verdicts in task order. With a [pool] the
-    tasks fan out across its domains (results still land in submission
-    order); without one, or with a pool of one domain, the run is
-    sequential in the caller. *)
+  ?pool:Tbtso_par.Pool.t ->
+  ?max_states:int ->
+  ?oracle:oracle ->
+  task list ->
+  verdict list
+(** Run every task under the chosen oracle(s) and return verdicts in
+    task order. With a [pool] the tasks fan out across its domains
+    (results still land in submission order); without one, or with a
+    pool of one domain, the run is sequential in the caller.
+    [max_states] budgets the explorer only; the SAT oracle uses its own
+    {!Axiomatic.default_max_outcomes}. *)
+
+val disagreement_witness : verdict -> Litmus.outcome option
+(** The minimized disagreement witness: the least offending outcome
+    (the head of the sorted [disagree] list), if any. *)
 
 val verdict_string : verdict -> string
 (** The human-readable verdict cell: ["witness OBSERVABLE"],
-    ["invariant VIOLATED"], ["INCONCLUSIVE (state budget exceeded)"], … *)
+    ["invariant VIOLATED"], ["INCONCLUSIVE (state budget exceeded)"],
+    ["ORACLE DISAGREEMENT (1 outcome differs)"], … *)
 
-val severity : verdict -> [ `Ok | `Violated | `Inconclusive ]
-(** [`Violated] for a complete [forall] check that does not hold;
-    [`Inconclusive] for any budget-exhausted check whose answer is not
-    already definitive (a found [exists] witness is). *)
+val severity : verdict -> [ `Ok | `Violated | `Inconclusive | `Disagree ]
+(** [`Disagree] dominates everything; otherwise the worst of the
+    oracles that ran: [`Violated] for a complete [forall] check that
+    does not hold; [`Inconclusive] for any budget-exhausted check whose
+    answer is not already definitive (a found [exists] witness is). *)
 
 val exit_code : verdict list -> int
-(** CI gate over a whole run: 1 if any verdict is [`Violated] (this
-    dominates), else 2 if any is [`Inconclusive], else 0. *)
+(** CI gate over a whole run: 3 if any verdict is [`Disagree] (an
+    oracle is wrong — this dominates), else 1 if any is [`Violated],
+    else 2 if any is [`Inconclusive], else 0. *)
 
 val record : verdict -> Tbtso_obs.Json.t
-(** One (file, mode) JSON record: file, test name, mode, verdict string,
-    then the {!Litmus_parse.check_result_json} fields. *)
+(** One (file, mode) JSON record: file, test name, mode, verdict
+    string, then the {!Litmus_parse.check_result_json} fields (when the
+    explorer ran), a ["sat"] object with holds/outcomes/complete and
+    the solver statistics (when the SAT oracle ran), and
+    ["oracles_agree"] (when both ran). *)
 
 val json_doc : registry:Tbtso_obs.Metrics.t -> verdict list -> Tbtso_obs.Json.t
-(** The [tbtso-litmus/2] document: schema, per-task records in task
-    order, and the registry snapshot as [totals]. Schema /2 extends /1
-    with the zone-explorer stats ([canon_hits], [zones_merged], the
-    per-independence-class [dd_skips]/[di_skips]/[ii_skips]) in every
-    stats object and the matching [litmus.*] counters in [totals]. *)
+(** The result document: schema, per-task records in task order, and
+    the registry snapshot as [totals]. Schema is [tbtso-litmus/2] for
+    explorer-only runs (unchanged from PR 4) and [tbtso-sat/1] when any
+    record carries SAT-oracle data ([--oracle sat] or [--oracle both]):
+    /1 extends the litmus/2 record with the ["sat"] object and
+    ["oracles_agree"] flag, and [totals] with the [sat.*] counters of
+    {!Axiomatic.record_stats}. *)

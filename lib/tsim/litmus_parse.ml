@@ -186,19 +186,21 @@ type check_result = {
   stats : Litmus.stats;
 }
 
-let check ?(max_states = Litmus.default_max_states) t ~mode =
-  let r = Litmus.explore ~mode ~max_states t.program in
-  let holds =
-    match t.quantifier with
-    | Exists -> List.exists (satisfies t) r.outcomes
-    | Forall -> List.for_all (satisfies t) r.outcomes
-  in
+let holds_on t outcomes =
+  match t.quantifier with
+  | Exists -> List.exists (satisfies t) outcomes
+  | Forall -> List.for_all (satisfies t) outcomes
+
+let check_explored t (r : Litmus.result) =
   {
-    holds;
+    holds = holds_on t r.outcomes;
     outcome_count = List.length r.outcomes;
     complete = r.complete;
     stats = r.stats;
   }
+
+let check ?(max_states = Litmus.default_max_states) t ~mode =
+  check_explored t (Litmus.explore ~mode ~max_states t.program)
 
 let check_result_json r =
   let open Tbtso_obs in

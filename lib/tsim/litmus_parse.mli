@@ -66,6 +66,12 @@ val mode_id : Litmus.mode -> string
 
 val satisfies : t -> Litmus.outcome -> bool
 
+val holds_on : t -> Litmus.outcome list -> bool
+(** Evaluate the file's condition over an outcome set: for [Exists],
+    some outcome satisfies it; for [Forall], all do. This is the
+    quantifier half of {!check}, usable with any oracle's outcome list
+    (in particular {!Axiomatic.explore}'s). *)
+
 type check_result = {
   holds : bool;
       (** For [Exists], whether a witness outcome exists; for [Forall],
@@ -84,6 +90,12 @@ val check : ?max_states:int -> t -> mode:Litmus.mode -> check_result
     [max_states] distinct states, default
     {!Litmus.default_max_states}) and evaluates the file's condition.
     Never raises on budget exhaustion — see [complete]. *)
+
+val check_explored : t -> Litmus.result -> check_result
+(** Evaluate the condition over an explorer result the caller already
+    has — for drivers that also need the raw outcome list (e.g. the
+    oracle cross-check in {!Litmus_fanout}). [check t ~mode] is
+    [check_explored t (Litmus.explore ~mode t.program)]. *)
 
 val check_result_json : check_result -> Tbtso_obs.Json.t
 (** [{holds; outcomes; complete; stats}], the per-(file, mode) record of

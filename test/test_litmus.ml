@@ -576,6 +576,94 @@ let test_corpus_matches_reference () =
             diff_modes)
         paths
 
+(* --- SAT oracle differential: axiomatic vs operational semantics --- *)
+
+(* The acceptance grid from the issue: the declarative (SAT) oracle and
+   the operational explorer must produce identical outcome sets in
+   every mode, over random programs and the whole corpus. *)
+let sat_corpus_modes = [ M_sc; M_tso; M_tbtso 1; M_tbtso 4; M_tbtso 64 ]
+
+let prop_sat_equals_explorer =
+  QCheck.Test.make ~name:"SAT oracle ≡ explore ≡ reference on random programs"
+    ~count:40 program_arb3 (fun p ->
+      List.for_all
+        (fun mode ->
+          let sat = Axiomatic.enumerate ~mode p in
+          sat = enumerate ~mode p && sat = enumerate_reference ~mode p)
+        diff_modes)
+
+let test_corpus_matches_sat () =
+  match corpus_paths () with
+  | [] -> Alcotest.fail "litmus corpus not found (missing dune deps?)"
+  | paths ->
+      List.iter
+        (fun path ->
+          let test = Litmus_parse.parse (read_file path) in
+          List.iter
+            (fun mode ->
+              let sat = Axiomatic.explore ~mode test.program in
+              check_bool
+                (Printf.sprintf "%s complete under %s" (Filename.basename path)
+                   (Litmus_parse.mode_id mode))
+                true sat.Axiomatic.complete;
+              check_bool
+                (Printf.sprintf "%s SAT ≡ explorer under %s"
+                   (Filename.basename path) (Litmus_parse.mode_id mode))
+                true
+                (sat.Axiomatic.outcomes = enumerate ~mode test.program))
+            sat_corpus_modes)
+        paths
+
+let test_sat_stats_exposed () =
+  let r = Axiomatic.explore ~mode:(M_tbtso 4) sb in
+  check_bool "some variables" true (r.Axiomatic.stats.Axiomatic.vars > 0);
+  check_bool "some clauses" true (r.Axiomatic.stats.Axiomatic.clauses > 0);
+  check_bool "solves ≥ outcomes + paths" true
+    (r.Axiomatic.stats.Axiomatic.solves
+    >= r.Axiomatic.stats.Axiomatic.outcomes + r.Axiomatic.stats.Axiomatic.paths);
+  match Axiomatic.stats_json r.Axiomatic.stats with
+  | Tbtso_obs.Json.Obj fields ->
+      List.iter
+        (fun k ->
+          check_bool ("stats_json field " ^ k) true (List.mem_assoc k fields))
+        [ "paths"; "vars"; "clauses"; "solves"; "conflicts"; "outcomes" ]
+  | _ -> Alcotest.fail "stats_json not an object"
+
+let test_sat_partial_and_validation () =
+  (* Outcome budget: SB has 4 outcomes under TSO; a budget of 2 must
+     report incompleteness (and a sound subset), and [enumerate] raises. *)
+  let r = Axiomatic.explore ~mode:M_tso ~max_outcomes:2 sb in
+  check_bool "partial flagged" false r.Axiomatic.complete;
+  let full = enumerate ~mode:M_tso sb in
+  check_bool "partial is a sound subset" true
+    (List.for_all (fun o -> List.mem o full) r.Axiomatic.outcomes);
+  check_bool "enumerate raises on budget" true
+    (try
+       ignore (Axiomatic.enumerate ~mode:M_tso ~max_outcomes:2 sb);
+       false
+     with Failure _ -> true);
+  (* The operational model deadlocks on negative waits and can loop on
+     negative skips; the axiomatic oracle refuses them up front. *)
+  List.iter
+    (fun bad ->
+      check_bool "invalid program rejected" true
+        (try
+           ignore (Axiomatic.enumerate ~mode:M_tso bad);
+           false
+         with Invalid_argument _ -> true))
+    [ [ [ Wait (-1) ] ]; [ [ Loadeq (x, 0, -2) ] ] ]
+
+let prop_pooled_sat_differential =
+  (* The SAT oracle runs inside pool workers under -j N: no hidden
+     module-level state may make pooled answers differ. *)
+  QCheck.Test.make ~name:"pooled SAT oracle ≡ sequential" ~count:15
+    program_arb3 (fun p ->
+      Tbtso_par.Pool.with_pool ~domains:2 (fun pool ->
+          Tbtso_par.Pool.map_list pool
+            (fun mode -> Axiomatic.enumerate ~mode p)
+            sat_corpus_modes
+          = List.map (fun mode -> Axiomatic.enumerate ~mode p) sat_corpus_modes))
+
 let test_flag_flat_in_delta () =
   (* The headline zone-abstraction result (and the CI sweep gate): the
      explored state count for the flag protocols at Δ = 64 stays within
@@ -809,7 +897,21 @@ let () =
             test_check_budget_exceeded;
           Alcotest.test_case "mode_of_string" `Quick test_mode_of_string;
         ] );
-      qsuite "differential" [ prop_new_equals_reference; prop_pooled_differential ];
+      ( "sat-oracle",
+        [
+          Alcotest.test_case "corpus ≡ SAT oracle, acceptance grid" `Quick
+            test_corpus_matches_sat;
+          Alcotest.test_case "solver stats exposed" `Quick test_sat_stats_exposed;
+          Alcotest.test_case "partial result and validation" `Quick
+            test_sat_partial_and_validation;
+        ] );
+      qsuite "differential"
+        [
+          prop_new_equals_reference;
+          prop_pooled_differential;
+          prop_sat_equals_explorer;
+          prop_pooled_sat_differential;
+        ];
       qsuite "properties"
         [
           prop_sc_subset_tbtso;

@@ -126,6 +126,7 @@ let rec scrub (j : Json.t) : Json.t =
                k = "elapsed_s" || k = "states_per_sec"
                || k = "litmus.elapsed_s"
                || k = "litmus.peak_states_per_sec"
+               || k = "sat.elapsed_s"
                || String.starts_with ~prefix:"par." k
              then None
              else Some (k, scrub v))
@@ -133,14 +134,20 @@ let rec scrub (j : Json.t) : Json.t =
   | Json.List l -> Json.List (List.map scrub l)
   | (Json.Null | Json.Bool _ | Json.Int _ | Json.Float _ | Json.String _) as v -> v
 
-let run_corpus ?pool paths =
+let run_corpus ?pool ?oracle paths =
   let modes = [ Litmus.M_sc; Litmus.M_tso; Litmus.M_tbtso 4 ] in
   let tasks = Litmus_fanout.load ~modes paths in
-  let verdicts = Litmus_fanout.check ?pool tasks in
+  let verdicts = Litmus_fanout.check ?pool ?oracle tasks in
   let registry = Tbtso_obs.Metrics.create () in
   (match pool with Some p -> Pool.record_metrics p registry | None -> ());
   List.iter
-    (fun (v : Litmus_fanout.verdict) -> Litmus.record_stats registry v.result.stats)
+    (fun (v : Litmus_fanout.verdict) ->
+      (match v.result with
+      | Some r -> Litmus.record_stats registry r.Litmus_parse.stats
+      | None -> ());
+      match v.sat with
+      | Some sc -> Axiomatic.record_stats registry sc.Litmus_fanout.sat_stats
+      | None -> ())
     verdicts;
   (verdicts, Litmus_fanout.json_doc ~registry verdicts)
 
@@ -195,11 +202,82 @@ let test_exit_codes () =
      definitive, not inconclusive. *)
   let witness_found =
     List.filter
-      (fun (v : Litmus_fanout.verdict) -> v.result.holds)
+      (fun (v : Litmus_fanout.verdict) ->
+        match v.result with Some r -> r.Litmus_parse.holds | None -> false)
       inconclusive
   in
   check_int "partial witness stays definitive" 0
     (Litmus_fanout.exit_code witness_found)
+
+(* --- Oracle cross-check: --oracle both over the corpus, and the
+   dominant exit-3 disagreement path --- *)
+
+let test_oracle_both_corpus () =
+  match corpus () with
+  | [] -> Alcotest.fail "litmus corpus not found (missing dune deps?)"
+  | paths ->
+      let seq_verdicts, seq_doc =
+        run_corpus ~oracle:Litmus_fanout.Both paths
+      in
+      let _, par_doc =
+        Pool.with_pool ~domains:2 (fun pool ->
+            run_corpus ~pool ~oracle:Litmus_fanout.Both paths)
+      in
+      List.iter
+        (fun (v : Litmus_fanout.verdict) ->
+          check_bool "oracles agree on corpus" true (v.disagree = None);
+          check_bool "both oracles ran" true (v.result <> None && v.sat <> None))
+        seq_verdicts;
+      check_int "agreement over corpus exits 0" 0
+        (Litmus_fanout.exit_code seq_verdicts);
+      (match seq_doc with
+      | Json.Obj fields ->
+          check_bool "sat runs use schema tbtso-sat/1" true
+            (List.assoc_opt "schema" fields = Some (Json.String "tbtso-sat/1"))
+      | _ -> Alcotest.fail "json_doc not an object");
+      Alcotest.(check string)
+        "both-oracle JSON byte-identical seq vs par"
+        (Json.to_string (scrub seq_doc))
+        (Json.to_string (scrub par_doc))
+
+let test_disagreement_exits_3 () =
+  (* Fabricate a disagreement verdict (the real oracles agree — that is
+     the whole point — so the exit-3 path is pinned on a constructed
+     witness set). *)
+  let test = Litmus_parse.parse "thread\n store x 1\nforall x = 1\n" in
+  let agreeing =
+    Litmus_fanout.check ~oracle:Litmus_fanout.Both
+      [ { Litmus_fanout.path = "<inline>"; test; mode = Litmus.M_tso } ]
+  in
+  let v = List.hd agreeing in
+  check_bool "real oracles agree" true (v.Litmus_fanout.disagree = None);
+  let o1 : Litmus.outcome = { regs = [| [| 0; 0; 0; 0 |] |]; mem = [| 9; 0; 0; 0 |] } in
+  let o2 : Litmus.outcome = { regs = [| [| 0; 0; 0; 0 |] |]; mem = [| 7; 0; 0; 0 |] } in
+  let bad = { v with Litmus_fanout.disagree = Some [ o2; o1 ] } in
+  check_bool "disagreement severity dominates" true
+    (Litmus_fanout.severity bad = `Disagree);
+  check_int "disagreement exits 3" 3 (Litmus_fanout.exit_code [ bad ]);
+  check_int "disagreement dominates violation" 3
+    (Litmus_fanout.exit_code
+       (bad
+       :: Litmus_fanout.check
+            [
+              {
+                Litmus_fanout.path = "<inline>";
+                test = Litmus_parse.parse "thread\n store x 1\nforall x = 2\n";
+                mode = Litmus.M_tso;
+              };
+            ]));
+  check_bool "witness is the head of the sorted set" true
+    (Litmus_fanout.disagreement_witness bad = Some o2);
+  check_bool "verdict string names the disagreement" true
+    (Litmus_fanout.verdict_string bad
+    = "ORACLE DISAGREEMENT (2 outcomes differ)");
+  match Litmus_fanout.record bad with
+  | Json.Obj fields ->
+      check_bool "record flags oracles_agree=false" true
+        (List.assoc_opt "oracles_agree" fields = Some (Json.Bool false))
+  | _ -> Alcotest.fail "record not an object"
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
@@ -219,5 +297,9 @@ let () =
           Alcotest.test_case "seq vs par corpus JSON byte-equality" `Quick
             test_seq_vs_par_json;
           Alcotest.test_case "exit-code gate" `Quick test_exit_codes;
+          Alcotest.test_case "--oracle both agrees over the corpus" `Quick
+            test_oracle_both_corpus;
+          Alcotest.test_case "oracle disagreement exits 3" `Quick
+            test_disagreement_exits_3;
         ] );
     ]

@@ -19,14 +19,25 @@
    tbtso-delta-sweep/1 document). With --gate the process exits 1
    unless every swept program's state count at Δ = 64 is within 2× of
    its count at Δ = 4 — the CI regression gate for the zone
-   abstraction.
+   abstraction. A budget-cut gate point makes the gate inconclusive
+   (exit 2) rather than a verdict: a truncated count says nothing
+   about the true ratio.
 
    --sat-sweep runs the SAT second oracle over the same flag programs
    and Δ grid, cross-checking its outcome set against the explorer at
    every point and reporting how the encoding (vars, clauses) and the
    solver work (solves, conflicts) scale with Δ (the EXPERIMENTS.md
    "Second oracle" table; --json emits a tbtso-sat-sweep/1 document).
-   With --gate the process exits 1 on any oracle disagreement. *)
+   With --gate the process exits 1 on any oracle disagreement.
+
+   --incr-sweep compares the incremental SAT session (one formula, the
+   Δ grid as activation-literal assumptions, learned clauses retained
+   across points) against a fresh solver per Δ on the fixed flag
+   programs (the EXPERIMENTS.md "Incremental sweep" table; --json
+   emits a tbtso-incr-sweep/1 document). With --gate the process
+   exits 1 unless, for every program, the per-point outcome sets are
+   identical and the session's total conflicts are strictly fewer
+   than the sum over the from-scratch solves. *)
 
 open Tsim
 open Litmus
@@ -162,11 +173,11 @@ let run_delta_sweep ~gate ~json_path ~domains =
           cases)
   in
   let rows = List.combine cases results in
-  let states_of name d =
-    let (_, ((r : Litmus.result), _)) =
+  let result_of name d =
+    let _, ((r : Litmus.result), _) =
       List.find (fun ((n, _, d'), _) -> n = name && d' = d) rows
     in
-    r.stats.visited
+    r
   in
   let sweep_records =
     List.map
@@ -190,22 +201,38 @@ let run_delta_sweep ~gate ~json_path ~domains =
                 ])
             sweep_deltas
         in
-        let lo = states_of name gate_lo and hi = states_of name gate_hi in
-        let ratio = float_of_int hi /. float_of_int lo in
-        let pass = ratio <= gate_factor in
-        pf "  Δ=%d/Δ=%d ratio: %.2fx  %s\n\n" gate_hi gate_lo ratio
-          (if pass then "(gate ok)" else "(GATE EXCEEDED)");
-        ( pass,
+        let lo = result_of name gate_lo and hi = result_of name gate_hi in
+        (* A budget-cut gate point undercounts its true state space, so
+           the ratio would be meaningless (and could pass vacuously):
+           report the gate as inconclusive instead of a verdict. *)
+        let complete = lo.complete && hi.complete in
+        let ratio =
+          float_of_int hi.stats.visited /. float_of_int lo.stats.visited
+        in
+        let verdict =
+          if not complete then `Inconclusive
+          else if ratio <= gate_factor then `Pass
+          else `Fail
+        in
+        (if complete then
+           pf "  Δ=%d/Δ=%d ratio: %.2fx  %s\n\n" gate_hi gate_lo ratio
+             (if verdict = `Pass then "(gate ok)" else "(GATE EXCEEDED)")
+         else
+           pf "  Δ=%d/Δ=%d ratio: INCONCLUSIVE (gate point budget-cut)\n\n"
+             gate_hi gate_lo);
+        ( verdict,
           Json.obj
             [
               ("program", Json.String name);
               ("points", Json.List points);
-              ("gate_ratio", Json.Float ratio);
-              ("gate_pass", Json.Bool pass);
+              ("gate_ratio", if complete then Json.Float ratio else Json.Null);
+              ("gate_complete", Json.Bool complete);
+              ("gate_pass", if complete then Json.Bool (verdict = `Pass) else Json.Null);
             ] ))
       sweep_programs
   in
-  let all_pass = List.for_all fst sweep_records in
+  let any v = List.exists (fun (w, _) -> w = v) sweep_records in
+  let all_pass = List.for_all (fun (v, _) -> v = `Pass) sweep_records in
   (match json_path with
   | None -> ()
   | Some path ->
@@ -217,13 +244,19 @@ let run_delta_sweep ~gate ~json_path ~domains =
              ("gate_lo_delta", Json.Int gate_lo);
              ("gate_hi_delta", Json.Int gate_hi);
              ("gate_factor", Json.Float gate_factor);
+             ("gate_complete", Json.Bool (not (any `Inconclusive)));
              ("gate_pass", Json.Bool all_pass);
              ("programs", Json.List (List.map snd sweep_records));
            ]);
       pf "(wrote %s)\n" path);
-  if gate && not all_pass then (
-    prerr_endline "delta-sweep gate failed: state count not flat in Δ";
-    exit 1)
+  if gate then
+    if any `Fail then (
+      prerr_endline "delta-sweep gate failed: state count not flat in Δ";
+      exit 1)
+    else if any `Inconclusive then (
+      prerr_endline
+        "delta-sweep gate inconclusive: a gate point hit the state budget";
+      exit 2)
 
 (* --- SAT-oracle sweep (--sat-sweep) --- *)
 
@@ -311,6 +344,122 @@ let run_sat_sweep ~gate ~json_path ~domains =
     prerr_endline "sat-sweep gate failed: the oracles disagree";
     exit 1)
 
+(* --- incremental-vs-scratch SAT sweep (--incr-sweep) --- *)
+
+(* Fixed programs only: the coupled wait = Δ form changes its program
+   per point, so a single retained formula cannot serve it. *)
+let incr_programs =
+  [
+    ("flag wait=4 (tbtso_flag.litmus)", flag 4);
+    ("flag wait=64 (tbtso_flag_wait_eq_delta.litmus)", flag 64);
+    ("flag3 wait=4 (3-thread)", flag3 4);
+  ]
+
+let run_incr_sweep ~gate ~json_path ~domains =
+  pf "Incremental SAT Δ-sweep: one retained session vs fresh solver per Δ\n";
+  pf "(gate: equal outcome sets at every Δ and strictly fewer total \
+      conflicts)\n\n";
+  let one (_, prog) =
+    let sess = Axiomatic.session prog in
+    let points =
+      List.map
+        (fun d ->
+          let before = (Axiomatic.session_stats sess).Axiomatic.conflicts in
+          let (ir : Axiomatic.result), idt =
+            time (fun () ->
+                Axiomatic.enumerate_session sess (M_tbtso d))
+          in
+          let after = (Axiomatic.session_stats sess).Axiomatic.conflicts in
+          let (sr : Axiomatic.result), sdt =
+            time (fun () -> Axiomatic.explore ~mode:(M_tbtso d) prog)
+          in
+          (d, ir, after - before, idt, sr, sdt))
+        sweep_deltas
+    in
+    (points, Axiomatic.session_stats sess)
+  in
+  let results =
+    Pool.with_pool ~domains (fun pool -> Pool.map_list pool one incr_programs)
+  in
+  let sweep_records =
+    List.map2
+      (fun (name, _) (points, sess_stats) ->
+        pf "%s (H = formula horizon; conflicts are per point)\n" name;
+        let agree_all = ref true in
+        let scratch_total = ref 0 in
+        let point_records =
+          List.map
+            (fun (d, (ir : Axiomatic.result), iconf, idt,
+                  (sr : Axiomatic.result), sdt) ->
+              let agree =
+                ir.Axiomatic.complete && sr.Axiomatic.complete
+                && ir.Axiomatic.outcomes = sr.Axiomatic.outcomes
+              in
+              if not agree then agree_all := false;
+              scratch_total := !scratch_total + sr.Axiomatic.stats.Axiomatic.conflicts;
+              pf
+                "  Δ = %4d  %2d outcomes  incr %4d conflicts %7.3fs   \
+                 scratch %4d conflicts %7.3fs  %s\n"
+                d
+                (List.length ir.Axiomatic.outcomes)
+                iconf idt sr.Axiomatic.stats.Axiomatic.conflicts sdt
+                (if agree then "agree" else "OUTCOME MISMATCH!");
+              Json.obj
+                [
+                  ("delta", Json.Int d);
+                  ("agree", Json.Bool agree);
+                  ("outcomes", Json.Int (List.length ir.Axiomatic.outcomes));
+                  ("incr_conflicts", Json.Int iconf);
+                  ("incr_wall_seconds", Json.Float idt);
+                  ("scratch_conflicts",
+                   Json.Int sr.Axiomatic.stats.Axiomatic.conflicts);
+                  ("scratch_wall_seconds", Json.Float sdt);
+                ])
+            points
+        in
+        let incr_total = sess_stats.Axiomatic.conflicts in
+        let fewer = incr_total < !scratch_total in
+        let pass = !agree_all && fewer in
+        pf "  totals: incr %d conflicts vs scratch %d  %s\n\n" incr_total
+          !scratch_total
+          (if pass then "(gate ok)"
+           else if not !agree_all then "(OUTCOME MISMATCH)"
+           else "(NOT FEWER CONFLICTS)");
+        ( pass,
+          Json.obj
+            [
+              ("program", Json.String name);
+              ("points", Json.List point_records);
+              ("incr_total_conflicts", Json.Int incr_total);
+              ("scratch_total_conflicts", Json.Int !scratch_total);
+              ("outcomes_agree", Json.Bool !agree_all);
+              ("incr_strictly_fewer", Json.Bool fewer);
+              ("gate_pass", Json.Bool pass);
+              ("incr_session_stats", Axiomatic.stats_json sess_stats);
+            ] ))
+      incr_programs results
+  in
+  let all_pass = List.for_all fst sweep_records in
+  pf "incremental sweep %s over every program\n"
+    (if all_pass then "WINS" else "FAILED THE GATE");
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      Json.write_file path
+        (Json.obj
+           [
+             ("schema", Json.String "tbtso-incr-sweep/1");
+             ("domains", Json.Int domains);
+             ("gate_pass", Json.Bool all_pass);
+             ("programs", Json.List (List.map snd sweep_records));
+           ]);
+      pf "(wrote %s)\n" path);
+  if gate && not all_pass then (
+    prerr_endline
+      "incr-sweep gate failed: incremental enumeration must match the \
+       from-scratch outcome sets with strictly fewer total conflicts";
+    exit 1)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
@@ -339,6 +488,9 @@ let () =
     exit 0);
   if List.mem "--sat-sweep" args then (
     run_sat_sweep ~gate:(List.mem "--gate" args) ~json_path ~domains;
+    exit 0);
+  if List.mem "--incr-sweep" args then (
+    run_incr_sweep ~gate:(List.mem "--gate" args) ~json_path ~domains;
     exit 0);
   pf "Checker throughput (states/s), explorer vs reference enumerator\n";
   pf "('!' marks an exploration cut off by the state budget; %d domain%s)\n\n"

@@ -33,6 +33,16 @@ let report_one (v : Litmus_fanout.verdict) =
       Format.printf "  %-12s [sat: %a]@." "" Axiomatic.pp_stats
         sc.Litmus_fanout.sat_stats
   | None -> ());
+  (match v.robustness with
+  | Some rc ->
+      if rc.Litmus_fanout.robust_holds then
+        Printf.printf "  %-12s robust (outcome set = SC)\n" ""
+      else (
+        Printf.printf "  %-12s NOT robust (outcome beyond SC)\n" "";
+        match rc.Litmus_fanout.robust_witness with
+        | Some o -> Format.printf "  %-12s beyond-SC %a@." "" Litmus.pp_outcome o
+        | None -> ())
+  | None -> ());
   match Litmus_fanout.disagreement_witness v with
   | Some o ->
       Format.printf "  %-12s witness %a@." ""
@@ -125,6 +135,18 @@ let oracle_arg =
         Litmus_fanout.Explorer
     & info [ "oracle" ] ~docv:"ORACLE" ~doc)
 
+let robust_arg =
+  let doc =
+    "Additionally decide SC-robustness of each (file, mode) pair: is the \
+     mode's exact outcome set equal to the SC set? Answered by one \
+     incremental SAT containment query against the session's retained SC \
+     baseline (no second enumeration) and reported per record (with a \
+     beyond-SC witness outcome when not robust). Advisory: never changes \
+     the verdict or exit code. See $(b,tbtso-litmus advise) for the full \
+     minimal-Δ / minimal-fence-set search."
+  in
+  Arg.(value & flag & info [ "robust" ] ~doc)
+
 let jobs_arg =
   let doc =
     "Fan the (file, mode) checks out over $(docv) domains (0 picks one per \
@@ -154,7 +176,7 @@ let check_exits =
   :: Cmd.Exit.defaults
 
 let check_cmd =
-  let run modes max_states json jobs oracle files =
+  let run modes max_states json jobs oracle robust files =
     if max_states < 1 then begin
       Printf.eprintf "--max-states must be at least 1\n";
       3
@@ -170,10 +192,13 @@ let check_cmd =
         let tasks = Litmus_fanout.load ~modes files in
         let domains = if jobs = 0 then Pool.default_domains () else jobs in
         let verdicts =
-          if domains <= 1 then Litmus_fanout.check ~max_states ~oracle tasks
+          if domains <= 1 then
+            Litmus_fanout.check ~max_states ~oracle ~robust tasks
           else
             Pool.with_pool ~domains (fun pool ->
-                let vs = Litmus_fanout.check ~pool ~max_states ~oracle tasks in
+                let vs =
+                  Litmus_fanout.check ~pool ~max_states ~oracle ~robust tasks
+                in
                 Pool.record_metrics pool registry;
                 vs)
         in
@@ -223,7 +248,142 @@ let check_cmd =
        ~doc:"Exhaustively check litmus files under the chosen memory models")
     Term.(
       const run $ modes_arg $ max_states_arg $ json_arg $ jobs_arg $ oracle_arg
-      $ files_arg)
+      $ robust_arg $ files_arg)
+
+let report_advice (r : Adviser.report) =
+  Printf.printf "%s (%s):\n" r.Adviser.name r.Adviser.file;
+  Printf.printf "  horizon H=%d, %d SC outcome%s\n" r.Adviser.horizon
+    r.Adviser.sc_count
+    (if r.Adviser.sc_count = 1 then "" else "s");
+  Printf.printf "  verdict: %s\n" (Adviser.verdict_string r.Adviser.verdict);
+  (match r.Adviser.witness with
+  | Some o -> Format.printf "  beyond-SC witness %a@." Litmus.pp_outcome o
+  | None -> ());
+  (match r.Adviser.fence with
+  | Some advice -> Printf.printf "  fences: %s\n" (Adviser.fence_string advice)
+  | None -> ());
+  (match r.Adviser.confirmation with
+  | Some Adviser.Confirmed -> Printf.printf "  explorer: confirmed\n"
+  | Some (Adviser.Mismatch m) -> Printf.printf "  explorer: MISMATCH — %s\n" m
+  | Some (Adviser.Inconclusive m) ->
+      Printf.printf "  explorer: inconclusive — %s\n" m
+  | None -> ());
+  Format.printf "  [sat: %a]@." Axiomatic.pp_stats r.Adviser.stats;
+  print_newline ()
+
+let fences_arg =
+  let doc =
+    "Also search for a minimal-by-inclusion set of store-fence sites that \
+     restores SC-robustness under plain TSO (greedy monotone elimination \
+     over the session's fence-site selector literals)."
+  in
+  Arg.(value & flag & info [ "fences" ] ~doc)
+
+let verify_arg =
+  let doc =
+    "Cross-check each verdict against the operational explorer: the outcome \
+     set must equal SC at the reported max-robust Δ and differ at the \
+     minimal unsafe Δ. A contradiction exits 3; an exhausted explorer \
+     budget exits 2 (raise $(b,--max-states))."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let advise_exits =
+  Cmd.Exit.info 2
+    ~doc:
+      "some $(b,--verify) cross-check was inconclusive: the explorer hit \
+       its state budget before confirming the verdict (raise \
+       $(b,--max-states))."
+  :: Cmd.Exit.info 3
+       ~doc:
+         "the explorer CONTRADICTED an adviser verdict under $(b,--verify) \
+          (one oracle is provably wrong), or a litmus file could not be \
+          read or parsed, or an option value was invalid."
+  :: Cmd.Exit.defaults
+
+let advise_cmd =
+  let run fences verify max_states json jobs files =
+    if max_states < 1 then begin
+      Printf.eprintf "--max-states must be at least 1\n";
+      3
+    end
+    else if jobs < 0 then begin
+      Printf.eprintf "-j must be non-negative (0 = auto)\n";
+      3
+    end
+    else begin
+      let quiet = json = Some "-" in
+      let registry = Tbtso_obs.Metrics.create () in
+      try
+        let tests =
+          List.map
+            (fun (t : Litmus_fanout.task) -> (t.path, t.test))
+            (Litmus_fanout.load ~modes:[ Litmus.M_sc ] files)
+        in
+        let one (file, test) =
+          Adviser.advise ~fences ~verify ~max_states ~file test
+        in
+        let domains = if jobs = 0 then Pool.default_domains () else jobs in
+        let reports =
+          if domains <= 1 then List.map one tests
+          else
+            Pool.with_pool ~domains (fun pool ->
+                let rs = Pool.map_list pool one tests in
+                Pool.record_metrics pool registry;
+                rs)
+        in
+        List.iter
+          (fun (r : Adviser.report) ->
+            Axiomatic.record_stats registry r.Adviser.stats)
+          reports;
+        if not quiet then List.iter report_advice reports;
+        (match json with
+        | None -> ()
+        | Some "-" ->
+            Json.write_line stdout (Adviser.json_doc ~registry reports)
+        | Some path ->
+            Json.write_file path (Adviser.json_doc ~registry reports));
+        Adviser.exit_code reports
+      with
+      | Litmus_parse.Parse_error { line; message } ->
+          Printf.eprintf "parse error at line %d: %s\n" line message;
+          3
+      | Sys_error msg ->
+          Printf.eprintf "%s\n" msg;
+          3
+    end
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "For each litmus file, find the robustness threshold: the largest Δ \
+         at which the TBTSO[Δ] outcome set still equals the SC set, and the \
+         smallest Δ at which an outcome beyond SC appears — the paper's \
+         criterion for dropping hot-path fences on hardware that honours a \
+         temporal drain bound.";
+      `P
+        "The search is incremental: one SAT formula per file encodes every \
+         Loadeq path and every mode behind activation literals, so the \
+         minimal-Δ binary search, the SC baseline and the optional \
+         minimal-fence-set search ($(b,--fences)) all share one solver and \
+         its learned clauses.";
+      `P
+        "With $(b,--json), results are written as a tbtso-advise/1 document: \
+         per file the verdict (robust always/bounded/never), the Δ \
+         thresholds, an optional beyond-SC witness outcome, the fence \
+         sites, the $(b,--verify) confirmation, and cumulative solver \
+         statistics.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "advise" ~exits:advise_exits ~man
+       ~doc:
+         "Find each file's minimal unsafe Δ (and optionally a minimal fence \
+          set)")
+    Term.(
+      const run $ fences_arg $ verify_arg $ max_states_arg $ json_arg
+      $ jobs_arg $ files_arg)
 
 let demo_cmd =
   let run () =
@@ -248,4 +408,4 @@ let () =
     Cmd.info "tbtso-litmus" ~version:"1.0"
       ~doc:"Exhaustive litmus-test checking under SC, TSO and TBTSO[Δ]"
   in
-  exit (Cmd.eval' (Cmd.group info [ check_cmd; demo_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ check_cmd; advise_cmd; demo_cmd ]))

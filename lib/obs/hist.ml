@@ -55,8 +55,14 @@ let percentile t q =
         if acc >= rank then
           if i = last then t.max_v
           else
+            (* The bucket only bounds the quantile to [i*width,
+               (i+1)*width); report its upper edge clamped into
+               [min_v, max_v] so no quantile exceeds the observed
+               extremes (a low quantile's bucket edge can otherwise
+               overshoot even the minimum). *)
             let upper = ((i + 1) * t.width) - 1 in
-            if upper > t.max_v then t.max_v else upper
+            let upper = if upper > t.max_v then t.max_v else upper in
+            if upper < t.min_v then t.min_v else upper
         else go (i + 1) acc
     in
     go 0 0

@@ -33,11 +33,13 @@ val mean : t -> float
 (** 0.0 when empty. *)
 
 val percentile : t -> float -> int
-(** [percentile t q] for [q] in [0,1]: an upper bound on the q-quantile,
-    reported as the inclusive upper edge of the bucket holding it
-    (clamped to the exact maximum; the overflow bucket reports the exact
-    maximum). 0 when empty. @raise Invalid_argument if [q] outside
-    [0,1]. *)
+(** [percentile t q] for [q] in [0,1]: the nearest-rank q-quantile up to
+    bucketing, reported as the inclusive upper edge of the bucket
+    holding it, clamped into [[min_value, max_value]] (so a low
+    quantile's bucket edge never overshoots the observed minimum; the
+    overflow bucket reports the exact maximum). Always within one
+    bucket width of the exact nearest-rank quantile. 0 when empty.
+    @raise Invalid_argument if [q] outside [0,1]. *)
 
 val buckets : t -> int array
 (** Copy of the counts, overflow bucket last. *)

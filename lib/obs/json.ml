@@ -125,26 +125,62 @@ let of_string s =
                | 'b' -> Buffer.add_char b '\b'
                | 'f' -> Buffer.add_char b '\012'
                | 'u' ->
-                   if !pos + 4 >= n then fail "truncated \\u escape";
-                   let hex = String.sub s (!pos + 1) 4 in
-                   let code =
-                     match int_of_string_opt ("0x" ^ hex) with
-                     | Some c -> c
-                     | None -> fail "bad \\u escape"
+                   (* [!pos] is on the 'u'; consume it and exactly four
+                      hex digits, leaving [!pos] on the last digit. *)
+                   let read_hex4 () =
+                     if !pos + 4 >= n then fail "truncated \\u escape";
+                     let hex = String.sub s (!pos + 1) 4 in
+                     let code =
+                       match int_of_string_opt ("0x" ^ hex) with
+                       | Some c -> c
+                       | None -> fail "bad \\u escape"
+                     in
+                     pos := !pos + 4;
+                     code
                    in
-                   (* Escapes this module emits are all < 0x80; decode the
-                      BMP generally as UTF-8 anyway. *)
-                   if code < 0x80 then Buffer.add_char b (Char.chr code)
-                   else if code < 0x800 then begin
-                     Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
-                     Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
-                   end
-                   else begin
-                     Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
-                     Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
-                     Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
-                   end;
-                   pos := !pos + 4
+                   let add_utf8 code =
+                     if code < 0x80 then Buffer.add_char b (Char.chr code)
+                     else if code < 0x800 then begin
+                       Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+                       Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+                     end
+                     else if code < 0x10000 then begin
+                       Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+                       Buffer.add_char b
+                         (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                       Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+                     end
+                     else begin
+                       Buffer.add_char b (Char.chr (0xf0 lor (code lsr 18)));
+                       Buffer.add_char b
+                         (Char.chr (0x80 lor ((code lsr 12) land 0x3f)));
+                       Buffer.add_char b
+                         (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                       Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+                     end
+                   in
+                   let code = read_hex4 () in
+                   (* Surrogate halves are not code points: a high half
+                      must pair with an immediately following low half
+                      (one supplementary-plane character), anything else
+                      is malformed JSON text. *)
+                   if code >= 0xd800 && code <= 0xdbff then
+                     if !pos + 2 < n && s.[!pos + 1] = '\\' && s.[!pos + 2] = 'u'
+                     then begin
+                       pos := !pos + 2;
+                       let lo = read_hex4 () in
+                       if lo < 0xdc00 || lo > 0xdfff then
+                         fail "high surrogate not followed by low surrogate"
+                       else
+                         add_utf8
+                           (0x10000
+                           + ((code - 0xd800) lsl 10)
+                           + (lo - 0xdc00))
+                     end
+                     else fail "lone high surrogate in \\u escape"
+                   else if code >= 0xdc00 && code <= 0xdfff then
+                     fail "lone low surrogate in \\u escape"
+                   else add_utf8 code
                | c -> fail (Printf.sprintf "bad escape %C" c));
             advance ();
             go ()

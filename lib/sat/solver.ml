@@ -32,11 +32,13 @@ let cvec_push v c =
   v.csz <- v.csz + 1
 
 type stats = {
+  solves : int;
   conflicts : int;
   decisions : int;
   propagations : int;
   learned : int;
   restarts : int;
+  removed : int;
 }
 
 type t = {
@@ -62,6 +64,8 @@ type t = {
   mutable ok : bool;
   mutable learnts : clause list;
   mutable n_clauses : int;
+  mutable n_solves : int;
+  mutable n_removed : int;
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
@@ -89,6 +93,8 @@ let create () =
     ok = true;
     learnts = [];
     n_clauses = 0;
+    n_solves = 0;
+    n_removed = 0;
     conflicts = 0;
     decisions = 0;
     propagations = 0;
@@ -400,6 +406,7 @@ let pick_branch s =
 
 let solve ?(assumptions = []) s =
   cancel_until s 0;
+  s.n_solves <- s.n_solves + 1;
   if not s.ok then false
   else begin
     let asn = Array.of_list assumptions in
@@ -467,13 +474,64 @@ let value s v = s.model.(v) = 1
 
 let lit_value s l = s.model.(lit_var l) lxor (l land 1) = 1
 
+(* Root-level clause-database cleaning, used by incremental callers that
+   retire activation literals (adding the unit [¬a] makes every clause
+   guarded by [a] permanently satisfied). A clause satisfied by a
+   root-level literal can never propagate or conflict again, so dropping
+   it from both watch lists (and from the learned set) preserves the
+   solver's entailment exactly. Root-level [reason] entries are never
+   dereferenced — conflict analysis skips level-0 variables — so removal
+   is safe even for clauses that forced a root unit. *)
+let root_satisfied s c =
+  let n = Array.length c.lits in
+  let rec go i =
+    i < n
+    && ((lit_val s c.lits.(i) = 1 && s.level.(lit_var c.lits.(i)) = 0)
+       || go (i + 1))
+  in
+  go 0
+
+let simplify s =
+  cancel_until s 0;
+  if s.ok then
+    if propagate s != dummy then s.ok <- false
+    else begin
+      let removed = ref 0 in
+      Array.iter
+        (fun ws ->
+          let j = ref 0 in
+          for i = 0 to ws.csz - 1 do
+            let c = ws.cdata.(i) in
+            if root_satisfied s c then incr removed
+            else begin
+              ws.cdata.(!j) <- c;
+              incr j
+            end
+          done;
+          for i = !j to ws.csz - 1 do
+            ws.cdata.(i) <- dummy
+          done;
+          ws.csz <- !j)
+        s.watches;
+      (* Each removed clause sat in exactly two watch lists. *)
+      let dropped = !removed / 2 in
+      let live_learnts = List.filter (fun c -> not (root_satisfied s c)) s.learnts in
+      let dropped_learnt = List.length s.learnts - List.length live_learnts in
+      s.learnts <- live_learnts;
+      s.n_learned <- s.n_learned - dropped_learnt;
+      s.n_clauses <- s.n_clauses - (dropped - dropped_learnt);
+      s.n_removed <- s.n_removed + dropped
+    end
+
 let stats s =
   {
+    solves = s.n_solves;
     conflicts = s.conflicts;
     decisions = s.decisions;
     propagations = s.propagations;
     learned = s.n_learned;
     restarts = s.restarts;
+    removed = s.n_removed;
   }
 
 let learned_clauses s =

@@ -18,9 +18,11 @@
     - {b incremental clause addition} between solves, which is exactly what
       iterated model enumeration with blocking clauses needs.
 
-    There is no preprocessing, clause-database reduction or literal-block
-    distance heuristic: the litmus encodings are thousands of clauses at
-    most, and a transparent solver is worth more here than a fast one —
+    There is no preprocessing or literal-block distance heuristic — the
+    litmus encodings are thousands of clauses at most, and a transparent
+    solver is worth more here than a fast one. The one concession to
+    long-lived incremental use is {!simplify}, which reclaims clauses
+    made permanently satisfied by retired activation literals.
     {!learned_clauses} exposes the learned set so tests can check each
     learned clause is entailed by the original formula. *)
 
@@ -75,14 +77,27 @@ val value : t -> int -> bool
 val lit_value : t -> lit -> bool
 
 type stats = {
+  solves : int;  (** [solve] calls, incl. immediate [not ok] returns. *)
   conflicts : int;
   decisions : int;
   propagations : int;
   learned : int;  (** Learned clauses currently retained. *)
   restarts : int;
+  removed : int;  (** Clauses reclaimed by {!simplify} over the lifetime. *)
 }
 
 val stats : t -> stats
+(** Cumulative over the solver's lifetime; incremental callers that want
+    per-query numbers difference two snapshots. *)
+
+val simplify : t -> unit
+(** Root-level clause-database cleaning: drop every clause (problem or
+    learned) satisfied by a root-level literal. Incremental callers use
+    this after {e retiring} an activation literal [a] — adding the unit
+    clause [¬a] makes all clauses guarded by [a] permanently satisfied,
+    and [simplify] reclaims them from the watch lists so long query
+    sequences (Δ-sweeps, per-outcome probes) do not degrade propagation.
+    Entailment of the remaining formula is unchanged. *)
 
 val learned_clauses : t -> lit list list
 (** The learned clauses, for invariant checks in tests: each must be a

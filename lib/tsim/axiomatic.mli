@@ -13,43 +13,70 @@
     {2 The encoding}
 
     The operational model advances a global clock by one tick per action
-    (instruction, drain, or idle). The encoding assigns every executed
-    action a time slot in [1..H]:
+    (instruction, drain, or idle). The encoding assigns every action a
+    time slot in [1..H]:
 
-    - each executed instruction gets an {e issue} time [X]; each
-      executed store in a buffered mode additionally gets a {e commit}
-      (drain) time [C] ([C = X] under SC, and for CAS, which writes
-      memory directly);
+    - each instruction position gets an {e issue} time [X]; each store
+      position additionally gets a {e commit} (drain) time [C] (CAS
+      writes memory directly, so its write aliases its issue);
+    - [Loadeq] control flow lives {e inside} the formula: one branch
+      literal per [Loadeq] (true ⟺ the read matched), executed
+      literals [ex(i,k)] defined from them by the control DAG, and
+      every program-order, store-buffer and read-from constraint
+      guarded by the [ex] of the positions it mentions. Events of
+      unexecuted positions are unconstrained phantoms that park in
+      leftover slots;
     - all action times are pairwise distinct (one action per tick),
       via order-encoded integers (booleans [T ≤ t] with ladder clauses)
       and reified comparison literals;
-    - program order: consecutive instructions of a thread satisfy
+    - program order: along every executed control edge,
       [X' ≥ X + 1], and [X' ≥ X + d + 1] after [Wait d];
     - store buffers are FIFO: same-thread commits in program order;
-    - mode axioms: SC has [C = X]; TSO has [C > X]; TBTSO[Δ] adds
-      [C ≤ X + Δ] (the paper's temporal drain bound); TSO[S] adds
-      [C{_ k−S} < X{_ k}] (capacity);
+    - mode axioms are {e activation literals} passed as assumptions:
+      the base formula is TSO ([C > X]); a grid literal [a(Δ)] adds
+      [C ≤ X + Δ] (the paper's temporal drain bound, TBTSO[Δ]), with
+      [a(Δ) → a(Δ')] for [Δ < Δ'] chaining the grid; SC is the
+      [Δ = 1] point (with one action per tick the commit takes the
+      very next slot, which is observationally SC); [cap(S)] adds the
+      TSO[S] capacity condition; fence-site selectors [f(i,k)] force
+      store [k] to commit before the thread's next instruction;
     - [Fence]/[Cas] require every program-order-earlier same-thread
       store to have committed ([C < X]);
-    - each read takes its value from its thread's newest still-buffered
-      same-address store (forwarding) if one exists, else from the
-      co-latest committed write before it, else the initial 0 —
-      expressed as an exactly-one read-from choice with side conditions;
-    - [Loadeq] control flow is resolved {e outside} the solver: every
-      combination of per-thread taken/not-taken paths is encoded
-      separately (a taken branch pins its read's value set).
+    - each read takes its value from its thread's newest executed
+      still-buffered same-address store (forwarding) if one exists,
+      else from the co-latest committed write before it, else the
+      initial 0 — an exactly-one read-from choice whose side
+      conditions are [ex]-guarded;
+    - the final value of a register is chosen by dynamic last-writer
+      literals (the last {e executed} load/CAS writing it), and final
+      memory by co-latest-write literals.
 
     The idle-tick rule ("idle only while some thread waits") needs no
     clauses: any satisfying time assignment with uncovered gaps
-    compresses — by deleting unoccupied, unwaited-for slots — to a valid
-    operational execution with the same outcome, and conversely every
-    operational execution of length ≤ H embeds directly, with
-    H = Σ (instructions + buffered stores) + Σ wait durations.
+    compresses — by deleting slots not occupied by an executed event
+    and not covered by an executed wait — to a valid operational
+    execution with the same outcome, and conversely every operational
+    execution of length ≤ H embeds directly, with
+    H = Σ (instructions + stores) + Σ wait durations.
 
-    Outcomes are enumerated by iterated solving under blocking clauses
-    over the {e observable} literals (final register values, CAS
-    success, final memory), so each solver model class maps to one
-    outcome and the iteration count is the outcome count + 1.
+    {2 Incremental sessions}
+
+    A {!session} owns one solver for the program's single formula and
+    serves any number of queries against it: outcome enumeration per
+    mode ({!enumerate_session}), and robustness ({!robust}) — is the
+    mode's outcome set equal to the SC set? Enumeration solves under
+    [mode activation + a fresh query guard] with blocking clauses over
+    the observable literals hung off the guard; when the query ends
+    the guard is retired (unit + {!Tbtso_sat.Solver.simplify}), so
+    mode-independent learned clauses survive into the next query while
+    query-local clauses are reclaimed. Robustness needs no second
+    enumeration: the SC set is enumerated once behind a persistent
+    guard, and a single [solve] under [mode activation + SC guard]
+    decides containment (SC ⊆ mode holds by construction for every
+    mode the grid can express) — a model is a witness outcome beyond
+    SC. This is what makes Δ-sweeps and minimal-Δ binary searches
+    (see {!Adviser}) cheap: one formula, retained learned clauses,
+    O(log H) incremental queries.
 
     The module deliberately shares no exploration code with
     {!Litmus}: it reuses only the instruction AST and the
@@ -57,14 +84,15 @@
     exactly what [tbtso-litmus check --oracle both] tests for. *)
 
 type stats = {
-  paths : int;  (** Loadeq path combinations encoded. *)
-  vars : int;  (** SAT variables, summed over path encodings. *)
-  clauses : int;  (** Problem clauses, summed over path encodings. *)
-  solves : int;  (** Solver calls (≥ outcomes + paths). *)
+  paths : int;
+      (** Loadeq path combinations covered by the (single) formula. *)
+  vars : int;  (** SAT variables in the session's solver. *)
+  clauses : int;  (** Problem clauses currently live. *)
+  solves : int;  (** Solver calls (≥ outcomes + 1 per enumeration). *)
   conflicts : int;
   decisions : int;
   propagations : int;
-  learned : int;  (** Clauses learned across all solves. *)
+  learned : int;  (** Learned clauses currently retained. *)
   restarts : int;
   outcomes : int;  (** Distinct outcomes found. *)
   elapsed : float;  (** CPU seconds spent encoding + solving. *)
@@ -81,6 +109,67 @@ type result = {
 val default_max_outcomes : int
 (** 65536 outcomes. *)
 
+(** {1 Incremental session API} *)
+
+type session
+(** One program, one formula, one long-lived solver. *)
+
+val session : ?addrs:int -> ?regs:int -> Litmus.instr list list -> session
+(** Compile the program once. [addrs] and [regs] default to 4 and size
+    the outcome arrays exactly like {!Litmus.explore}.
+    @raise Invalid_argument on negative [Wait] durations or negative
+    [Loadeq] skips (the operational model deadlocks or loops on these;
+    no litmus file or generator produces them). *)
+
+val horizon : session -> int
+(** The time horizon [H]. [M_tbtso Δ] with [Δ ≥ H] is indistinguishable
+    from TSO, so [H] bounds every meaningful Δ query. *)
+
+val path_combinations : session -> int
+(** Number of Loadeq path combinations the formula covers (the
+    [paths] stats field). *)
+
+val fence_sites : session -> (int * int) list
+(** [(thread, position)] of every store that has a program-order-later
+    instruction — the candidate sites for {!enumerate_session}'s and
+    {!robust}'s [?fences]. *)
+
+val enumerate_session :
+  session ->
+  ?fences:(int * int) list ->
+  ?max_outcomes:int ->
+  Litmus.mode ->
+  result
+(** All reachable outcomes under the mode (and the given fences),
+    by incremental SAT enumeration. Blocking clauses are hung off a
+    per-query guard and reclaimed when the query ends; learned clauses
+    that do not depend on them are retained for later queries.
+    @raise Invalid_argument if a fence pair is not in
+    {!fence_sites}. *)
+
+val sc_outcomes : session -> Litmus.outcome list
+(** The SC outcome set (enumerated on first use, then cached — its
+    blocking clauses persist behind a guard for {!robust}). *)
+
+val robust :
+  session ->
+  ?fences:(int * int) list ->
+  Litmus.mode ->
+  [ `Robust | `Witness of Litmus.outcome ]
+(** Is the mode's outcome set (with the given fences) equal to the SC
+    set? Decided by one incremental containment solve against the SC
+    baseline's retained blocking clauses — no second enumeration.
+    [`Witness o] is an outcome reachable under the mode but not under
+    SC. Robustness is antitone in Δ: [`Robust] for [M_tbtso Δ] implies
+    [`Robust] for every smaller Δ. *)
+
+val session_stats : session -> stats
+(** Cumulative over the session: [outcomes] sums every query's distinct
+    outcomes, [conflicts]/[decisions]/… are the solver's lifetime
+    counters (difference two snapshots for per-query numbers). *)
+
+(** {1 One-shot API} *)
+
 val explore :
   mode:Litmus.mode ->
   ?addrs:int ->
@@ -88,13 +177,11 @@ val explore :
   ?max_outcomes:int ->
   Litmus.instr list list ->
   result
-(** All reachable outcomes of the program under [mode], by SAT
-    enumeration. [addrs] and [regs] default to 4 and size the outcome
-    arrays exactly like {!Litmus.explore}, so the two oracles' outcome
-    lists are directly comparable ([List.sort compare] order included).
-    @raise Invalid_argument on negative [Wait] durations or negative
-    [Loadeq] skips (the operational model deadlocks or loops on these;
-    no litmus file or generator produces them). *)
+(** All reachable outcomes of the program under [mode]: a fresh
+    {!session} and one {!enumerate_session} query. The outcome lists
+    are directly comparable to {!Litmus.explore}'s
+    ([List.sort compare] order included).
+    @raise Invalid_argument as {!session}. *)
 
 val enumerate :
   mode:Litmus.mode ->

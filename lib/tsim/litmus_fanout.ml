@@ -11,11 +11,17 @@ type sat_check = {
   sat_stats : Axiomatic.stats;
 }
 
+type robust_check = {
+  robust_holds : bool;
+  robust_witness : Litmus.outcome option;
+}
+
 type verdict = {
   task : task;
   result : Litmus_parse.check_result option;
   sat : sat_check option;
   disagree : Litmus.outcome list option;
+  robustness : robust_check option;
 }
 
 let load ~modes paths =
@@ -39,8 +45,17 @@ let sat_of test (r : Axiomatic.result) =
     sat_stats = r.stats;
   }
 
-let check ?pool ?max_states ?(oracle = Explorer) tasks =
+(* SC-robustness of the task's mode, decided by one incremental
+   containment query against a fresh session's SC baseline. *)
+let robust_of task =
+  let sess = Axiomatic.session task.test.Litmus_parse.program in
+  match Axiomatic.robust sess task.mode with
+  | `Robust -> { robust_holds = true; robust_witness = None }
+  | `Witness w -> { robust_holds = false; robust_witness = Some w }
+
+let check ?pool ?max_states ?(oracle = Explorer) ?(robust = false) tasks =
   let one task =
+    let robustness = if robust then Some (robust_of task) else None in
     match oracle with
     | Explorer ->
         {
@@ -49,12 +64,19 @@ let check ?pool ?max_states ?(oracle = Explorer) tasks =
             Some (Litmus_parse.check ?max_states task.test ~mode:task.mode);
           sat = None;
           disagree = None;
+          robustness;
         }
     | Sat ->
         let r =
           Axiomatic.explore ~mode:task.mode task.test.Litmus_parse.program
         in
-        { task; result = None; sat = Some (sat_of task.test r); disagree = None }
+        {
+          task;
+          result = None;
+          sat = Some (sat_of task.test r);
+          disagree = None;
+          robustness;
+        }
     | Both ->
         let op =
           Litmus.explore ~mode:task.mode ?max_states
@@ -85,6 +107,7 @@ let check ?pool ?max_states ?(oracle = Explorer) tasks =
             (match List.sort compare witnesses with
             | [] -> None
             | ws -> Some ws);
+          robustness;
         }
   in
   match pool with
@@ -188,6 +211,20 @@ let record v =
   let sat_fields =
     match v.sat with Some sc -> [ ("sat", sat_json sc) ] | None -> []
   in
+  let robust_fields =
+    match v.robustness with
+    | None -> []
+    | Some rc ->
+        [
+          ( "robust",
+            Json.obj
+              (("holds", Json.Bool rc.robust_holds)
+              ::
+              (match rc.robust_witness with
+              | Some w -> [ ("witness", Adviser.outcome_json w) ]
+              | None -> [])) );
+        ]
+  in
   let agree_fields =
     match (v.result, v.sat) with
     | Some _, Some _ -> [ ("oracles_agree", Json.Bool (v.disagree = None)) ]
@@ -198,7 +235,7 @@ let record v =
     :: ("name", Json.String v.task.test.Litmus_parse.name)
     :: ("mode", Json.String (Litmus_parse.mode_name v.task.mode))
     :: ("verdict", Json.String (verdict_string v))
-    :: (base @ sat_fields @ agree_fields))
+    :: (base @ sat_fields @ robust_fields @ agree_fields))
 
 let json_doc ~registry verdicts =
   let schema =

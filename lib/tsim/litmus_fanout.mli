@@ -36,6 +36,15 @@ type sat_check = {
   sat_stats : Axiomatic.stats;
 }
 
+type robust_check = {
+  robust_holds : bool;
+      (** The mode's outcome set equals the SC set (SC-robustness,
+          decided by {!Axiomatic.robust}). *)
+  robust_witness : Litmus.outcome option;
+      (** An outcome reachable under the mode but not under SC;
+          [None] iff [robust_holds]. *)
+}
+
 type verdict = {
   task : task;
   result : Litmus_parse.check_result option;
@@ -47,6 +56,9 @@ type verdict = {
           (sorted; an outcome found by one oracle but absent from the
           other {e complete} oracle). [None] means no disagreement was
           provable — which is agreement when both sides are complete. *)
+  robustness : robust_check option;
+      (** Present when [check ~robust:true]: SC-robustness of the
+          task's mode, advisory (does not affect {!severity}). *)
 }
 
 val load : modes:Litmus.mode list -> string list -> task list
@@ -58,6 +70,7 @@ val check :
   ?pool:Tbtso_par.Pool.t ->
   ?max_states:int ->
   ?oracle:oracle ->
+  ?robust:bool ->
   task list ->
   verdict list
 (** Run every task under the chosen oracle(s) and return verdicts in
@@ -65,7 +78,11 @@ val check :
     (results still land in submission order); without one, or with a
     pool of one domain, the run is sequential in the caller.
     [max_states] budgets the explorer only; the SAT oracle uses its own
-    {!Axiomatic.default_max_outcomes}. *)
+    {!Axiomatic.default_max_outcomes}. [robust] (default off)
+    additionally decides SC-robustness of each task's mode via one
+    incremental {!Axiomatic.robust} containment query and attaches it
+    to the verdict (advisory — it never changes severity or exit
+    code). *)
 
 val disagreement_witness : verdict -> Litmus.outcome option
 (** The minimized disagreement witness: the least offending outcome
@@ -91,8 +108,9 @@ val record : verdict -> Tbtso_obs.Json.t
 (** One (file, mode) JSON record: file, test name, mode, verdict
     string, then the {!Litmus_parse.check_result_json} fields (when the
     explorer ran), a ["sat"] object with holds/outcomes/complete and
-    the solver statistics (when the SAT oracle ran), and
-    ["oracles_agree"] (when both ran). *)
+    the solver statistics (when the SAT oracle ran), a ["robust"]
+    object with holds and an optional witness (when [~robust:true]),
+    and ["oracles_agree"] (when both ran). *)
 
 val json_doc : registry:Tbtso_obs.Metrics.t -> verdict list -> Tbtso_obs.Json.t
 (** The result document: schema, per-task records in task order, and

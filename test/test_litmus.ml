@@ -618,9 +618,12 @@ let test_sat_stats_exposed () =
   let r = Axiomatic.explore ~mode:(M_tbtso 4) sb in
   check_bool "some variables" true (r.Axiomatic.stats.Axiomatic.vars > 0);
   check_bool "some clauses" true (r.Axiomatic.stats.Axiomatic.clauses > 0);
-  check_bool "solves ≥ outcomes + paths" true
+  (* One formula covers every path, so an enumeration is one solve per
+     outcome plus the closing UNSAT. *)
+  check_bool "solves ≥ outcomes + 1" true
     (r.Axiomatic.stats.Axiomatic.solves
-    >= r.Axiomatic.stats.Axiomatic.outcomes + r.Axiomatic.stats.Axiomatic.paths);
+    >= r.Axiomatic.stats.Axiomatic.outcomes + 1);
+  check_bool "paths counted" true (r.Axiomatic.stats.Axiomatic.paths >= 1);
   match Axiomatic.stats_json r.Axiomatic.stats with
   | Tbtso_obs.Json.Obj fields ->
       List.iter
@@ -652,6 +655,58 @@ let test_sat_partial_and_validation () =
            false
          with Invalid_argument _ -> true))
     [ [ [ Wait (-1) ] ]; [ [ Loadeq (x, 0, -2) ] ] ]
+
+let test_session_robustness () =
+  (* One session answers every robustness query incrementally. SB's
+     threshold: robust through Δ=3 (commit deadlines too tight to hide
+     both stores), broken from Δ=4 up to plain TSO. *)
+  let sess = Axiomatic.session sb in
+  check_bool "SC robust by definition" true (Axiomatic.robust sess M_sc = `Robust);
+  check_bool "TBTSO[1] robust" true (Axiomatic.robust sess (M_tbtso 1) = `Robust);
+  check_bool "TBTSO[3] robust" true (Axiomatic.robust sess (M_tbtso 3) = `Robust);
+  (match Axiomatic.robust sess (M_tbtso 4) with
+  | `Robust -> Alcotest.fail "SB must break at Δ=4"
+  | `Witness w ->
+      check_bool "witness beyond SC" true
+        (not (List.mem w (Axiomatic.sc_outcomes sess)));
+      check_bool "witness reachable" true
+        (List.mem w (enumerate ~mode:(M_tbtso 4) sb)));
+  check_bool "TSO not robust" true (Axiomatic.robust sess M_tso <> `Robust);
+  let sites = Axiomatic.fence_sites sess in
+  check_bool "two fence sites" true (List.length sites = 2);
+  check_bool "fully fenced TSO is robust" true
+    (Axiomatic.robust sess ~fences:sites M_tso = `Robust);
+  (* The session's enumeration still matches the explorer after all the
+     guarded queries above retired their clauses. *)
+  let r = Axiomatic.enumerate_session sess M_tso in
+  check_bool "post-query enumeration intact" true
+    (r.Axiomatic.complete && r.Axiomatic.outcomes = enumerate ~mode:M_tso sb)
+
+let test_adviser_verdicts () =
+  (match Adviser.minimal_delta (Axiomatic.session sb) with
+  | Adviser.Breaks_at { max_robust = 3; min_unsafe = 4 }, Some _ -> ()
+  | v, _ ->
+      Alcotest.fail
+        (Printf.sprintf "SB verdict: %s" (Adviser.verdict_string v)));
+  (match Adviser.minimal_delta (Axiomatic.session mp) with
+  | Adviser.Always_robust, None -> ()
+  | v, _ ->
+      Alcotest.fail
+        (Printf.sprintf "MP verdict: %s" (Adviser.verdict_string v)));
+  check_bool "SB needs both fences" true
+    (match Adviser.minimal_fences (Axiomatic.session sb) with
+    | Adviser.Fence_after [ (0, 0); (1, 0) ] -> true
+    | _ -> false);
+  check_bool "MP needs none" true
+    (Adviser.minimal_fences (Axiomatic.session mp) = Adviser.No_fences_needed);
+  (* Explorer confirmation: accepts the true verdict, refutes a wrong one. *)
+  let v, _ = Adviser.minimal_delta (Axiomatic.session sb) in
+  check_bool "explorer confirms SB threshold" true
+    (Adviser.confirm sb v = Adviser.Confirmed);
+  check_bool "explorer refutes a false verdict" true
+    (match Adviser.confirm sb Adviser.Always_robust with
+    | Adviser.Mismatch _ -> true
+    | _ -> false)
 
 let prop_pooled_sat_differential =
   (* The SAT oracle runs inside pool workers under -j N: no hidden
@@ -904,6 +959,10 @@ let () =
           Alcotest.test_case "solver stats exposed" `Quick test_sat_stats_exposed;
           Alcotest.test_case "partial result and validation" `Quick
             test_sat_partial_and_validation;
+          Alcotest.test_case "session robustness queries" `Quick
+            test_session_robustness;
+          Alcotest.test_case "adviser verdicts vs explorer" `Quick
+            test_adviser_verdicts;
         ] );
       qsuite "differential"
         [

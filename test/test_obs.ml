@@ -86,6 +86,84 @@ let test_json_parse_details () =
         | _ -> false))
     [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
 
+let test_json_surrogates () =
+  (* A surrogate pair decodes to ONE supplementary-plane code point
+     (4-byte UTF-8), never to two 3-byte CESU-8 halves. *)
+  check_bool "U+1F600 from pair" true
+    (Json.of_string "\"\\ud83d\\ude00\"" = Json.String "\xf0\x9f\x98\x80");
+  check_bool "U+10437 from pair" true
+    (Json.of_string "\"\\uD801\\uDC37\"" = Json.String "\xf0\x90\x90\xb7");
+  check_bool "pair between text" true
+    (Json.of_string "\"a\\ud83d\\ude00b\"" = Json.String "a\xf0\x9f\x98\x80b");
+  List.iter
+    (fun bad ->
+      check_bool
+        (Printf.sprintf "%S rejected" bad)
+        true
+        (match Json.of_string bad with
+        | exception Json.Parse_error _ -> true
+        | _ -> false))
+    [
+      "\"\\ud800\"" (* lone high *);
+      "\"\\udc00\"" (* lone low *);
+      "\"\\ud800x\"" (* high then plain char *);
+      "\"\\ud800\\u0041\"" (* high then non-surrogate escape *);
+      "\"\\ud800\\ud800\"" (* high then another high *);
+      "\"\\ud83d\\ude\"" (* truncated low half *);
+    ]
+
+(* --- qcheck: every scalar value round-trips through its \u escape --- *)
+
+let utf8_of_cp cp =
+  let b = Buffer.create 4 in
+  (if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+   else if cp < 0x800 then begin
+     Buffer.add_char b (Char.chr (0xc0 lor (cp lsr 6)));
+     Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+   end
+   else if cp < 0x10000 then begin
+     Buffer.add_char b (Char.chr (0xe0 lor (cp lsr 12)));
+     Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+     Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+   end
+   else begin
+     Buffer.add_char b (Char.chr (0xf0 lor (cp lsr 18)));
+     Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+     Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+     Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+   end);
+  Buffer.contents b
+
+let escape_of_cp cp =
+  if cp < 0x10000 then Printf.sprintf "\\u%04x" cp
+  else
+    let u = cp - 0x10000 in
+    Printf.sprintf "\\u%04x\\u%04x" (0xd800 lor (u lsr 10))
+      (0xdc00 lor (u land 0x3ff))
+
+(* Unicode scalar values: every UTF-8 width, surrogates excluded. *)
+let cp_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        int_range 0x0000 0x007f;
+        int_range 0x0080 0x07ff;
+        int_range 0x0800 0xd7ff;
+        int_range 0xe000 0xffff;
+        int_range 0x10000 0x10ffff;
+      ])
+
+let cp_arb = QCheck.make ~print:(Printf.sprintf "U+%04X") cp_gen
+
+let prop_unicode_escape_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"\\u escape decodes to the code point's UTF-8"
+    cp_arb (fun cp ->
+      let expect = Json.String (utf8_of_cp cp) in
+      Json.of_string ("\"" ^ escape_of_cp cp ^ "\"") = expect
+      (* and the emitter's output (escaped or passed through) parses
+         back to the same bytes *)
+      && Json.of_string (Json.to_string expect) = expect)
+
 let test_json_member () =
   let v = Json.Obj [ ("a", Json.Int 1) ] in
   check_bool "hit" true (Json.member "a" v = Some (Json.Int 1));
@@ -122,6 +200,59 @@ let test_hist_percentiles () =
     (match Hist.percentile h 1.5 with
     | exception Invalid_argument _ -> true
     | _ -> false)
+
+(* --- qcheck: percentiles vs exact nearest rank --- *)
+
+let hist_print (buckets, width, vals) =
+  Printf.sprintf "buckets=%d width=%d vals=[%s]" buckets width
+    (String.concat ";" (List.map string_of_int vals))
+
+let hist_gen ~overflow =
+  QCheck.Gen.(
+    let* buckets = int_range 1 20 in
+    let* width = int_range 1 10 in
+    let hi = (buckets * width * if overflow then 3 else 1) - 1 in
+    let+ vals = list_size (int_range 1 50) (int_range 0 hi) in
+    (buckets, width, vals))
+
+let quantiles = [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ]
+
+let exact_nearest_rank vals q =
+  let sorted = List.sort compare vals in
+  let n = List.length vals in
+  let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  List.nth sorted (rank - 1)
+
+(* Without overflow every value has a real bucket, so the reported
+   upper edge is within one bucket width of the exact quantile. *)
+let prop_percentile_accuracy =
+  QCheck.Test.make ~count:500
+    ~name:"bucketed percentile within one width of exact nearest rank"
+    (QCheck.make ~print:hist_print (hist_gen ~overflow:false))
+    (fun (buckets, width, vals) ->
+      let h = Hist.create ~buckets ~width () in
+      List.iter (Hist.observe h) vals;
+      List.for_all
+        (fun q ->
+          let p = Hist.percentile h q in
+          let e = exact_nearest_rank vals q in
+          p >= e && p - e < width)
+        quantiles)
+
+(* With overflow the error is unbounded, but the clamp still pins every
+   quantile inside the observed extremes. *)
+let prop_percentile_clamped =
+  QCheck.Test.make ~count:500
+    ~name:"percentile always within [min_value, max_value]"
+    (QCheck.make ~print:hist_print (hist_gen ~overflow:true))
+    (fun (buckets, width, vals) ->
+      let h = Hist.create ~buckets ~width () in
+      List.iter (Hist.observe h) vals;
+      List.for_all
+        (fun q ->
+          let p = Hist.percentile h q in
+          p >= Hist.min_value h && p <= Hist.max_value h)
+        quantiles)
 
 let test_hist_overflow_exact_max () =
   let h = Hist.create ~buckets:4 ~width:10 () in
@@ -245,6 +376,8 @@ let () =
           Alcotest.test_case "obj drops null" `Quick test_json_obj_drops_null;
           Alcotest.test_case "parse round-trip" `Quick test_json_parse_roundtrip;
           Alcotest.test_case "parse details" `Quick test_json_parse_details;
+          Alcotest.test_case "surrogate pairs" `Quick test_json_surrogates;
+          QCheck_alcotest.to_alcotest prop_unicode_escape_roundtrip;
           Alcotest.test_case "member" `Quick test_json_member;
         ] );
       ( "hist",
@@ -252,6 +385,8 @@ let () =
           Alcotest.test_case "basics" `Quick test_hist_basics;
           Alcotest.test_case "percentiles" `Quick test_hist_percentiles;
           Alcotest.test_case "overflow exact max" `Quick test_hist_overflow_exact_max;
+          QCheck_alcotest.to_alcotest prop_percentile_accuracy;
+          QCheck_alcotest.to_alcotest prop_percentile_clamped;
           Alcotest.test_case "merge" `Quick test_hist_merge;
           Alcotest.test_case "to_json" `Quick test_hist_json;
         ] );

@@ -216,6 +216,63 @@ let test_incremental_growth () =
   S.add_clause s [ S.neg vs.(0); S.pos vs.(1) ];
   check_bool "now unsat" false (S.solve s)
 
+(* --- incremental session vs from-scratch axiomatic sweeps --- *)
+
+module Ax = Tsim.Axiomatic
+module L = Tsim.Litmus
+
+(* One long-lived session answering every mode × Δ query must produce
+   exactly the outcome sets of a fresh solver per query, and the
+   retained learned clauses must make the whole sweep cheaper than the
+   sum of the from-scratch solves. *)
+let test_session_vs_scratch () =
+  let x = 0 and y = 1 in
+  let programs =
+    [
+      ("sb", [ [ L.Store (x, 1); L.Load (y, 0) ];
+               [ L.Store (y, 1); L.Load (x, 0) ] ]);
+      ("flag", [ [ L.Store (x, 1); L.Load (y, 0) ];
+                 [ L.Store (y, 1); L.Fence; L.Wait 4; L.Load (x, 0) ] ]);
+      (* Loadeq exercises the in-formula branch encoding. *)
+      ("spin", [ [ L.Store (x, 1) ];
+                 [ L.Loadeq (x, 1, 1); L.Store (y, 1); L.Load (x, 1) ] ]);
+    ]
+  in
+  let modes =
+    (L.M_sc :: L.M_tso :: List.init 8 (fun i -> L.M_tbtso (i + 1)))
+  in
+  let incr_total = ref 0 and scratch_total = ref 0 in
+  List.iter
+    (fun (name, prog) ->
+      let sess = Ax.session prog in
+      List.iter
+        (fun mode ->
+          let ir = Ax.enumerate_session sess mode in
+          let sr = Ax.explore ~mode prog in
+          check_bool (name ^ " both complete") true
+            (ir.Ax.complete && sr.Ax.complete);
+          check_bool
+            (Printf.sprintf "%s %s: incremental = scratch outcome set" name
+               (Tsim.Litmus_parse.mode_id mode))
+            true
+            (ir.Ax.outcomes = sr.Ax.outcomes);
+          scratch_total := !scratch_total + sr.Ax.stats.Ax.conflicts)
+        modes;
+      let st = Ax.session_stats sess in
+      incr_total := !incr_total + st.Ax.conflicts;
+      (* Learned-clause reuse is observable: the session answered every
+         query (one solve per outcome plus a closing UNSAT each) while
+         keeping one clause database. *)
+      check_bool (name ^ " solves cover all queries") true
+        (st.Ax.solves >= st.Ax.outcomes + List.length modes))
+    programs;
+  check_bool
+    (Printf.sprintf
+       "incremental sweep strictly fewer conflicts (%d vs scratch %d)"
+       !incr_total !scratch_total)
+    true
+    (!incr_total < !scratch_total)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -229,6 +286,8 @@ let () =
             test_learned_pigeonhole;
           Alcotest.test_case "incremental clause addition" `Quick
             test_incremental_growth;
+          Alcotest.test_case "axiomatic session vs from-scratch sweep" `Quick
+            test_session_vs_scratch;
         ] );
       qsuite "differential"
         [

@@ -37,7 +37,19 @@
    emits a tbtso-incr-sweep/1 document). With --gate the process
    exits 1 unless, for every program, the per-point outcome sets are
    identical and the session's total conflicts are strictly fewer
-   than the sum over the from-scratch solves. *)
+   than the sum over the from-scratch solves.
+
+   --trajectory [--label L] measures the performance trajectory — the
+   EXPERIMENTS.md "Performance trajectory" table: explorer states/s,
+   solver propagations/s, GC pressure and the per-phase wall-time
+   breakdown over the pinned Trajectory corpus (--json emits a
+   tbtso-trajectory/1 document, e.g. the committed BENCH_seed.json).
+   With --compare BASELINE.json each throughput floor of the baseline
+   is checked against the fresh measurement; with --gate the process
+   exits 1 when a floor is violated (fresh < tolerance x baseline;
+   --tolerance, default 0.5) and 2 — inconclusive, like the
+   delta-sweep gate — when either measurement was budget-cut, the
+   corpus fingerprints differ, or the baseline cannot be read. *)
 
 open Tsim
 open Litmus
@@ -460,6 +472,60 @@ let run_incr_sweep ~gate ~json_path ~domains =
        from-scratch outcome sets with strictly fewer total conflicts";
     exit 1)
 
+(* --- performance trajectory (--trajectory) --- *)
+
+let run_trajectory ~quick ~label ~compare_path ~gate ~tolerance ~json_path =
+  pf "Performance trajectory: explorer and SAT throughput over the pinned \
+      corpus\n\n";
+  let fresh = Trajectory.measure ~quick ~label () in
+  Format.printf "%a%!" Trajectory.pp fresh;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      Json.write_file path (Trajectory.to_json fresh);
+      pf "(wrote %s)\n" path);
+  match compare_path with
+  | None -> ()
+  | Some path -> (
+      let baseline =
+        match Trajectory.of_json (Json.of_string (In_channel.with_open_text path In_channel.input_all)) with
+        | Ok b -> Ok b
+        | Error e -> Error (Printf.sprintf "%s: %s" path e)
+        | exception Sys_error e -> Error e
+        | exception Json.Parse_error { pos; message } ->
+            Error (Printf.sprintf "%s: parse error at %d: %s" path pos message)
+      in
+      match baseline with
+      | Error e ->
+          Printf.eprintf "trajectory gate inconclusive: %s\n" e;
+          if gate then exit 2
+      | Ok baseline -> (
+          pf "\ncomparing against baseline %S (tolerance %.2f):\n"
+            baseline.Trajectory.label tolerance;
+          let print_checks checks =
+            List.iter
+              (fun (c : Trajectory.check) ->
+                pf "  %-28s baseline %12.0f  fresh %12.0f  floor %12.0f  %s\n"
+                  c.Trajectory.key c.Trajectory.baseline c.Trajectory.fresh
+                  c.Trajectory.floor
+                  (if c.Trajectory.pass then "ok" else "REGRESSION"))
+              checks
+          in
+          match Trajectory.compare_floors ~tolerance ~baseline ~fresh () with
+          | Trajectory.Pass checks ->
+              print_checks checks;
+              pf "trajectory gate: every floor holds\n"
+          | Trajectory.Fail checks ->
+              print_checks checks;
+              prerr_endline
+                "trajectory gate failed: throughput fell below a baseline floor";
+              if gate then exit 1
+          | Trajectory.Inconclusive why ->
+              pf "trajectory gate: INCONCLUSIVE (%s)\n" why;
+              if gate then (
+                Printf.eprintf "trajectory gate inconclusive: %s\n" why;
+                exit 2)))
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
@@ -491,6 +557,22 @@ let () =
     exit 0);
   if List.mem "--incr-sweep" args then (
     run_incr_sweep ~gate:(List.mem "--gate" args) ~json_path ~domains;
+    exit 0);
+  if List.mem "--trajectory" args then (
+    let tolerance =
+      match find_val "--tolerance" with
+      | None -> Trajectory.default_tolerance
+      | Some v -> (
+          match float_of_string_opt v with
+          | Some f when f > 0.0 -> f
+          | Some _ | None ->
+              prerr_endline "--tolerance expects a positive float";
+              exit 2)
+    in
+    run_trajectory ~quick
+      ~label:(Option.value ~default:"local" (find_val "--label"))
+      ~compare_path:(find_val "--compare")
+      ~gate:(List.mem "--gate" args) ~tolerance ~json_path;
     exit 0);
   pf "Checker throughput (states/s), explorer vs reference enumerator\n";
   pf "('!' marks an exploration cut off by the state budget; %d domain%s)\n\n"

@@ -5,11 +5,15 @@
    target. See EXPERIMENTS.md for paper-vs-measured notes.
 
    Usage: main.exe [EXPERIMENT]... [--paper] [--seed N] [--csv DIR]
-                   [--json PATH] [--trace PATH]
+                   [--json PATH] [--trace PATH] [--profile PATH]
    Default runs every experiment at quick scale. --json writes every
    experiment's data series (and the residency histograms) as one
    machine-readable document; --trace writes a Chrome trace_event
-   timeline (plus a .jsonl event log) of one TBTSO residency run. *)
+   timeline (plus a .jsonl event log) of one TBTSO residency run;
+   --profile writes a Chrome trace of the harness's own spans (one
+   per experiment, pool chunks on their domain tracks) plus a phase
+   table — the simulated-time --trace and the wall-clock --profile
+   are different clocks on purpose. *)
 
 open Tsim
 open Tbtso_workload
@@ -973,6 +977,7 @@ let () =
   let csv = find_opt "--csv" in
   let json = find_opt "--json" in
   let trace = find_opt "--trace" in
+  let profile = find_opt "--profile" in
   let jobs =
     match find_opt "-j" with
     | None -> 1
@@ -991,6 +996,7 @@ let () =
     | "--csv" :: _ :: rest
     | "--json" :: _ :: rest
     | "--trace" :: _ :: rest
+    | "--profile" :: _ :: rest
     | "-j" :: _ :: rest ->
         positional rest
     | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" -> positional rest
@@ -998,8 +1004,15 @@ let () =
   in
   let selected = positional args in
   if List.mem "help" selected then usage ();
+  let profiler =
+    match profile with
+    | None -> Tbtso_obs.Span.disabled
+    | Some _ -> Tbtso_obs.Span.create ()
+  in
   let pool =
-    Pool.create ~domains:(if jobs = 0 then Pool.default_domains () else jobs) ()
+    Pool.create
+      ~domains:(if jobs = 0 then Pool.default_domains () else jobs)
+      ~profiler ()
   in
   let mode = { paper; seed; csv; json; trace; pool } in
   let to_run =
@@ -1024,7 +1037,7 @@ let () =
     (fun (name, description, f) ->
       cur_series := [];
       cur_extra := [];
-      f mode;
+      Tbtso_obs.Span.with_span profiler name (fun () -> f mode);
       if json <> None then
         experiment_docs :=
           Json.obj
@@ -1049,6 +1062,16 @@ let () =
            ]);
       pf "(wrote %s)\n" path);
   Pool.shutdown pool;
+  (match profile with
+  | None -> ()
+  | Some path ->
+      Format.printf "%a%!" Tbtso_obs.Span.pp_phase_table profiler;
+      let oc = open_out path in
+      let w = Tbtso_obs.Chrome.to_channel oc in
+      Tbtso_obs.Span.to_chrome profiler ~pid:(Unix.getpid ()) w;
+      Tbtso_obs.Chrome.close w;
+      close_out oc;
+      pf "(wrote %s; open in https://ui.perfetto.dev)\n" path);
   pf "\ntotal wall time: %.1f s (%d domain%s)\n"
     (Unix.gettimeofday () -. t0)
     (Pool.domains pool)

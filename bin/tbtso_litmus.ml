@@ -3,7 +3,7 @@
 
    Usage:
      tbtso_litmus check FILE... [--mode sc,tso,tbtso:4] [--max-states N]
-                                [--json PATH] [-j N]
+                                [--json PATH] [--profile PATH] [-j N]
      tbtso_litmus demo
 
    See Tsim.Litmus_parse for the file format; sample files live in
@@ -114,6 +114,41 @@ let json_arg =
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
 
+let profile_arg =
+  let doc =
+    "Profile the run: every hot phase (explorer expand/canon/intern/sleep, \
+     SAT encode/propagate/analyze/simplify, adviser searches, pool chunks) \
+     is timed with the monotonic clock, a per-phase table (total time, \
+     calls, items, items/s) is printed after the report, and the span \
+     timeline is written to $(docv) as a Chrome trace_event file — open it \
+     in Perfetto (ui.perfetto.dev), one track per domain. Profiling never \
+     changes verdicts, outcome sets or exploration statistics; with the \
+     flag absent the instrumentation is disabled and costs one branch per \
+     phase section."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"PATH" ~doc)
+
+(* The profile surface shared by check and advise: a recording profiler
+   iff requested, the phase table on stdout, the span timeline as a
+   Chrome trace. *)
+let profiler_of = function
+  | None -> Tbtso_obs.Span.disabled
+  | Some _ -> Tbtso_obs.Span.create ()
+
+let write_profile ~quiet profile profiler =
+  match profile with
+  | None -> ()
+  | Some path ->
+      if not quiet then
+        Format.printf "%a%!" Tbtso_obs.Span.pp_phase_table profiler;
+      let oc = open_out path in
+      let w = Tbtso_obs.Chrome.to_channel oc in
+      Tbtso_obs.Span.to_chrome profiler ~pid:(Unix.getpid ()) w;
+      Tbtso_obs.Chrome.close w;
+      close_out oc;
+      if not quiet then
+        Printf.printf "(wrote %s; open in https://ui.perfetto.dev)\n" path
+
 let oracle_arg =
   let doc =
     "Which oracle answers each (file, mode) check: $(b,explorer) (the \
@@ -176,7 +211,7 @@ let check_exits =
   :: Cmd.Exit.defaults
 
 let check_cmd =
-  let run modes max_states json jobs oracle robust files =
+  let run modes max_states json jobs oracle robust profile files =
     if max_states < 1 then begin
       Printf.eprintf "--max-states must be at least 1\n";
       3
@@ -188,16 +223,18 @@ let check_cmd =
     else begin
       let quiet = json = Some "-" in
       let registry = Tbtso_obs.Metrics.create () in
+      let profiler = profiler_of profile in
       try
         let tasks = Litmus_fanout.load ~modes files in
         let domains = if jobs = 0 then Pool.default_domains () else jobs in
         let verdicts =
           if domains <= 1 then
-            Litmus_fanout.check ~max_states ~oracle ~robust tasks
+            Litmus_fanout.check ~max_states ~oracle ~robust ~profiler tasks
           else
-            Pool.with_pool ~domains (fun pool ->
+            Pool.with_pool ~domains ~profiler (fun pool ->
                 let vs =
-                  Litmus_fanout.check ~pool ~max_states ~oracle ~robust tasks
+                  Litmus_fanout.check ~pool ~max_states ~oracle ~robust
+                    ~profiler tasks
                 in
                 Pool.record_metrics pool registry;
                 vs)
@@ -213,6 +250,7 @@ let check_cmd =
             | None -> ())
           verdicts;
         if not quiet then report_verdicts verdicts;
+        write_profile ~quiet profile profiler;
         (match json with
         | None -> ()
         | Some "-" ->
@@ -248,7 +286,7 @@ let check_cmd =
        ~doc:"Exhaustively check litmus files under the chosen memory models")
     Term.(
       const run $ modes_arg $ max_states_arg $ json_arg $ jobs_arg $ oracle_arg
-      $ robust_arg $ files_arg)
+      $ robust_arg $ profile_arg $ files_arg)
 
 let report_advice (r : Adviser.report) =
   Printf.printf "%s (%s):\n" r.Adviser.name r.Adviser.file;
@@ -302,7 +340,7 @@ let advise_exits =
   :: Cmd.Exit.defaults
 
 let advise_cmd =
-  let run fences verify max_states json jobs files =
+  let run fences verify max_states json jobs profile files =
     if max_states < 1 then begin
       Printf.eprintf "--max-states must be at least 1\n";
       3
@@ -314,6 +352,7 @@ let advise_cmd =
     else begin
       let quiet = json = Some "-" in
       let registry = Tbtso_obs.Metrics.create () in
+      let profiler = profiler_of profile in
       try
         let tests =
           List.map
@@ -321,13 +360,14 @@ let advise_cmd =
             (Litmus_fanout.load ~modes:[ Litmus.M_sc ] files)
         in
         let one (file, test) =
-          Adviser.advise ~fences ~verify ~max_states ~file test
+          Tbtso_obs.Span.with_span profiler (Filename.basename file)
+          @@ fun () -> Adviser.advise ~fences ~verify ~max_states ~profiler ~file test
         in
         let domains = if jobs = 0 then Pool.default_domains () else jobs in
         let reports =
           if domains <= 1 then List.map one tests
           else
-            Pool.with_pool ~domains (fun pool ->
+            Pool.with_pool ~domains ~profiler (fun pool ->
                 let rs = Pool.map_list pool one tests in
                 Pool.record_metrics pool registry;
                 rs)
@@ -337,6 +377,7 @@ let advise_cmd =
             Axiomatic.record_stats registry r.Adviser.stats)
           reports;
         if not quiet then List.iter report_advice reports;
+        write_profile ~quiet profile profiler;
         (match json with
         | None -> ()
         | Some "-" ->
@@ -383,7 +424,7 @@ let advise_cmd =
           set)")
     Term.(
       const run $ fences_arg $ verify_arg $ max_states_arg $ json_arg
-      $ jobs_arg $ files_arg)
+      $ jobs_arg $ profile_arg $ files_arg)
 
 let demo_cmd =
   let run () =

@@ -54,6 +54,16 @@ let complete ~name ?cat ~pid ~tid ~ts ~dur ?(args = []) () =
   base ~ph:"X" ~name ?cat ~pid ~tid ~ts
     (("dur", Json.Float dur) :: args_field args)
 
+(* Paired duration events, for intervals whose end is not known when
+   the record is written (e.g. spans still open at export time).
+   Closed intervals should use [complete] instead: one "X" record with
+   [dur] instead of a "B"/"E" pair, half the trace size. *)
+let duration_begin ~name ?cat ~pid ~tid ~ts ?(args = []) () =
+  base ~ph:"B" ~name ?cat ~pid ~tid ~ts (args_field args)
+
+let duration_end ~name ?cat ~pid ~tid ~ts () =
+  base ~ph:"E" ~name ?cat ~pid ~tid ~ts []
+
 let counter ~name ~pid ~ts series =
   base ~ph:"C" ~name ~pid ~tid:0 ~ts
     (args_field (List.map (fun (k, v) -> (k, Json.Float v)) series))

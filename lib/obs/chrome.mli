@@ -32,7 +32,20 @@ val instant : name:string -> ?cat:string -> pid:int -> tid:int -> ts:float ->
 
 val complete : name:string -> ?cat:string -> pid:int -> tid:int -> ts:float ->
   dur:float -> ?args:(string * Json.t) list -> unit -> Json.t
-(** Complete event (phase ["X"]): a bar from [ts] to [ts + dur]. *)
+(** Complete event (phase ["X"]): a bar from [ts] to [ts + dur]. Use
+    this for any interval whose end is known when writing — one record
+    instead of a ["B"]/["E"] pair. *)
+
+val duration_begin : name:string -> ?cat:string -> pid:int -> tid:int ->
+  ts:float -> ?args:(string * Json.t) list -> unit -> Json.t
+(** Duration-begin event (phase ["B"]), for open-ended intervals whose
+    end is unknown at write time; close with {!duration_end} on the
+    same track, or leave unterminated (Perfetto renders it to the end
+    of the trace). *)
+
+val duration_end : name:string -> ?cat:string -> pid:int -> tid:int ->
+  ts:float -> unit -> Json.t
+(** Duration-end event (phase ["E"]) matching {!duration_begin}. *)
 
 val counter : name:string -> pid:int -> ts:float -> (string * float) list -> Json.t
 (** Counter event (phase ["C"]): one sample per named series. *)

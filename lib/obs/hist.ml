@@ -70,6 +70,8 @@ let percentile t q =
 
 let buckets t = Array.copy t.counts
 
+let bucket_count t = Array.length t.counts - 1
+
 let bucket_width t = t.width
 
 let merge a b =

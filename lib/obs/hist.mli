@@ -44,6 +44,10 @@ val percentile : t -> float -> int
 val buckets : t -> int array
 (** Copy of the counts, overflow bucket last. *)
 
+val bucket_count : t -> int
+(** Number of regular buckets (the [buckets] argument of {!create}),
+    excluding the overflow bucket. *)
+
 val bucket_width : t -> int
 
 val merge : t -> t -> t

@@ -44,7 +44,23 @@ let histogram t ?buckets ?width name =
   match
     find_or_register t name (fun () -> M_hist (Hist.create ?buckets ?width ()))
   with
-  | M_hist h -> h
+  | M_hist h ->
+      (* Explicitly requested shape parameters must match what the
+         name was registered with — silently handing back a handle of
+         a different shape would misbucket every later observation. *)
+      let check what req got =
+        match req with
+        | Some r when r <> got ->
+            invalid_arg
+              (Printf.sprintf
+                 "Metrics.histogram: %S already registered with %s %d, \
+                  requested %d"
+                 name what got r)
+        | _ -> ()
+      in
+      check "buckets" buckets (Hist.bucket_count h);
+      check "width" width (Hist.bucket_width h);
+      h
   | M_counter _ | M_gauge _ ->
       invalid_arg (Printf.sprintf "Metrics.histogram: %S is not a histogram" name)
 

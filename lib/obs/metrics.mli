@@ -37,8 +37,11 @@ val set_max : gauge -> float -> unit
 val gauge_value : gauge -> float
 
 val histogram : t -> ?buckets:int -> ?width:int -> string -> Hist.t
-(** Find-or-register; [buckets]/[width] as {!Hist.create} and ignored
-    when the histogram already exists. *)
+(** Find-or-register; [buckets]/[width] as {!Hist.create}.
+    @raise Invalid_argument if the name is already registered as a
+    different metric kind, or as a histogram whose shape differs from
+    an explicitly passed [buckets]/[width] (omitted parameters match
+    any existing shape). *)
 
 val to_json : t -> Json.t
 (** [{counters: {...}, gauges: {...}, histograms: {...}}], each sorted

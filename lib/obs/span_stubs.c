@@ -1,0 +1,19 @@
+/* Monotonic clock for the span profiler.
+
+   OCaml 5.1's Unix library exposes no monotonic clock, and the span
+   layer must not pull bechamel (a with-test dependency) into the
+   library graph, so this is the one C stub in the tree: CLOCK_MONOTONIC
+   nanoseconds as a tagged OCaml int. 63 bits of nanoseconds is ~292
+   years, so the tag bit costs nothing. [@@noalloc] on the OCaml side
+   keeps the call a plain C call with no GC interaction. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+value tbtso_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -14,6 +14,7 @@ type t = {
   mutable joined : bool;
   mutable spawned : unit Domain.t array;
   slots : slot array;
+  profiler : Tbtso_obs.Span.t;
 }
 
 let max_domains = 8
@@ -22,11 +23,16 @@ let default_domains () = min (Domain.recommended_domain_count ()) max_domains
 
 (* Run one queued chunk outside the lock, charging its wall time and
    task count to this domain's slot. Chunk runners never raise: task
-   exceptions are captured into the submission's error cell. *)
+   exceptions are captured into the submission's error cell. With a
+   recording profiler each chunk is one [pool.chunk] span on the
+   executing domain's buffer — this is where the per-domain span
+   buffers the tasks fill get created and later merged from. *)
 let exec t id (ntasks, run) =
   let slot = t.slots.(id) in
   let t0 = Unix.gettimeofday () in
-  run ();
+  Tbtso_obs.Span.with_span t.profiler "pool.chunk" (fun () ->
+      Tbtso_obs.Span.count t.profiler "tasks" ntasks;
+      run ());
   slot.s_busy <- slot.s_busy +. (Unix.gettimeofday () -. t0);
   slot.s_tasks <- slot.s_tasks + ntasks
 
@@ -48,7 +54,7 @@ let worker t id =
   in
   loop ()
 
-let create ?domains () =
+let create ?domains ?(profiler = Tbtso_obs.Span.disabled) () =
   let size = max 1 (match domains with Some n -> n | None -> default_domains ()) in
   let t =
     {
@@ -61,6 +67,7 @@ let create ?domains () =
       joined = false;
       spawned = [||];
       slots = Array.init size (fun _ -> { s_tasks = 0; s_busy = 0.0 });
+      profiler;
     }
   in
   t.spawned <-
@@ -79,8 +86,8 @@ let shutdown t =
     Array.iter Domain.join t.spawned
   end
 
-let with_pool ?domains f =
-  let t = create ?domains () in
+let with_pool ?domains ?profiler f =
+  let t = create ?domains ?profiler () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (* Sequential fast path: a pool of one is an in-line map (the caller is

@@ -40,10 +40,18 @@ val max_domains : int
 (** Upper cap (8) on the default pool size; explicit [~domains] may
     exceed it. *)
 
-val create : ?domains:int -> unit -> t
+val create : ?domains:int -> ?profiler:Tbtso_obs.Span.t -> unit -> t
 (** A pool of [domains] total workers (default {!default_domains}),
     clamped below at 1. [domains - 1] domains are spawned immediately;
-    the caller is the remaining worker. *)
+    the caller is the remaining worker.
+
+    With a recording [profiler] (default disabled) every queued chunk
+    runs inside a [pool.chunk] span carrying a [tasks] counter — the
+    span lands on the executing domain's buffer, so this is what
+    creates (and attributes) the per-domain buffers that
+    {!Tbtso_obs.Span.spans} later merges. Tasks that take the same
+    profiler (e.g. {!Tsim.Litmus_fanout.check}) nest their own spans
+    inside the chunk's. *)
 
 val domains : t -> int
 (** Total worker count, including the calling domain. *)
@@ -66,7 +74,7 @@ val shutdown : t -> unit
 (** Drain and join the spawned domains. Idempotent. Further {!map}
     calls raise [Invalid_argument]. *)
 
-val with_pool : ?domains:int -> (t -> 'a) -> 'a
+val with_pool : ?domains:int -> ?profiler:Tbtso_obs.Span.t -> (t -> 'a) -> 'a
 (** [create], run, then {!shutdown} (also on exception). *)
 
 type worker_stats = {

@@ -2,6 +2,8 @@
    activity decisions with phase saving, Luby restarts, assumptions.
    See solver.mli for why this stays deliberately classical. *)
 
+module Span = Tbtso_obs.Span
+
 type lit = int
 
 let pos v = v lsl 1
@@ -71,6 +73,11 @@ type t = {
   mutable propagations : int;
   mutable n_learned : int;
   mutable restarts : int;
+  (* Profiling handles (no-ops until [set_profiler]). Handles are
+     domain-local, so attach the profiler on the solving domain. *)
+  mutable ph_propagate : Span.phase;
+  mutable ph_analyze : Span.phase;
+  mutable ph_simplify : Span.phase;
 }
 
 let create () =
@@ -100,7 +107,15 @@ let create () =
     propagations = 0;
     n_learned = 0;
     restarts = 0;
+    ph_propagate = Span.phase Span.disabled "sat.propagate";
+    ph_analyze = Span.phase Span.disabled "sat.analyze";
+    ph_simplify = Span.phase Span.disabled "sat.simplify";
   }
+
+let set_profiler s p =
+  s.ph_propagate <- Span.phase p "sat.propagate";
+  s.ph_analyze <- Span.phase p "sat.analyze";
+  s.ph_simplify <- Span.phase p "sat.simplify"
 
 let grow_int a n fill =
   let cap = Array.length !a in
@@ -415,7 +430,11 @@ let solve ?(assumptions = []) s =
     let conflicts_budget = ref (restart_base * luby s.restarts) in
     let result = ref None in
     while !result = None do
+      Span.start s.ph_propagate;
+      let p0 = s.propagations in
       let confl = propagate s in
+      Span.stop s.ph_propagate;
+      Span.items s.ph_propagate (s.propagations - p0);
       if confl != dummy then begin
         s.conflicts <- s.conflicts + 1;
         decr conflicts_budget;
@@ -424,7 +443,10 @@ let solve ?(assumptions = []) s =
           result := Some false
         end
         else begin
+          Span.start s.ph_analyze;
           let learnt, btlevel = analyze s confl in
+          Span.stop s.ph_analyze;
+          Span.items s.ph_analyze 1;
           cancel_until s btlevel;
           if Array.length learnt.lits = 1 then enqueue s learnt.lits.(0) dummy
           else begin
@@ -491,7 +513,7 @@ let root_satisfied s c =
   in
   go 0
 
-let simplify s =
+let simplify_work s =
   cancel_until s 0;
   if s.ok then
     if propagate s != dummy then s.ok <- false
@@ -522,6 +544,13 @@ let simplify s =
       s.n_clauses <- s.n_clauses - (dropped - dropped_learnt);
       s.n_removed <- s.n_removed + dropped
     end
+
+let simplify s =
+  Span.start s.ph_simplify;
+  let r0 = s.n_removed in
+  simplify_work s;
+  Span.stop s.ph_simplify;
+  Span.items s.ph_simplify (s.n_removed - r0)
 
 let stats s =
   {

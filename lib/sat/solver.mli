@@ -90,6 +90,16 @@ val stats : t -> stats
 (** Cumulative over the solver's lifetime; incremental callers that want
     per-query numbers difference two snapshots. *)
 
+val set_profiler : t -> Tbtso_obs.Span.t -> unit
+(** Attach a span profiler: the hot sections of {!solve} and
+    {!simplify} accumulate into the [sat.propagate] / [sat.analyze] /
+    [sat.simplify] phases (items = propagations, conflicts and
+    reclaimed clauses respectively, so per-second rates fall out of the
+    phase totals). Call it on the domain that will run the solver —
+    phase handles are domain-local ({!Tbtso_obs.Span.phase}). Solvers
+    start with the disabled profiler attached: unprofiled solving costs
+    one branch per instrumented section. *)
+
 val simplify : t -> unit
 (** Root-level clause-database cleaning: drop every clause (problem or
     learned) satisfied by a root-level literal. Incremental callers use

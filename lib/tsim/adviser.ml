@@ -4,6 +4,7 @@
    queries against one Axiomatic session. *)
 
 module Json = Tbtso_obs.Json
+module Span = Tbtso_obs.Span
 
 type verdict =
   | Always_robust
@@ -117,14 +118,25 @@ let confirm ?max_states program verdict =
               check (Litmus.M_tbtso min_unsafe) ~want_equal:false sc;
             ])
 
-let advise ?(fences = false) ?(verify = false) ?max_states ~file
-    (test : Litmus_parse.t) =
-  let sess = Axiomatic.session test.Litmus_parse.program in
-  let verdict, witness = minimal_delta sess in
-  let fence = if fences then Some (minimal_fences sess) else None in
+let advise ?(fences = false) ?(verify = false) ?max_states
+    ?(profiler = Span.disabled) ~file (test : Litmus_parse.t) =
+  let sess = Axiomatic.session ~profiler test.Litmus_parse.program in
+  let verdict, witness =
+    Span.with_span profiler "advise.binary_search" (fun () ->
+        minimal_delta sess)
+  in
+  let fence =
+    if fences then
+      Some
+        (Span.with_span profiler "advise.fence_set" (fun () ->
+             minimal_fences sess))
+    else None
+  in
   let confirmation =
     if verify then
-      Some (confirm ?max_states test.Litmus_parse.program verdict)
+      Some
+        (Span.with_span profiler "advise.confirm" (fun () ->
+             confirm ?max_states test.Litmus_parse.program verdict))
     else None
   in
   {

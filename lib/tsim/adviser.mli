@@ -75,13 +75,16 @@ val advise :
   ?fences:bool ->
   ?verify:bool ->
   ?max_states:int ->
+  ?profiler:Tbtso_obs.Span.t ->
   file:string ->
   Litmus_parse.t ->
   report
 (** One litmus test end to end: fresh session, {!minimal_delta},
     optionally {!minimal_fences} ([fences], default off) and
     {!confirm} ([verify], default off; [max_states] caps the
-    explorer). *)
+    explorer). [profiler] (default disabled) wraps the searches in
+    [advise.binary_search] / [advise.fence_set] / [advise.confirm]
+    spans and threads into the session's SAT phases. *)
 
 val verdict_string : verdict -> string
 val fence_string : fence_advice -> string

@@ -10,6 +10,7 @@
    outcome types. *)
 
 module S = Tbtso_sat.Solver
+module Span = Tbtso_obs.Span
 
 type stats = {
   paths : int;
@@ -80,10 +81,16 @@ let validate programs =
       | _ -> ()))
     programs
 
-let session ?(addrs = 4) ?(regs = 4) programs =
+let session ?(addrs = 4) ?(regs = 4) ?(profiler = Span.disabled) programs =
   validate programs;
+  (* The whole formula build is the encode phase; items = clauses
+     added. The solver's own propagate / analyze / simplify phases are
+     attached through [S.set_profiler] and fill in during queries. *)
+  let ph_encode = Span.phase profiler "sat.encode" in
+  Span.start ph_encode;
   let t0 = Sys.time () in
   let s = S.create () in
+  S.set_profiler s profiler;
   let progs = Array.of_list (List.map Array.of_list programs) in
   let n = Array.length progs in
   let len i = Array.length progs.(i) in
@@ -779,23 +786,28 @@ let session ?(addrs = 4) ?(regs = 4) programs =
         acc * np.(0))
       1 progs
   in
-  {
-    s;
-    n;
-    addrs;
-    regs;
-    h;
-    combos;
-    observables = !observables;
-    sites;
-    delta_act;
-    cap_act;
-    fence_act;
-    sc_guard = None;
-    sc_set = [];
-    outcomes_total = 0;
-    elapsed = Sys.time () -. t0;
-  }
+  let sess =
+    {
+      s;
+      n;
+      addrs;
+      regs;
+      h;
+      combos;
+      observables = !observables;
+      sites;
+      delta_act;
+      cap_act;
+      fence_act;
+      sc_guard = None;
+      sc_set = [];
+      outcomes_total = 0;
+      elapsed = Sys.time () -. t0;
+    }
+  in
+  Span.stop ph_encode;
+  Span.items ph_encode (S.n_clauses s);
+  sess
 
 let horizon sess = sess.h
 let path_combinations sess = sess.combos
@@ -945,8 +957,8 @@ let robust sess ?(fences = []) mode =
   r
 
 let explore ~mode ?(addrs = 4) ?(regs = 4)
-    ?(max_outcomes = default_max_outcomes) programs =
-  let sess = session ~addrs ~regs programs in
+    ?(max_outcomes = default_max_outcomes) ?profiler programs =
+  let sess = session ~addrs ~regs ?profiler programs in
   let r = enumerate_session sess ~max_outcomes mode in
   { r with stats = { r.stats with elapsed = sess.elapsed } }
 

@@ -114,9 +114,18 @@ val default_max_outcomes : int
 type session
 (** One program, one formula, one long-lived solver. *)
 
-val session : ?addrs:int -> ?regs:int -> Litmus.instr list list -> session
+val session :
+  ?addrs:int -> ?regs:int -> ?profiler:Tbtso_obs.Span.t ->
+  Litmus.instr list list -> session
 (** Compile the program once. [addrs] and [regs] default to 4 and size
     the outcome arrays exactly like {!Litmus.explore}.
+
+    [profiler] (default disabled) accumulates the formula build into
+    the [sat.encode] phase (items = clauses) and is attached to the
+    underlying solver ({!Tbtso_sat.Solver.set_profiler}), so queries
+    fill the [sat.propagate] / [sat.analyze] / [sat.simplify] phases —
+    their item counts are propagations, conflicts and reclaimed
+    clauses, giving per-second rates directly from the phase totals.
     @raise Invalid_argument on negative [Wait] durations or negative
     [Loadeq] skips (the operational model deadlocks or loops on these;
     no litmus file or generator produces them). *)
@@ -175,6 +184,7 @@ val explore :
   ?addrs:int ->
   ?regs:int ->
   ?max_outcomes:int ->
+  ?profiler:Tbtso_obs.Span.t ->
   Litmus.instr list list ->
   result
 (** All reachable outcomes of the program under [mode]: a fresh

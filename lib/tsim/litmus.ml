@@ -131,8 +131,17 @@ let encode_state s =
 
 let default_max_states = 2_000_000
 
-let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
+module Span = Tbtso_obs.Span
+
+let enumerate_core ~mode ~addrs ~regs ~max_states ~profiler programs0 =
   let t0 = Sys.time () in
+  (* Phase accumulators (no-ops on the disabled profiler). [expand] is
+     inclusive: it contains the canon / intern / sleep sections of the
+     children it pushes. *)
+  let ph_expand = Span.phase profiler "explore.expand" in
+  let ph_canon = Span.phase profiler "explore.canon" in
+  let ph_intern = Span.phase profiler "explore.intern" in
+  let ph_sleep = Span.phase profiler "explore.sleep" in
   let programs = Array.of_list (List.map Array.of_list programs0) in
   let n = Array.length programs in
   let slack_of_store =
@@ -262,7 +271,7 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
      saturation. Each pass is outcome-preserving for the concrete state
      it is applied to, so the iteration order never affects
      correctness, only how small the canonical form gets. *)
-  let canon st =
+  let canon_zone st =
     let pass st =
       let nt = ref 0 in
       Array.iter
@@ -329,6 +338,13 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
     if n_rewrites > 0 then incr zones_merged;
     st'
   in
+  let canon st =
+    Span.start ph_canon;
+    let st' = canon_zone st in
+    Span.stop ph_canon;
+    Span.items ph_canon 1;
+    st'
+  in
   let init =
     {
       mem_v = Array.make addrs 0;
@@ -363,7 +379,7 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
   let sleeps = ref (Array.make 1024 (-1)) in
   let slclss = ref (Array.make 1024 0) in
   let nstates = ref 0 in
-  let intern st =
+  let intern_state st =
     let key = encode_state st in
     match Ktbl.find_opt seen key with
     | Some id ->
@@ -388,6 +404,13 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
         !slclss.(id) <- 0;
         Ktbl.add seen key id;
         id
+  in
+  let intern st =
+    Span.start ph_intern;
+    let id = intern_state st in
+    Span.stop ph_intern;
+    Span.items ph_intern 1;
+    id
   in
   (* Worklist items: an interned state id plus a sleep set — a bitmask
      over the 2n actions (bit [i] = drain by thread [i], bit [n + i] =
@@ -454,7 +477,7 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
      order is only sound when the entry survives that extra step. For
      an instruction, [fp] is its footprint; a prior drain needs no
      slack guard (the reversed order drains {e earlier}). *)
-  let child_sleep st explored ~acting:i ~drain ~addr ~guard ~fp:(ri, wi) =
+  let child_sleep_core st explored ~acting:i ~drain ~addr ~guard ~fp:(ri, wi) =
     let sl = ref 0 and cls = ref 0 in
     let keep bit c =
       sl := !sl lor (1 lsl bit);
@@ -491,6 +514,13 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
     done;
     (!sl, !cls)
   in
+  let child_sleep st explored ~acting ~drain ~addr ~guard ~fp =
+    Span.start ph_sleep;
+    let r = child_sleep_core st explored ~acting ~drain ~addr ~guard ~fp in
+    Span.stop ph_sleep;
+    Span.items ph_sleep 1;
+    r
+  in
   let count_skip slcls bit =
     incr sleep_skips;
     match (slcls lsr (2 * bit)) land 3 with
@@ -498,7 +528,7 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
     | 1 -> incr di_skips
     | _ -> incr ii_skips
   in
-  let expand st sleep slcls =
+  let expand_state st sleep slcls =
     (* Terminal state: all threads completed, all buffers empty. *)
     if
       Array.for_all (fun (t : tstate) -> t.buf = [] && t.wait = 0) st.threads
@@ -666,6 +696,12 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
       end
     end
   in
+  let expand st sleep slcls =
+    Span.start ph_expand;
+    expand_state st sleep slcls;
+    Span.stop ph_expand;
+    Span.items ph_expand 1
+  in
   let continue = ref true in
   while !continue do
     match !stack with
@@ -724,12 +760,15 @@ let enumerate_core ~mode ~addrs ~regs ~max_states programs0 =
   }
 
 let explore ~mode ?(addrs = 4) ?(regs = 4) ?(max_states = default_max_states)
-    programs =
-  enumerate_core ~mode ~addrs ~regs ~max_states programs
+    ?(profiler = Span.disabled) programs =
+  enumerate_core ~mode ~addrs ~regs ~max_states ~profiler programs
 
 let enumerate ~mode ?(addrs = 4) ?(regs = 4) ?(max_states = default_max_states)
     programs =
-  let r = enumerate_core ~mode ~addrs ~regs ~max_states programs in
+  let r =
+    enumerate_core ~mode ~addrs ~regs ~max_states ~profiler:Span.disabled
+      programs
+  in
   if not r.complete then
     failwith
       (Printf.sprintf "Litmus.enumerate: state space exceeds %d states" max_states);

@@ -122,11 +122,20 @@ val explore :
   ?addrs:int ->
   ?regs:int ->
   ?max_states:int ->
+  ?profiler:Tbtso_obs.Span.t ->
   instr list list ->
   result
 (** All reachable outcomes, with exploration statistics. [addrs] and
     [regs] default to 4. Never raises on state-budget exhaustion: a
-    partial exploration is reported through [complete = false]. *)
+    partial exploration is reported through [complete = false].
+
+    [profiler] (default disabled) accumulates the per-phase wall-time
+    breakdown into the [explore.expand] / [explore.canon] /
+    [explore.intern] / [explore.sleep] phases — [expand] is inclusive
+    of the other three; items count expansions, canonicalizations,
+    hash-cons probes and sleep-set computations. Profiling never
+    affects the exploration itself: outcome sets and statistics are
+    identical whether the profiler is enabled, disabled or absent. *)
 
 val enumerate :
   mode:mode ->

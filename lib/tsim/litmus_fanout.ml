@@ -47,28 +47,40 @@ let sat_of test (r : Axiomatic.result) =
 
 (* SC-robustness of the task's mode, decided by one incremental
    containment query against a fresh session's SC baseline. *)
-let robust_of task =
-  let sess = Axiomatic.session task.test.Litmus_parse.program in
+let robust_of ?profiler task =
+  let sess = Axiomatic.session ?profiler task.test.Litmus_parse.program in
   match Axiomatic.robust sess task.mode with
   | `Robust -> { robust_holds = true; robust_witness = None }
   | `Witness w -> { robust_holds = false; robust_witness = Some w }
 
-let check ?pool ?max_states ?(oracle = Explorer) ?(robust = false) tasks =
+let check ?pool ?max_states ?(oracle = Explorer)
+    ?(profiler = Tbtso_obs.Span.disabled) ?(robust = false) tasks =
+  (* Each task runs inside one span labelled [file:mode] on whichever
+     domain the pool hands it to, so a profiled [-j N] check shows the
+     per-task schedule across domain tracks. *)
   let one task =
-    let robustness = if robust then Some (robust_of task) else None in
+    Tbtso_obs.Span.with_span profiler
+      (Printf.sprintf "%s:%s"
+         (Filename.basename task.path)
+         (Litmus_parse.mode_id task.mode))
+    @@ fun () ->
+    let robustness = if robust then Some (robust_of ~profiler task) else None in
     match oracle with
     | Explorer ->
         {
           task;
           result =
-            Some (Litmus_parse.check ?max_states task.test ~mode:task.mode);
+            Some
+              (Litmus_parse.check ?max_states ~profiler task.test
+                 ~mode:task.mode);
           sat = None;
           disagree = None;
           robustness;
         }
     | Sat ->
         let r =
-          Axiomatic.explore ~mode:task.mode task.test.Litmus_parse.program
+          Axiomatic.explore ~mode:task.mode ~profiler
+            task.test.Litmus_parse.program
         in
         {
           task;
@@ -79,11 +91,12 @@ let check ?pool ?max_states ?(oracle = Explorer) ?(robust = false) tasks =
         }
     | Both ->
         let op =
-          Litmus.explore ~mode:task.mode ?max_states
+          Litmus.explore ~mode:task.mode ?max_states ~profiler
             task.test.Litmus_parse.program
         in
         let sx =
-          Axiomatic.explore ~mode:task.mode task.test.Litmus_parse.program
+          Axiomatic.explore ~mode:task.mode ~profiler
+            task.test.Litmus_parse.program
         in
         (* A partial exploration is a sound subset for either oracle, so
            a disagreement is provable whenever an outcome escapes a

@@ -70,6 +70,7 @@ val check :
   ?pool:Tbtso_par.Pool.t ->
   ?max_states:int ->
   ?oracle:oracle ->
+  ?profiler:Tbtso_obs.Span.t ->
   ?robust:bool ->
   task list ->
   verdict list
@@ -82,7 +83,11 @@ val check :
     additionally decides SC-robustness of each task's mode via one
     incremental {!Axiomatic.robust} containment query and attaches it
     to the verdict (advisory — it never changes severity or exit
-    code). *)
+    code). [profiler] (default disabled) wraps each task in a
+    [file:mode] span on the domain that executes it and threads the
+    profiler into the explorer and SAT phases — see
+    {!Tbtso_obs.Span}; verdicts are identical with profiling on or
+    off. *)
 
 val disagreement_witness : verdict -> Litmus.outcome option
 (** The minimized disagreement witness: the least offending outcome

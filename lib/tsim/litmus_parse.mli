@@ -85,11 +85,14 @@ type check_result = {
   stats : Litmus.stats;
 }
 
-val check : ?max_states:int -> t -> mode:Litmus.mode -> check_result
+val check :
+  ?max_states:int -> ?profiler:Tbtso_obs.Span.t -> t -> mode:Litmus.mode ->
+  check_result
 (** [check t ~mode] exhaustively enumerates outcomes under [mode] (up to
     [max_states] distinct states, default
     {!Litmus.default_max_states}) and evaluates the file's condition.
-    Never raises on budget exhaustion — see [complete]. *)
+    Never raises on budget exhaustion — see [complete]. [profiler] as
+    in {!Litmus.explore}. *)
 
 val check_explored : t -> Litmus.result -> check_result
 (** Evaluate the condition over an explorer result the caller already

@@ -1,0 +1,373 @@
+(* Performance-trajectory measurement: one throughput snapshot of the
+   explorer and the SAT oracle over a pinned corpus, serialized as a
+   tbtso-trajectory/1 document and gated against a committed baseline
+   so throughput regressions fail CI instead of accumulating. *)
+
+module Json = Tbtso_obs.Json
+module Span = Tbtso_obs.Span
+
+type phase = { ph_name : string; ph_ns : int; ph_calls : int; ph_items : int }
+
+type t = {
+  label : string;
+  host_ocaml : string;
+  host_os : string;
+  host_word_size : int;
+  host_domains : int;
+  corpus_fingerprint : string;
+  corpus_cases : string list;
+  explorer_states : int;
+  explorer_elapsed_s : float;
+  minor_words_per_state : float;
+  solver_propagations : int;
+  solver_conflicts : int;
+  solver_elapsed_s : float;
+  phases : phase list;
+  complete : bool;
+}
+
+let schema = "tbtso-trajectory/1"
+
+let per_sec n s = if s > 0.0 then float_of_int n /. s else 0.0
+let states_per_sec t = per_sec t.explorer_states t.explorer_elapsed_s
+let propagations_per_sec t = per_sec t.solver_propagations t.solver_elapsed_s
+let conflicts_per_sec t = per_sec t.solver_conflicts t.solver_elapsed_s
+
+let floors t =
+  [
+    ("explorer.states_per_sec", states_per_sec t);
+    ("solver.propagations_per_sec", propagations_per_sec t);
+  ]
+
+(* --- the pinned corpus (the checker_bench workloads) --- *)
+
+let x = 0
+let y = 1
+let z = 2
+
+let sb = [ [ Litmus.Store (x, 1); Litmus.Load (y, 0) ];
+           [ Litmus.Store (y, 1); Litmus.Load (x, 0) ] ]
+
+let mp = [ [ Litmus.Store (x, 1); Litmus.Store (y, 1) ];
+           [ Litmus.Load (y, 0); Litmus.Load (x, 1) ] ]
+
+let flag d =
+  [
+    [ Litmus.Store (x, 1); Litmus.Load (y, 0) ];
+    [ Litmus.Store (y, 1); Litmus.Fence; Litmus.Wait d; Litmus.Load (x, 0) ];
+  ]
+
+let flag3 d =
+  [
+    [ Litmus.Store (x, 1); Litmus.Load (y, 0) ];
+    [ Litmus.Store (y, 1); Litmus.Fence; Litmus.Wait d; Litmus.Load (x, 0) ];
+    [ Litmus.Store (z, 1); Litmus.Load (x, 2) ];
+  ]
+
+let corpus ~quick =
+  let deltas = if quick then [ 4 ] else [ 4; 100 ] in
+  [
+    ("SB sc", Litmus.M_sc, sb);
+    ("SB tso", Litmus.M_tso, sb);
+    ("MP tso", Litmus.M_tso, mp);
+  ]
+  @ List.concat_map
+      (fun d ->
+        [
+          (Printf.sprintf "SB tbtso:%d" d, Litmus.M_tbtso d, sb);
+          (Printf.sprintf "MP tbtso:%d" d, Litmus.M_tbtso d, mp);
+          (Printf.sprintf "flag(%d) tbtso:%d" d d, Litmus.M_tbtso d, flag d);
+          (Printf.sprintf "flag3(%d) tbtso:%d" d d, Litmus.M_tbtso d, flag3 d);
+        ])
+      deltas
+
+let instr_string = function
+  | Litmus.Store (a, v) -> Printf.sprintf "st(%d,%d)" a v
+  | Litmus.Load (a, r) -> Printf.sprintf "ld(%d,%d)" a r
+  | Litmus.Loadeq (a, v, s) -> Printf.sprintf "ldeq(%d,%d,%d)" a v s
+  | Litmus.Fence -> "fence"
+  | Litmus.Wait n -> Printf.sprintf "wait(%d)" n
+  | Litmus.Cas (a, e, d, r) -> Printf.sprintf "cas(%d,%d,%d,%d)" a e d r
+
+(* The fingerprint pins name, mode and full program text of every case,
+   so a baseline silently measured over a different corpus can never be
+   compared as if it were the same experiment. *)
+let fingerprint cases =
+  cases
+  |> List.map (fun (name, mode, program) ->
+         Printf.sprintf "%s|%s|%s" name
+           (Litmus_parse.mode_id mode)
+           (String.concat ";"
+              (List.map
+                 (fun thread -> String.concat "," (List.map instr_string thread))
+                 program)))
+  |> String.concat "\n"
+  |> fun s -> Digest.to_hex (Digest.string s)
+
+let measure ?(quick = false) ~label () =
+  let cases = corpus ~quick in
+  let complete = ref true in
+  (* Explorer throughput pass: unprofiled, single-domain, timed with the
+     monotonic clock (this library has no Unix dependency). *)
+  let states = ref 0 in
+  let mw0 = Gc.minor_words () in
+  let t0 = Span.now_ns () in
+  List.iter
+    (fun (_, mode, program) ->
+      let r = Litmus.explore ~mode program in
+      states := !states + r.Litmus.stats.Litmus.visited;
+      if not r.Litmus.complete then complete := false)
+    cases;
+  let explorer_elapsed_s = float_of_int (Span.now_ns () - t0) /. 1e9 in
+  let minor_words = Gc.minor_words () -. mw0 in
+  (* SAT throughput pass: one fresh session + enumeration per case. *)
+  let propagations = ref 0 and conflicts = ref 0 in
+  let t1 = Span.now_ns () in
+  List.iter
+    (fun (_, mode, program) ->
+      let r = Axiomatic.explore ~mode program in
+      propagations := !propagations + r.Axiomatic.stats.Axiomatic.propagations;
+      conflicts := !conflicts + r.Axiomatic.stats.Axiomatic.conflicts;
+      if not r.Axiomatic.complete then complete := false)
+    cases;
+  let solver_elapsed_s = float_of_int (Span.now_ns () - t1) /. 1e9 in
+  (* Phase-breakdown pass: re-run both engines under a recording
+     profiler. Kept separate so the profiling tax (small, but nonzero)
+     never touches the gated throughput numbers above. *)
+  let profiler = Span.create () in
+  List.iter
+    (fun (_, mode, program) ->
+      ignore (Litmus.explore ~mode ~profiler program);
+      ignore (Axiomatic.explore ~mode ~profiler program))
+    cases;
+  let phases =
+    List.map
+      (fun (pt : Span.phase_total) ->
+        {
+          ph_name = pt.Span.pt_name;
+          ph_ns = pt.Span.pt_ns;
+          ph_calls = pt.Span.pt_calls;
+          ph_items = pt.Span.pt_items;
+        })
+      (Span.phase_totals profiler)
+  in
+  {
+    label;
+    host_ocaml = Sys.ocaml_version;
+    host_os = Sys.os_type;
+    host_word_size = Sys.word_size;
+    host_domains = Domain.recommended_domain_count ();
+    corpus_fingerprint = fingerprint cases;
+    corpus_cases = List.map (fun (n, _, _) -> n) cases;
+    explorer_states = !states;
+    explorer_elapsed_s;
+    minor_words_per_state =
+      (if !states > 0 then minor_words /. float_of_int !states else 0.0);
+    solver_propagations = !propagations;
+    solver_conflicts = !conflicts;
+    solver_elapsed_s;
+    phases;
+    complete = !complete;
+  }
+
+(* --- serialization --- *)
+
+let phase_json p =
+  Json.Obj
+    [
+      ("name", Json.String p.ph_name);
+      ("ns", Json.Int p.ph_ns);
+      ("calls", Json.Int p.ph_calls);
+      ("items", Json.Int p.ph_items);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("label", Json.String t.label);
+      ( "host",
+        Json.Obj
+          [
+            ("ocaml", Json.String t.host_ocaml);
+            ("os", Json.String t.host_os);
+            ("word_size", Json.Int t.host_word_size);
+            ("domains", Json.Int t.host_domains);
+          ] );
+      ( "corpus",
+        Json.Obj
+          [
+            ("fingerprint", Json.String t.corpus_fingerprint);
+            ( "cases",
+              Json.List (List.map (fun c -> Json.String c) t.corpus_cases) );
+          ] );
+      ( "explorer",
+        Json.Obj
+          [
+            ("states", Json.Int t.explorer_states);
+            ("elapsed_s", Json.Float t.explorer_elapsed_s);
+            ("states_per_sec", Json.Float (states_per_sec t));
+            ("minor_words_per_state", Json.Float t.minor_words_per_state);
+          ] );
+      ( "solver",
+        Json.Obj
+          [
+            ("propagations", Json.Int t.solver_propagations);
+            ("conflicts", Json.Int t.solver_conflicts);
+            ("elapsed_s", Json.Float t.solver_elapsed_s);
+            ("propagations_per_sec", Json.Float (propagations_per_sec t));
+            ("conflicts_per_sec", Json.Float (conflicts_per_sec t));
+          ] );
+      ("phases", Json.List (List.map phase_json t.phases));
+      ( "floors",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (floors t)) );
+      ("complete", Json.Bool t.complete);
+    ]
+
+(* of_json recomputes the derived rates and floors from the primary
+   fields, so a hand-edited floor cannot disagree with its inputs. *)
+let of_json j =
+  let ( let* ) = Result.bind in
+  let field path conv j =
+    let rec get j = function
+      | [] -> Some j
+      | k :: rest -> Option.bind (Json.member k j) (fun v -> get v rest)
+    in
+    match get j path with
+    | None -> Error (Printf.sprintf "missing field %s" (String.concat "." path))
+    | Some v -> (
+        match conv v with
+        | Some x -> Ok x
+        | None ->
+            Error (Printf.sprintf "ill-typed field %s" (String.concat "." path)))
+  in
+  let str = function Json.String s -> Some s | _ -> None in
+  let int = function Json.Int i -> Some i | _ -> None in
+  let num = function
+    | Json.Float f -> Some f
+    | Json.Int i -> Some (float_of_int i)
+    | _ -> None
+  in
+  let boolean = function Json.Bool b -> Some b | _ -> None in
+  let list = function Json.List l -> Some l | _ -> None in
+  let* s = field [ "schema" ] str j in
+  if s <> schema then Error (Printf.sprintf "schema %S, wanted %S" s schema)
+  else
+    let* label = field [ "label" ] str j in
+    let* host_ocaml = field [ "host"; "ocaml" ] str j in
+    let* host_os = field [ "host"; "os" ] str j in
+    let* host_word_size = field [ "host"; "word_size" ] int j in
+    let* host_domains = field [ "host"; "domains" ] int j in
+    let* corpus_fingerprint = field [ "corpus"; "fingerprint" ] str j in
+    let* case_list = field [ "corpus"; "cases" ] list j in
+    let* corpus_cases =
+      List.fold_right
+        (fun c acc ->
+          let* acc = acc in
+          match str c with
+          | Some s -> Ok (s :: acc)
+          | None -> Error "ill-typed field corpus.cases")
+        case_list (Ok [])
+    in
+    let* explorer_states = field [ "explorer"; "states" ] int j in
+    let* explorer_elapsed_s = field [ "explorer"; "elapsed_s" ] num j in
+    let* minor_words_per_state =
+      field [ "explorer"; "minor_words_per_state" ] num j
+    in
+    let* solver_propagations = field [ "solver"; "propagations" ] int j in
+    let* solver_conflicts = field [ "solver"; "conflicts" ] int j in
+    let* solver_elapsed_s = field [ "solver"; "elapsed_s" ] num j in
+    let* phase_list = field [ "phases" ] list j in
+    let phase_of p =
+      let* ph_name = field [ "name" ] str p in
+      let* ph_ns = field [ "ns" ] int p in
+      let* ph_calls = field [ "calls" ] int p in
+      let* ph_items = field [ "items" ] int p in
+      Ok { ph_name; ph_ns; ph_calls; ph_items }
+    in
+    let* phases =
+      List.fold_right
+        (fun p acc ->
+          let* acc = acc in
+          let* ph = phase_of p in
+          Ok (ph :: acc))
+        phase_list (Ok [])
+    in
+    let* complete = field [ "complete" ] boolean j in
+    Ok
+      {
+        label;
+        host_ocaml;
+        host_os;
+        host_word_size;
+        host_domains;
+        corpus_fingerprint;
+        corpus_cases;
+        explorer_states;
+        explorer_elapsed_s;
+        minor_words_per_state;
+        solver_propagations;
+        solver_conflicts;
+        solver_elapsed_s;
+        phases;
+        complete;
+      }
+
+(* --- the gate --- *)
+
+type check = {
+  key : string;
+  baseline : float;
+  fresh : float;
+  floor : float;
+  pass : bool;
+}
+
+type comparison = Pass of check list | Fail of check list | Inconclusive of string
+
+let default_tolerance = 0.5
+
+let compare_floors ?(tolerance = default_tolerance) ~baseline ~fresh () =
+  if baseline.corpus_fingerprint <> fresh.corpus_fingerprint then
+    Inconclusive
+      (Printf.sprintf "corpus fingerprint mismatch (baseline %s, fresh %s)"
+         baseline.corpus_fingerprint fresh.corpus_fingerprint)
+  else if not baseline.complete then
+    Inconclusive "baseline measurement hit a budget cut"
+  else if not fresh.complete then
+    Inconclusive "fresh measurement hit a budget cut"
+  else
+    let fresh_floors = floors fresh in
+    let checks =
+      List.map
+        (fun (key, b) ->
+          let f = Option.value ~default:0.0 (List.assoc_opt key fresh_floors) in
+          let floor = tolerance *. b in
+          { key; baseline = b; fresh = f; floor; pass = f >= floor })
+        (floors baseline)
+    in
+    if List.for_all (fun c -> c.pass) checks then Pass checks else Fail checks
+
+let pp fmt t =
+  Format.fprintf fmt "trajectory %S (%s, %s, %d domains)@." t.label t.host_ocaml
+    t.host_os t.host_domains;
+  Format.fprintf fmt "  corpus   %d cases, fingerprint %s%s@."
+    (List.length t.corpus_cases)
+    t.corpus_fingerprint
+    (if t.complete then "" else "  (BUDGET CUT)");
+  Format.fprintf fmt "  explorer %9d states  %8.3fs  %12.0f st/s  %.1f mw/st@."
+    t.explorer_states t.explorer_elapsed_s (states_per_sec t)
+    t.minor_words_per_state;
+  Format.fprintf fmt "  solver   %9d props   %8.3fs  %12.0f pr/s  %.0f cf/s@."
+    t.solver_propagations t.solver_elapsed_s
+    (propagations_per_sec t) (conflicts_per_sec t);
+  if t.phases <> [] then begin
+    Format.fprintf fmt "  phases:@.";
+    List.iter
+      (fun p ->
+        Format.fprintf fmt "    %-22s %10.3f ms %9d calls %12d items@."
+          p.ph_name
+          (float_of_int p.ph_ns /. 1e6)
+          p.ph_calls p.ph_items)
+      t.phases
+  end

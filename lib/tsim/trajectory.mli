@@ -1,0 +1,107 @@
+(** The [tbtso-trajectory/1] performance-trajectory document.
+
+    One measured snapshot of the repo's two engines — explorer
+    throughput (states/s, GC pressure) and SAT solver throughput
+    (propagations/s, conflicts/s) — over a pinned benchmark corpus,
+    with the per-phase wall-time breakdown from {!Tbtso_obs.Span}.
+    Committed baselines ([BENCH_seed.json], regenerated per PR in CI)
+    plus {!compare_floors} turn throughput regressions into CI
+    failures instead of silent drift: every later optimisation PR is
+    measured against the same corpus fingerprint.
+
+    The gate follows the repo's sweep-gate conventions: a budget-cut
+    (incomplete) measurement or a corpus mismatch is {e inconclusive},
+    never a verdict. *)
+
+type phase = {
+  ph_name : string;
+  ph_ns : int;  (** Total wall time in the phase, nanoseconds. *)
+  ph_calls : int;
+  ph_items : int;  (** Phase-specific unit: states, propagations, ... *)
+}
+
+type t = {
+  label : string;  (** Baseline name: ["seed"], ["ci"], ["local"], ... *)
+  host_ocaml : string;
+  host_os : string;
+  host_word_size : int;
+  host_domains : int;  (** [Domain.recommended_domain_count] at measure time. *)
+  corpus_fingerprint : string;
+      (** Digest of the corpus programs + modes; {!compare_floors}
+          refuses to compare across different fingerprints. *)
+  corpus_cases : string list;
+  explorer_states : int;  (** States visited across the corpus. *)
+  explorer_elapsed_s : float;  (** Unprofiled wall time of those runs. *)
+  minor_words_per_state : float;  (** [Gc.minor_words] per visited state. *)
+  solver_propagations : int;
+  solver_conflicts : int;
+  solver_elapsed_s : float;
+  phases : phase list;
+      (** From a second, profiled pass over the same corpus (profiling
+          the measured pass would tax the throughput numbers). *)
+  complete : bool;
+      (** Every exploration and enumeration finished within budget;
+          [false] makes any gate over this document inconclusive. *)
+}
+
+val schema : string
+(** ["tbtso-trajectory/1"]. *)
+
+val states_per_sec : t -> float
+
+val propagations_per_sec : t -> float
+
+val conflicts_per_sec : t -> float
+
+val floors : t -> (string * float) list
+(** The gated throughput floors, derived:
+    [explorer.states_per_sec] and [solver.propagations_per_sec]. *)
+
+val measure : ?quick:bool -> label:string -> unit -> t
+(** Run the pinned corpus (SB / MP / flag / flag3 over SC, TSO and
+    TBTSO Δ ∈ {4, 100}; [quick] drops Δ = 100) twice: once unprofiled
+    for the throughput and GC numbers, once profiled for the phase
+    breakdown. Also runs one SAT session per case (encode + enumerate)
+    for the solver numbers. Single-domain by construction — throughput
+    floors must not depend on the pool. *)
+
+val to_json : t -> Tbtso_obs.Json.t
+(** The [tbtso-trajectory/1] document: [schema], [label], [host],
+    [corpus], [explorer] (with derived [states_per_sec] and
+    [minor_words_per_state]), [solver] (with derived rates), [phases],
+    [floors], [complete]. *)
+
+val of_json : Tbtso_obs.Json.t -> (t, string) result
+(** Inverse of {!to_json} (derived fields are recomputed, not read).
+    [Error] names the missing or ill-typed field. *)
+
+type check = {
+  key : string;
+  baseline : float;
+  fresh : float;
+  floor : float;  (** [tolerance × baseline] — the pass threshold. *)
+  pass : bool;
+}
+
+type comparison =
+  | Pass of check list
+  | Fail of check list  (** All checks; at least one failed. *)
+  | Inconclusive of string
+      (** Corpus mismatch or budget-cut measurement: no verdict, by
+          the same rule as the delta-sweep gate. *)
+
+val default_tolerance : float
+(** 0.5 — fresh throughput may halve before the gate fails. Deliberately
+    lenient: CI hardware differs from the machine that blessed the
+    baseline, and the floor is meant to catch order-of-magnitude
+    regressions, not noise. *)
+
+val compare_floors :
+  ?tolerance:float -> baseline:t -> fresh:t -> unit -> comparison
+(** Check every floor of [baseline] against [fresh]:
+    [fresh ≥ tolerance × baseline] must hold for each. A floor missing
+    from [fresh] fails; extra floors in [fresh] are ignored (forward
+    compatibility). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable summary: throughput lines then the phase table. *)

@@ -319,6 +319,28 @@ let test_metrics_registry () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_metrics_hist_shape () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r ~buckets:8 ~width:4 "res" in
+  Hist.observe h 3;
+  (* Re-registration with matching or omitted shape aliases the cell. *)
+  check_int "matching shape aliases" 1
+    (Hist.count (Metrics.histogram r ~buckets:8 ~width:4 "res"));
+  check_int "omitted shape aliases" 1 (Hist.count (Metrics.histogram r "res"));
+  check_int "partial shape aliases" 1
+    (Hist.count (Metrics.histogram r ~width:4 "res"));
+  (* A mismatched explicit shape would silently observe into the wrong
+     buckets — it must raise instead. *)
+  let rejects ?buckets ?width what =
+    check_bool what true
+      (match Metrics.histogram r ?buckets ?width "res" with
+      | exception Invalid_argument _ -> true
+      | _ -> false)
+  in
+  rejects ~buckets:16 "bucket mismatch rejected";
+  rejects ~width:2 "width mismatch rejected";
+  rejects ~buckets:8 ~width:2 "mixed mismatch rejected"
+
 let test_metrics_json () =
   let r = Metrics.create () in
   Metrics.add (Metrics.counter r "b") 2;
@@ -351,6 +373,13 @@ let test_chrome_writer () =
            ~args:[ ("age_ticks", Json.Int 250) ]
            ());
       Chrome.emit w (Chrome.counter ~name:"depth" ~pid:0 ~ts:1.0 [ ("t1", 3.0) ]);
+      (* Open-ended interval: a B/E pair for events whose end is not
+         known when the begin record is written. *)
+      Chrome.emit w
+        (Chrome.duration_begin ~name:"drain" ~pid:0 ~tid:1 ~ts:2.0
+           ~args:[ ("pending", Json.Int 2) ]
+           ());
+      Chrome.emit w (Chrome.duration_end ~name:"drain" ~pid:0 ~tid:1 ~ts:4.0 ());
       Chrome.close w;
       close_out oc;
       let ic = open_in path in
@@ -358,12 +387,12 @@ let test_chrome_writer () =
       close_in ic;
       match Json.member "traceEvents" (Json.of_string text) with
       | Some (Json.List evs) ->
-          check_int "all events present" 5 (List.length evs);
+          check_int "all events present" 7 (List.length evs);
           let phases =
             List.filter_map (fun e -> Json.member "ph" e) evs
             |> List.map (function Json.String s -> s | _ -> "?")
           in
-          check_bool "phases" true (phases = [ "M"; "M"; "i"; "X"; "C" ])
+          check_bool "phases" true (phases = [ "M"; "M"; "i"; "X"; "C"; "B"; "E" ])
       | _ -> Alcotest.fail "not a trace_event document")
 
 let () =
@@ -393,6 +422,8 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "histogram shape guard" `Quick
+            test_metrics_hist_shape;
           Alcotest.test_case "to_json" `Quick test_metrics_json;
         ] );
       ( "chrome",

@@ -505,20 +505,24 @@ let run_trajectory ~quick ~label ~compare_path ~gate ~tolerance ~json_path =
           let print_checks checks =
             List.iter
               (fun (c : Trajectory.check) ->
-                pf "  %-28s baseline %12.0f  fresh %12.0f  floor %12.0f  %s\n"
+                pf "  %-28s baseline %12.1f  fresh %12.1f  %s %12.1f  %s\n"
                   c.Trajectory.key c.Trajectory.baseline c.Trajectory.fresh
-                  c.Trajectory.floor
+                  (match c.Trajectory.direction with
+                  | Trajectory.Floor -> "floor  "
+                  | Trajectory.Ceiling -> "ceiling")
+                  c.Trajectory.bound
                   (if c.Trajectory.pass then "ok" else "REGRESSION"))
               checks
           in
           match Trajectory.compare_floors ~tolerance ~baseline ~fresh () with
           | Trajectory.Pass checks ->
               print_checks checks;
-              pf "trajectory gate: every floor holds\n"
+              pf "trajectory gate: every floor and ceiling holds\n"
           | Trajectory.Fail checks ->
               print_checks checks;
               prerr_endline
-                "trajectory gate failed: throughput fell below a baseline floor";
+                "trajectory gate failed: a baseline floor or ceiling was \
+                 breached";
               if gate then exit 1
           | Trajectory.Inconclusive why ->
               pf "trajectory gate: INCONCLUSIVE (%s)\n" why;

@@ -174,11 +174,13 @@ let robust_arg =
   let doc =
     "Additionally decide SC-robustness of each (file, mode) pair: is the \
      mode's exact outcome set equal to the SC set? Answered by one \
-     incremental SAT containment query against the session's retained SC \
-     baseline (no second enumeration) and reported per record (with a \
-     beyond-SC witness outcome when not robust). Advisory: never changes \
-     the verdict or exit code. See $(b,tbtso-litmus advise) for the full \
-     minimal-Δ / minimal-fence-set search."
+     incremental SAT containment query against a retained SC baseline (no \
+     second enumeration) and reported per record (with a beyond-SC witness \
+     outcome when not robust). All modes of one file share a single SAT \
+     session — the encode and the SC baseline are built once per file and \
+     each further mode costs only its containment query. Advisory: never \
+     changes the verdict or exit code. See $(b,tbtso-litmus advise) for \
+     the full minimal-Δ / minimal-fence-set search."
   in
   Arg.(value & flag & info [ "robust" ] ~doc)
 

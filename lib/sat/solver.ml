@@ -1,6 +1,24 @@
 (* CDCL SAT solver: two-watched-literal propagation, first-UIP learning,
    activity decisions with phase saving, Luby restarts, assumptions.
-   See solver.mli for why this stays deliberately classical. *)
+   See solver.mli for why this stays deliberately classical.
+
+   Storage layout: the whole clause database lives in one flat int-array
+   arena. A clause is an offset [cref] into the arena: the header word
+   at [cref] packs [size lsl 1 lor learnt], the literals follow inline
+   at [cref + 1 .. cref + size], with the two watched literals at slots
+   1 and 2. Offset 0 is reserved as the null reference ([cref_undef],
+   doubling as "no reason"), so the arena starts writing at word 1.
+   Watch lists are unboxed int vectors of (cref, blocker) pairs — the
+   blocker is a literal of the clause (kept in sync with the other
+   watch on every touch) whose being true proves the clause satisfied,
+   so most visits skip without dereferencing the clause at all. Learned
+   and scratch vectors are int vectors too: propagation, analysis and
+   clause addition allocate nothing on their steady-state paths, and
+   clause references survive arena reallocation (they are offsets, not
+   pointers). Retired clauses ({!simplify}) are dropped from the watch
+   lists and the learned set but their arena words are not reclaimed —
+   the encodings here are thousands of clauses, far below the point
+   where arena compaction would pay. *)
 
 module Span = Tbtso_obs.Span
 
@@ -12,26 +30,24 @@ let negate l = l lxor 1
 let lit_var l = l lsr 1
 let lit_sign l = l land 1 = 0
 
-(* Clauses are literal arrays; the two watched literals live at indices 0
-   and 1. [dummy] doubles as the "no reason" sentinel (compared with ==). *)
-type clause = { lits : lit array; learnt : bool }
+let cref_undef = 0
 
-let dummy = { lits = [||]; learnt = false }
+(* Growable unboxed int vector: watch lists ((cref, blocker) pairs, so
+   always an even count), the learned-clause cref list and the
+   analysis / add-clause scratch buffers. *)
+type ivec = { mutable idata : int array; mutable isz : int }
 
-(* Growable clause vector, used for the per-literal watch lists. *)
-type cvec = { mutable cdata : clause array; mutable csz : int }
+let ivec_make () = { idata = [||]; isz = 0 }
 
-let cvec_make () = { cdata = [||]; csz = 0 }
-
-let cvec_push v c =
-  let cap = Array.length v.cdata in
-  if v.csz = cap then begin
-    let d = Array.make (max 4 (2 * cap)) dummy in
-    Array.blit v.cdata 0 d 0 v.csz;
-    v.cdata <- d
+let ivec_push v x =
+  let cap = Array.length v.idata in
+  if v.isz = cap then begin
+    let d = Array.make (max 8 (2 * cap)) 0 in
+    Array.blit v.idata 0 d 0 v.isz;
+    v.idata <- d
   end;
-  v.cdata.(v.csz) <- c;
-  v.csz <- v.csz + 1
+  v.idata.(v.isz) <- x;
+  v.isz <- v.isz + 1
 
 type stats = {
   solves : int;
@@ -44,27 +60,42 @@ type stats = {
 }
 
 type t = {
+  (* Clause arena. *)
+  mutable ca : int array;
+  mutable ca_used : int;
   (* Per-variable state, grown by [new_var]. *)
   mutable nvars : int;
   mutable assign : int array;  (* -1 unassigned / 0 false / 1 true *)
   mutable level : int array;
-  mutable reason : clause array;  (* dummy = decision or root unit *)
+  mutable reason : int array;  (* cref; [cref_undef] = decision or root unit *)
   mutable activity : float array;
   mutable phase : bool array;
   mutable seen : bool array;  (* conflict-analysis scratch *)
   mutable model : int array;  (* snapshot of [assign] after SAT *)
-  mutable watches : cvec array;  (* indexed by literal *)
+  mutable watches : ivec array;  (* indexed by literal; (cref, blocker)* *)
   (* Trail. *)
   mutable trail : lit array;
   mutable trail_sz : int;
   mutable trail_lim : int array;  (* trail size at each decision level *)
   mutable n_levels : int;
   mutable qhead : int;
-  (* Heuristics. *)
+  (* Heuristics. Decision candidates live in a max-heap ordered by
+     activity ([heap] holds variables, [heap_pos] maps a variable to its
+     slot or -1): picking a branch variable is O(log n) instead of a
+     full activity scan, which dominated outcome-enumeration passes that
+     decide thousands of times between conflicts. Variables re-enter the
+     heap when unassigned by {!cancel_until}; stale (assigned) entries
+     are discarded lazily by {!pick_branch}. *)
   mutable var_inc : float;
+  mutable heap : int array;
+  mutable heap_sz : int;
+  mutable heap_pos : int array;
   (* Status and bookkeeping. *)
   mutable ok : bool;
-  mutable learnts : clause list;
+  learnts : ivec;  (* crefs, oldest first *)
+  tmp_tail : ivec;  (* analysis: sub-current-level learned literals *)
+  tmp_clear : ivec;  (* analysis: seen flags to reset *)
+  tmp_add : ivec;  (* add_clause: deduped literals, acceptance order *)
   mutable n_clauses : int;
   mutable n_solves : int;
   mutable n_removed : int;
@@ -82,6 +113,9 @@ type t = {
 
 let create () =
   {
+    ca = Array.make 1024 0;
+    ca_used = 1;
+    (* word 0 is [cref_undef] *)
     nvars = 0;
     assign = [||];
     level = [||];
@@ -97,8 +131,14 @@ let create () =
     n_levels = 0;
     qhead = 0;
     var_inc = 1.0;
+    heap = [||];
+    heap_sz = 0;
+    heap_pos = [||];
     ok = true;
-    learnts = [];
+    learnts = ivec_make ();
+    tmp_tail = ivec_make ();
+    tmp_clear = ivec_make ();
+    tmp_add = ivec_make ();
     n_clauses = 0;
     n_solves = 0;
     n_removed = 0;
@@ -117,12 +157,90 @@ let set_profiler s p =
   s.ph_analyze <- Span.phase p "sat.analyze";
   s.ph_simplify <- Span.phase p "sat.simplify"
 
+(* Clause-arena access. *)
+let clause_size ca cref = ca.(cref) lsr 1
+
+let clause_learnt ca cref = ca.(cref) land 1 = 1
+
+let ca_ensure s extra =
+  let cap = Array.length s.ca in
+  if s.ca_used + extra > cap then begin
+    let newcap = ref (max 1024 (2 * cap)) in
+    while s.ca_used + extra > !newcap do
+      newcap := 2 * !newcap
+    done;
+    let d = Array.make !newcap 0 in
+    Array.blit s.ca 0 d 0 s.ca_used;
+    s.ca <- d
+  end
+
+(* Reserve a clause of [size] literals; the caller fills slots
+   [cref + 1 .. cref + size]. *)
+let alloc_clause s size learnt =
+  ca_ensure s (size + 1);
+  let cref = s.ca_used in
+  s.ca.(cref) <- (size lsl 1) lor (if learnt then 1 else 0);
+  s.ca_used <- cref + size + 1;
+  cref
+
 let grow_int a n fill =
   let cap = Array.length !a in
   if n > cap then begin
     let d = Array.make (max 16 (max n (2 * cap))) fill in
     Array.blit !a 0 d 0 cap;
     a := d
+  end
+
+(* Activity max-heap over decision candidates. [heap] has capacity
+   ≥ [nvars] (grown by [new_var]), so inserts never reallocate. *)
+let heap_lt s v w = s.activity.(v) > s.activity.(w)
+
+let heap_up s i0 =
+  let v = s.heap.(i0) in
+  let i = ref i0 in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    heap_lt s v s.heap.(p)
+  do
+    let p = (!i - 1) / 2 in
+    s.heap.(!i) <- s.heap.(p);
+    s.heap_pos.(s.heap.(!i)) <- !i;
+    i := p
+  done;
+  s.heap.(!i) <- v;
+  s.heap_pos.(v) <- !i
+
+let heap_down s i0 =
+  let v = s.heap.(i0) in
+  let i = ref i0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let l = (2 * !i) + 1 in
+    if l >= s.heap_sz then continue_ := false
+    else begin
+      let r = l + 1 in
+      let c =
+        if r < s.heap_sz && heap_lt s s.heap.(r) s.heap.(l) then r else l
+      in
+      if heap_lt s s.heap.(c) v then begin
+        s.heap.(!i) <- s.heap.(c);
+        s.heap_pos.(s.heap.(!i)) <- !i;
+        i := c
+      end
+      else continue_ := false
+    end
+  done;
+  s.heap.(!i) <- v;
+  s.heap_pos.(v) <- !i
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap.(s.heap_sz) <- v;
+    s.heap_pos.(v) <- s.heap_sz;
+    s.heap_sz <- s.heap_sz + 1;
+    heap_up s (s.heap_sz - 1)
   end
 
 let new_var s =
@@ -136,12 +254,7 @@ let new_var s =
   s.assign <- gi s.assign (-1);
   s.level <- gi s.level 0;
   s.model <- gi s.model (-1);
-  (let cap = Array.length s.reason in
-   if v >= cap then begin
-     let d = Array.make (max 16 (2 * max 1 cap)) dummy in
-     Array.blit s.reason 0 d 0 cap;
-     s.reason <- d
-   end);
+  s.reason <- gi s.reason cref_undef;
   (let cap = Array.length s.activity in
    if v >= cap then begin
      let d = Array.make (max 16 (2 * max 1 cap)) 0.0 in
@@ -163,7 +276,7 @@ let new_var s =
   (let want = 2 * (v + 1) in
    let cap = Array.length s.watches in
    if want > cap then begin
-     let d = Array.init (max 32 (max want (2 * cap))) (fun _ -> cvec_make ()) in
+     let d = Array.init (max 32 (max want (2 * cap))) (fun _ -> ivec_make ()) in
      Array.blit s.watches 0 d 0 cap;
      s.watches <- d
    end);
@@ -173,6 +286,13 @@ let new_var s =
   (let a = ref s.trail_lim in
    grow_int a (v + 2) 0;
    s.trail_lim <- !a);
+  (let a = ref s.heap in
+   grow_int a (v + 1) 0;
+   s.heap <- !a);
+  (let a = ref s.heap_pos in
+   grow_int a (v + 1) (-1);
+   s.heap_pos <- !a);
+  heap_insert s v;
   v
 
 let n_vars s = s.nvars
@@ -183,7 +303,7 @@ let ok s = s.ok
 
 (* -1 unknown / 0 false / 1 true. *)
 let lit_val s l =
-  let a = s.assign.(lit_var l) in
+  let a = Array.unsafe_get s.assign (lit_var l) in
   if a < 0 then -1 else a lxor (l land 1)
 
 let enqueue s l reason =
@@ -211,76 +331,104 @@ let cancel_until s lvl =
       let v = lit_var s.trail.(i) in
       s.phase.(v) <- s.assign.(v) = 1;
       s.assign.(v) <- -1;
-      s.reason.(v) <- dummy
+      s.reason.(v) <- cref_undef;
+      heap_insert s v
     done;
     s.trail_sz <- lim;
     s.qhead <- lim;
     s.n_levels <- lvl
   end
 
-let attach s c =
-  cvec_push s.watches.(c.lits.(0)) c;
-  cvec_push s.watches.(c.lits.(1)) c
+(* Watch the clause through its slot-1 and slot-2 literals, each entry
+   carrying the other watch as its blocker. *)
+let attach s cref =
+  let l0 = s.ca.(cref + 1) in
+  let l1 = s.ca.(cref + 2) in
+  let w0 = s.watches.(l0) in
+  ivec_push w0 cref;
+  ivec_push w0 l1;
+  let w1 = s.watches.(l1) in
+  ivec_push w1 cref;
+  ivec_push w1 l0
 
-(* Unit propagation. Returns the conflicting clause, or [dummy] if the
-   assignment closed without conflict. A clause lives in the watch lists
-   of its two watched literals; when a watched literal becomes false we
-   either find a replacement watch, keep it satisfied through the other
-   watch, propagate the other watch, or report it as the conflict. *)
+(* Unit propagation. Returns the conflicting clause, or [cref_undef] if
+   the assignment closed without conflict. A clause lives in the watch
+   lists of its two watched literals; when a watched literal becomes
+   false we first test the entry's blocker (a literal of the clause —
+   true means satisfied, skip without loading the clause), then either
+   find a replacement watch, keep it satisfied through the other watch,
+   propagate the other watch, or report it as the conflict. *)
 let propagate s =
-  let confl = ref dummy in
-  while !confl == dummy && s.qhead < s.trail_sz do
+  let confl = ref cref_undef in
+  while !confl = cref_undef && s.qhead < s.trail_sz do
     let p = s.trail.(s.qhead) in
     s.qhead <- s.qhead + 1;
     s.propagations <- s.propagations + 1;
     let fl = negate p in
     let ws = s.watches.(fl) in
-    let n = ws.csz in
+    let n = ws.isz in
+    let wd = ws.idata in
     let i = ref 0 in
     let j = ref 0 in
     while !i < n do
-      let c = ws.cdata.(!i) in
-      incr i;
-      let lits = c.lits in
-      if lits.(0) = fl then begin
-        lits.(0) <- lits.(1);
-        lits.(1) <- fl
-      end;
-      let first = lits.(0) in
-      if lit_val s first = 1 then begin
-        ws.cdata.(!j) <- c;
-        incr j
+      let cref = Array.unsafe_get wd !i in
+      let blocker = Array.unsafe_get wd (!i + 1) in
+      i := !i + 2;
+      if lit_val s blocker = 1 then begin
+        Array.unsafe_set wd !j cref;
+        Array.unsafe_set wd (!j + 1) blocker;
+        j := !j + 2
       end
       else begin
-        (* Look for a non-false replacement watch. *)
-        let len = Array.length lits in
-        let k = ref 2 in
-        while !k < len && lit_val s lits.(!k) = 0 do
-          incr k
-        done;
-        if !k < len then begin
-          lits.(1) <- lits.(!k);
-          lits.(!k) <- fl;
-          cvec_push s.watches.(lits.(1)) c
+        let ca = s.ca in
+        let size = clause_size ca cref in
+        if Array.unsafe_get ca (cref + 1) = fl then begin
+          Array.unsafe_set ca (cref + 1) (Array.unsafe_get ca (cref + 2));
+          Array.unsafe_set ca (cref + 2) fl
+        end;
+        let first = Array.unsafe_get ca (cref + 1) in
+        if lit_val s first = 1 then begin
+          Array.unsafe_set wd !j cref;
+          Array.unsafe_set wd (!j + 1) first;
+          j := !j + 2
         end
         else begin
-          ws.cdata.(!j) <- c;
-          incr j;
-          if lit_val s first = 0 then begin
-            (* Conflict: keep the remaining watches and stop. *)
-            while !i < n do
-              ws.cdata.(!j) <- ws.cdata.(!i);
-              incr j;
-              incr i
-            done;
-            confl := c;
-            s.qhead <- s.trail_sz
+          (* Look for a non-false replacement watch. *)
+          let k = ref 3 in
+          while !k <= size && lit_val s (Array.unsafe_get ca (cref + !k)) = 0 do
+            incr k
+          done;
+          if !k <= size then begin
+            let w = Array.unsafe_get ca (cref + !k) in
+            Array.unsafe_set ca (cref + 2) w;
+            Array.unsafe_set ca (cref + !k) fl;
+            (* [w] is non-false, hence never [fl]: this push cannot alias
+               the list being compacted. *)
+            let nw = s.watches.(w) in
+            ivec_push nw cref;
+            ivec_push nw first
           end
-          else enqueue s first c
+          else begin
+            Array.unsafe_set wd !j cref;
+            Array.unsafe_set wd (!j + 1) first;
+            j := !j + 2;
+            if lit_val s first = 0 then begin
+              (* Conflict: keep the remaining watches and stop. *)
+              while !i < n do
+                Array.unsafe_set wd !j (Array.unsafe_get wd !i);
+                Array.unsafe_set wd (!j + 1) (Array.unsafe_get wd (!i + 1));
+                j := !j + 2;
+                i := !i + 2
+              done;
+              confl := cref;
+              s.qhead <- s.trail_sz
+            end
+            else enqueue s first cref
+          end
         end
       end
     done;
-    ws.csz <- !j
+    ws.isz <- !j
   done;
   !confl
 
@@ -292,38 +440,46 @@ let rescale_activity s =
 
 let bump s v =
   s.activity.(v) <- s.activity.(v) +. s.var_inc;
-  if s.activity.(v) > 1e100 then rescale_activity s
+  (* Rescaling divides every activity uniformly: heap order unchanged. *)
+  if s.activity.(v) > 1e100 then rescale_activity s;
+  if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
 
-(* First-UIP conflict analysis. Returns the learned clause (asserting
-   literal at index 0, a maximal-backjump-level literal at index 1) and
-   the backjump level. Assumes the conflict is at a level > 0. *)
+(* First-UIP conflict analysis. Learns a clause (asserting literal at
+   slot 1, a maximal-backjump-level literal at slot 2 so it can be
+   watched), records it in the arena and the learned set, and returns
+   its cref with the backjump level. Assumes the conflict is at a
+   level > 0. *)
 let analyze s confl =
   let cur = s.n_levels in
-  let tail = ref [] in
+  let tail = s.tmp_tail in
+  let to_clear = s.tmp_clear in
+  tail.isz <- 0;
+  to_clear.isz <- 0;
   let btlevel = ref 0 in
   let counter = ref 0 in
-  let to_clear = ref [] in
   let p = ref (-1) in
   (* -1: initial round, consider every literal of the conflict clause;
-     afterwards [p] is the trail literal being resolved on and index 0 of
+     afterwards [p] is the trail literal being resolved on and slot 1 of
      its reason clause (== p) is skipped. *)
   let c = ref confl in
   let idx = ref (s.trail_sz - 1) in
   let uip = ref 0 in
   let continue_ = ref true in
   while !continue_ do
-    let lits = (!c).lits in
-    let start = if !p < 0 then 0 else 1 in
-    for k = start to Array.length lits - 1 do
-      let q = lits.(k) in
+    let ca = s.ca in
+    let base = !c in
+    let size = clause_size ca base in
+    let start = if !p < 0 then 1 else 2 in
+    for k = start to size do
+      let q = ca.(base + k) in
       let v = lit_var q in
       if (not s.seen.(v)) && s.level.(v) > 0 then begin
         s.seen.(v) <- true;
-        to_clear := v :: !to_clear;
+        ivec_push to_clear v;
         bump s v;
         if s.level.(v) >= cur then incr counter
         else begin
-          tail := q :: !tail;
+          ivec_push tail q;
           if s.level.(v) > !btlevel then btlevel := s.level.(v)
         end
       end
@@ -345,55 +501,93 @@ let analyze s confl =
       c := s.reason.(lit_var pl)
     end
   done;
-  List.iter (fun v -> s.seen.(v) <- false) !to_clear;
-  let tail = !tail in
-  let lits = Array.of_list (negate !uip :: tail) in
-  (* Put a literal of the backjump level at index 1 so it can be watched. *)
-  if Array.length lits > 1 then begin
-    let best = ref 1 in
-    for k = 2 to Array.length lits - 1 do
-      if s.level.(lit_var lits.(k)) > s.level.(lit_var lits.(!best)) then
-        best := k
+  for k = 0 to to_clear.isz - 1 do
+    s.seen.(to_clear.idata.(k)) <- false
+  done;
+  (* Learned clause: ¬uip first, then the tail newest-discovered first
+     (the historical order, preserved for deterministic search). *)
+  let m = tail.isz in
+  let cref = alloc_clause s (m + 1) true in
+  let ca = s.ca in
+  ca.(cref + 1) <- negate !uip;
+  for k = 0 to m - 1 do
+    ca.(cref + 2 + k) <- tail.idata.(m - 1 - k)
+  done;
+  (* Put a literal of the backjump level at slot 2 so it can be watched. *)
+  if m > 1 then begin
+    let best = ref 2 in
+    for k = 3 to m + 1 do
+      if s.level.(lit_var ca.(cref + k)) > s.level.(lit_var ca.(cref + !best))
+      then best := k
     done;
-    let tmp = lits.(1) in
-    lits.(1) <- lits.(!best);
-    lits.(!best) <- tmp
+    let tmp = ca.(cref + 2) in
+    ca.(cref + 2) <- ca.(cref + !best);
+    ca.(cref + !best) <- tmp
   end;
-  ({ lits; learnt = true }, !btlevel)
+  (cref, !btlevel)
+
+(* Clause addition, root-level simplified: dedupe, drop false-at-root
+   literals, ignore satisfied and tautological clauses. [tmp_add]
+   collects the kept literals in acceptance order; the stored clause
+   reverses them, preserving the historical literal order exactly.
+   [addc_lit] accepts one literal (returning [false] once the clause is
+   known satisfied or tautological), [addc_finish] commits. *)
+let addc_lit s l =
+  let keep = s.tmp_add in
+  match lit_val s l with
+  | 1 when s.level.(lit_var l) = 0 -> false
+  | 0 when s.level.(lit_var l) = 0 -> true
+  | _ ->
+      let taut = ref false in
+      let dup = ref false in
+      for k = 0 to keep.isz - 1 do
+        if keep.idata.(k) = negate l then taut := true
+        else if keep.idata.(k) = l then dup := true
+      done;
+      if !taut then false
+      else begin
+        if not !dup then ivec_push keep l;
+        true
+      end
+
+let addc_finish s =
+  let keep = s.tmp_add in
+  match keep.isz with
+  | 0 -> s.ok <- false
+  | 1 ->
+      s.n_clauses <- s.n_clauses + 1;
+      let l = keep.idata.(0) in
+      (match lit_val s l with
+      | 1 -> ()
+      | 0 -> s.ok <- false
+      | _ -> enqueue s l cref_undef)
+  | m ->
+      let cref = alloc_clause s m false in
+      let ca = s.ca in
+      for k = 0 to m - 1 do
+        ca.(cref + 1 + k) <- keep.idata.(m - 1 - k)
+      done;
+      s.n_clauses <- s.n_clauses + 1;
+      attach s cref
 
 let add_clause s lits =
   if s.ok then begin
-    (* Root-level simplification: dedupe, drop false-at-root literals,
-       ignore satisfied and tautological clauses. *)
-    let keep = ref [] in
-    let taut = ref false in
-    let sat = ref false in
-    List.iter
-      (fun l ->
-        if not (!taut || !sat) then
-          match lit_val s l with
-          | 1 when s.level.(lit_var l) = 0 -> sat := true
-          | 0 when s.level.(lit_var l) = 0 -> ()
-          | _ ->
-              if List.mem (negate l) !keep then taut := true
-              else if not (List.mem l !keep) then keep := l :: !keep)
-      lits;
-    if not (!taut || !sat) then
-      match !keep with
-      | [] -> s.ok <- false
-      | [ l ] ->
-          s.n_clauses <- s.n_clauses + 1;
-          (match lit_val s l with
-          | 1 -> ()
-          | 0 -> s.ok <- false
-          | _ -> enqueue s l dummy)
-      | l0 :: l1 :: _ ->
-          let arr = Array.of_list !keep in
-          ignore l0;
-          ignore l1;
-          let c = { lits = arr; learnt = false } in
-          s.n_clauses <- s.n_clauses + 1;
-          attach s c
+    s.tmp_add.isz <- 0;
+    let rec go = function
+      | [] -> addc_finish s
+      | l :: r -> if addc_lit s l then go r else ()
+    in
+    go lits
+  end
+
+let add_lits s lits len =
+  if s.ok then begin
+    s.tmp_add.isz <- 0;
+    let rec go i =
+      if i >= len then addc_finish s
+      else if addc_lit s lits.(i) then go (i + 1)
+    in
+    go 0
   end
 
 (* Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
@@ -408,16 +602,24 @@ let luby i =
   in
   outer 1 0
 
+(* Pop until an unassigned variable surfaces; assigned entries are stale
+   (their variables re-enter on backtrack) and are simply discarded. An
+   empty heap means every variable is assigned: a full model. *)
 let pick_branch s =
-  let best = ref (-1) in
-  let best_act = ref neg_infinity in
-  for v = 0 to s.nvars - 1 do
-    if s.assign.(v) < 0 && s.activity.(v) > !best_act then begin
-      best := v;
-      best_act := s.activity.(v)
-    end
+  let v = ref (-1) in
+  while !v < 0 && s.heap_sz > 0 do
+    let x = s.heap.(0) in
+    s.heap_sz <- s.heap_sz - 1;
+    s.heap_pos.(x) <- -1;
+    if s.heap_sz > 0 then begin
+      let last = s.heap.(s.heap_sz) in
+      s.heap.(0) <- last;
+      s.heap_pos.(last) <- 0;
+      heap_down s 0
+    end;
+    if s.assign.(x) < 0 then v := x
   done;
-  !best
+  !v
 
 let solve ?(assumptions = []) s =
   cancel_until s 0;
@@ -435,7 +637,7 @@ let solve ?(assumptions = []) s =
       let confl = propagate s in
       Span.stop s.ph_propagate;
       Span.items s.ph_propagate (s.propagations - p0);
-      if confl != dummy then begin
+      if confl <> cref_undef then begin
         s.conflicts <- s.conflicts + 1;
         decr conflicts_budget;
         if s.n_levels = 0 then begin
@@ -448,12 +650,13 @@ let solve ?(assumptions = []) s =
           Span.stop s.ph_analyze;
           Span.items s.ph_analyze 1;
           cancel_until s btlevel;
-          if Array.length learnt.lits = 1 then enqueue s learnt.lits.(0) dummy
+          let first = s.ca.(learnt + 1) in
+          if clause_size s.ca learnt = 1 then enqueue s first cref_undef
           else begin
             attach s learnt;
-            enqueue s learnt.lits.(0) learnt
+            enqueue s first learnt
           end;
-          s.learnts <- learnt :: s.learnts;
+          ivec_push s.learnts learnt;
           s.n_learned <- s.n_learned + 1;
           s.var_inc <- s.var_inc /. 0.95
         end
@@ -474,7 +677,7 @@ let solve ?(assumptions = []) s =
         | 0 -> result := Some false
         | _ ->
             new_level s;
-            enqueue s a dummy
+            enqueue s a cref_undef
       end
       else begin
         match pick_branch s with
@@ -485,7 +688,7 @@ let solve ?(assumptions = []) s =
         | v ->
             s.decisions <- s.decisions + 1;
             new_level s;
-            enqueue s (if s.phase.(v) then pos v else neg v) dummy
+            enqueue s (if s.phase.(v) then pos v else neg v) cref_undef
       end
     done;
     cancel_until s 0;
@@ -503,43 +706,53 @@ let lit_value s l = s.model.(lit_var l) lxor (l land 1) = 1
    it from both watch lists (and from the learned set) preserves the
    solver's entailment exactly. Root-level [reason] entries are never
    dereferenced — conflict analysis skips level-0 variables — so removal
-   is safe even for clauses that forced a root unit. *)
-let root_satisfied s c =
-  let n = Array.length c.lits in
-  let rec go i =
-    i < n
-    && ((lit_val s c.lits.(i) = 1 && s.level.(lit_var c.lits.(i)) = 0)
-       || go (i + 1))
+   is safe even for clauses that forced a root unit. The arena words of
+   a dropped clause are simply left behind (see the header comment). *)
+let root_satisfied s cref =
+  let ca = s.ca in
+  let size = clause_size ca cref in
+  let rec go k =
+    k <= size
+    && ((lit_val s ca.(cref + k) = 1 && s.level.(lit_var ca.(cref + k)) = 0)
+       || go (k + 1))
   in
-  go 0
+  go 1
 
 let simplify_work s =
   cancel_until s 0;
   if s.ok then
-    if propagate s != dummy then s.ok <- false
+    if propagate s <> cref_undef then s.ok <- false
     else begin
       let removed = ref 0 in
       Array.iter
         (fun ws ->
           let j = ref 0 in
-          for i = 0 to ws.csz - 1 do
-            let c = ws.cdata.(i) in
-            if root_satisfied s c then incr removed
+          let i = ref 0 in
+          while !i < ws.isz do
+            let cref = ws.idata.(!i) in
+            if root_satisfied s cref then incr removed
             else begin
-              ws.cdata.(!j) <- c;
-              incr j
-            end
+              ws.idata.(!j) <- cref;
+              ws.idata.(!j + 1) <- ws.idata.(!i + 1);
+              j := !j + 2
+            end;
+            i := !i + 2
           done;
-          for i = !j to ws.csz - 1 do
-            ws.cdata.(i) <- dummy
-          done;
-          ws.csz <- !j)
+          ws.isz <- !j)
         s.watches;
       (* Each removed clause sat in exactly two watch lists. *)
       let dropped = !removed / 2 in
-      let live_learnts = List.filter (fun c -> not (root_satisfied s c)) s.learnts in
-      let dropped_learnt = List.length s.learnts - List.length live_learnts in
-      s.learnts <- live_learnts;
+      let lv = s.learnts in
+      let j = ref 0 in
+      for i = 0 to lv.isz - 1 do
+        let cref = lv.idata.(i) in
+        if not (root_satisfied s cref) then begin
+          lv.idata.(!j) <- cref;
+          incr j
+        end
+      done;
+      let dropped_learnt = lv.isz - !j in
+      lv.isz <- !j;
       s.n_learned <- s.n_learned - dropped_learnt;
       s.n_clauses <- s.n_clauses - (dropped - dropped_learnt);
       s.n_removed <- s.n_removed + dropped
@@ -564,4 +777,18 @@ let stats s =
   }
 
 let learned_clauses s =
-  List.rev_map (fun c -> Array.to_list c.lits) s.learnts
+  let ca = s.ca in
+  let out = ref [] in
+  for i = s.learnts.isz - 1 downto 0 do
+    let cref = s.learnts.idata.(i) in
+    let size = clause_size ca cref in
+    let lits = ref [] in
+    for k = size downto 1 do
+      lits := ca.(cref + k) :: !lits
+    done;
+    out := !lits :: !out
+  done;
+  !out
+
+(* [clause_learnt] documents the header encoding; keep it referenced. *)
+let _ = clause_learnt

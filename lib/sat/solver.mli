@@ -60,6 +60,13 @@ val add_clause : t -> lit list -> unit
     tautologies ignored; adding the empty clause (or a clause false under
     root-level units) makes the solver permanently unsatisfiable. *)
 
+val add_lits : t -> lit array -> int -> unit
+(** [add_lits s lits len] adds the clause [lits.(0 .. len - 1)] —
+    {!add_clause} over an array prefix, for encoders that build clauses
+    into a reused scratch buffer instead of allocating a list per
+    clause. Entries at [len] and beyond are ignored. Same semantics as
+    {!add_clause}, including the stored literal order. *)
+
 val ok : t -> bool
 (** [false] once root-level unsatisfiability has been established; every
     further [solve] returns [false] immediately. *)

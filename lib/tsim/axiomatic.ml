@@ -95,14 +95,46 @@ let session ?(addrs = 4) ?(regs = 4) ?(profiler = Span.disabled) programs =
   let n = Array.length progs in
   let len i = Array.length progs.(i) in
   let ntri = function T -> F | F -> T | L l -> L (S.negate l) in
+  (* Clause construction goes through one reused scratch buffer: push
+     tri-state literals with [cpush] ([T] marks the clause satisfied,
+     [F] vanishes), commit with [cflush]. The hot constraint families
+     below emit O(pairs · H) clauses, so the per-clause list building a
+     naive [add_clause lits] interface implies was most of the encode's
+     allocation. [cflush] hands the solver the literals in the order the
+     old list pipeline did (reversed pushes — the solver re-reverses),
+     keeping stored clauses, and hence search, byte-identical. *)
+  let cbuf = ref (Array.make 16 (S.pos 0)) in
+  let c_n = ref 0 in
+  let c_sat = ref false in
+  let cpush = function
+    | T -> c_sat := true
+    | F -> ()
+    | L l ->
+        if !c_n = Array.length !cbuf then begin
+          let d = Array.make (2 * !c_n) (S.pos 0) in
+          Array.blit !cbuf 0 d 0 !c_n;
+          cbuf := d
+        end;
+        !cbuf.(!c_n) <- l;
+        incr c_n
+  in
+  let cflush () =
+    if not !c_sat then begin
+      let b = !cbuf in
+      let n = !c_n in
+      for i = 0 to (n / 2) - 1 do
+        let t = b.(i) in
+        b.(i) <- b.(n - 1 - i);
+        b.(n - 1 - i) <- t
+      done;
+      S.add_lits s b n
+    end;
+    c_sat := false;
+    c_n := 0
+  in
   let add_cl lits =
-    let rec go acc = function
-      | [] -> Some acc
-      | T :: _ -> None
-      | F :: r -> go acc r
-      | L l :: r -> go (l :: acc) r
-    in
-    match go [] lits with None -> () | Some ls -> S.add_clause s ls
+    List.iter cpush lits;
+    cflush ()
   in
   (* --- control flow, in-formula ------------------------------------ *)
   (* One branch literal per Loadeq (true = value matched, branch
@@ -245,21 +277,35 @@ let session ?(addrs = 4) ?(regs = 4) ?(profiler = Span.disabled) programs =
           acc prog)
       0 progs
   in
-  (* Order encoding: o e t ⟺ T_e ≤ t, for t ∈ 1..H−1. *)
+  (* Order encoding: o e t ⟺ T_e ≤ t, for t ∈ 1..H−1. The ladder
+     literals and their negations are boxed once up front ([tl] / [tln]):
+     every constraint family below iterates over all H time slots per
+     event pair, so allocating a fresh [L _] on each [o] call dominated
+     the whole encode. *)
   let tl =
     Array.init nev (fun _ ->
-        Array.init (max 0 (h - 1)) (fun _ -> S.pos (S.new_var s)))
+        Array.init (max 0 (h - 1)) (fun _ -> L (S.pos (S.new_var s))))
   in
-  let o e t = if t <= 0 then F else if t >= h then T else L tl.(e).(t - 1) in
+  let tln =
+    Array.map (Array.map (function L l -> L (S.negate l) | t -> t)) tl
+  in
+  let o e t = if t <= 0 then F else if t >= h then T else tl.(e).(t - 1) in
+  (* [no e t] ≡ [ntri (o e t)], allocation-free. *)
+  let no e t = if t <= 0 then T else if t >= h then F else tln.(e).(t - 1) in
   for e = 0 to nev - 1 do
     for t = 1 to h - 2 do
-      add_cl [ ntri (o e t); o e (t + 1) ]
+      cpush (no e t);
+      cpush (o e (t + 1));
+      cflush ()
     done
   done;
   (* T_u + g ≤ T_v under the guards, as direct clauses over ladders. *)
   let le_gap ?(guards = []) u v g =
     for t = 1 to h do
-      add_cl (guards @ [ ntri (o v t); o u (t - g) ])
+      List.iter cpush guards;
+      cpush (no v t);
+      cpush (o u (t - g));
+      cflush ()
     done
   in
   (* Reified strict comparison T_u < T_v. The two clause directions
@@ -275,11 +321,18 @@ let session ?(addrs = 4) ?(regs = 4) ?(profiler = Span.disabled) programs =
       | None ->
           let p = S.pos (S.new_var s) in
           Hashtbl.add ltc (u, v) p;
+          let pp = L p and np = L (S.negate p) in
           for t = 1 to h do
-            add_cl [ L (S.negate p); ntri (o v t); o u (t - 1) ];
-            add_cl [ L p; ntri (o u t); o v (t - 1) ]
+            cpush np;
+            cpush (no v t);
+            cpush (o u (t - 1));
+            cflush ();
+            cpush pp;
+            cpush (no u t);
+            cpush (o v (t - 1));
+            cflush ()
           done;
-          L p
+          pp
   in
   (* One action per time slot: force distinctness for every event pair
      whose order is not already entailed when both execute (same-thread

@@ -71,69 +71,31 @@ let age_by k state =
 
 let age state = age_by 1 state
 
-(* --- Compact state keys ---
-
-   States are encoded into an [int array] (memory cells, then per thread:
-   pc, wait, buffer length, registers, buffer entries) and hashed with
-   FNV-1a over the whole array. The reference implementation below builds
-   a fresh string per state instead; on the hot path that string
-   formatting dominated the profile. *)
-
-module Key = struct
-  type t = int array
-
-  let equal (a : int array) (b : int array) =
-    let la = Array.length a in
-    la = Array.length b
-    &&
-    let i = ref 0 in
-    while !i < la && Array.unsafe_get a !i = Array.unsafe_get b !i do
-      incr i
-    done;
-    !i = la
-
-  let hash (a : int array) =
-    let h = ref 0x811c9dc5 in
-    for i = 0 to Array.length a - 1 do
-      h := (!h lxor Array.unsafe_get a i) * 0x01000193 land max_int
-    done;
-    !h
-end
-
-module Ktbl = Hashtbl.Make (Key)
-
-let encode_state s =
-  let n = ref (Array.length s.mem_v) in
-  Array.iter
-    (fun t -> n := !n + 3 + Array.length t.regs_v + (3 * List.length t.buf))
-    s.threads;
-  let k = Array.make !n 0 in
-  let i = ref 0 in
-  let put v =
-    Array.unsafe_set k !i v;
-    incr i
-  in
-  Array.iter put s.mem_v;
-  Array.iter
-    (fun t ->
-      put t.pc;
-      put t.wait;
-      put (List.length t.buf);
-      Array.iter put t.regs_v;
-      List.iter
-        (fun e ->
-          put e.addr;
-          put e.value;
-          put e.slack)
-        t.buf)
-    s.threads;
-  k
-
 let default_max_states = 2_000_000
 
 module Span = Tbtso_obs.Span
 
-let enumerate_core ~mode ~addrs ~regs ~max_states ~profiler programs0 =
+(* Mutable scratch representation of one exploration state, allocated
+   once per exploration and reused for every state: the expand loop
+   decodes the parent into one of these, ages and mutates children in
+   place, and re-encodes into the packed key buffer — zero per-state
+   allocation. Thread [i]'s buffer slots live at words
+   [3·boff(i) .. 3·boff(i+1)) of [s_buf] as (addr, value, slack)
+   triples, where [boff] accumulates each thread's static store count
+   (an upper bound on its buffer length: programs are straight-line,
+   every store issues at most once). Words past [s_len.(i)] entries are
+   stale and never read. *)
+type scratch_state = {
+  s_mem : int array;
+  s_pc : int array;
+  s_wait : int array;
+  s_len : int array;
+  s_regs : int array;  (* thread i's register r at [i * regs + r] *)
+  s_buf : int array;
+}
+
+let enumerate_core ~mode ~addrs ~regs ~max_states ~profiler ?(arena_words = 1 lsl 16)
+    ?(table_slots = 4096) ?on_intern programs0 =
   let t0 = Sys.time () in
   (* Phase accumulators (no-ops on the disabled profiler). [expand] is
      inclusive: it contains the canon / intern / sleep sections of the
@@ -216,14 +178,267 @@ let enumerate_core ~mode ~addrs ~regs ~max_states ~profiler programs0 =
     let len = Array.length programs.(i) in
     if pc > len then len else pc
   in
-  (* Upper bound on the number of aging steps any continuation of [st]
-     can take before the whole program terminates (or dead-ends). *)
-  let horizon st =
+  let outcomes = Hashtbl.create 64 in
+  let visited = ref 0 in
+  let dedup_hits = ref 0 in
+  let canon_hits = ref 0 in
+  let zones_merged = ref 0 in
+  let max_frontier = ref 0 in
+  let frontier = ref 0 in
+  let time_leaps = ref 0 in
+  let sleep_skips = ref 0 in
+  let dd_skips = ref 0 in
+  let di_skips = ref 0 in
+  let ii_skips = ref 0 in
+  let exhausted = ref false in
+  (* --- Packed scratch states --- *)
+  let bufcap =
+    Array.map
+      (fun prog ->
+        Array.fold_left
+          (fun acc ins ->
+            match ins with
+            | Store _ -> acc + 1
+            | Load _ | Loadeq _ | Fence | Wait _ | Cas _ -> acc)
+          0 prog)
+      programs
+  in
+  let boff = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    boff.(i + 1) <- boff.(i) + bufcap.(i)
+  done;
+  let total_cap = boff.(n) in
+  (* Packed key layout (the FNV-1a-hashed intern key): memory cells,
+     then per thread: pc, wait, buffer length, registers, then one
+     (addr, value, slack) triple per live buffer entry. At most
+     [key_max] words; written into the single scratch buffer [kbuf]. *)
+  let key_max = addrs + (n * (3 + regs)) + (3 * total_cap) in
+  let make_ws () =
+    {
+      s_mem = Array.make addrs 0;
+      s_pc = Array.make n 0;
+      s_wait = Array.make n 0;
+      s_len = Array.make n 0;
+      s_regs = Array.make (n * regs) 0;
+      s_buf = Array.make (3 * total_cap) 0;
+    }
+  in
+  let copy_ws dst src =
+    Array.blit src.s_mem 0 dst.s_mem 0 addrs;
+    Array.blit src.s_pc 0 dst.s_pc 0 n;
+    Array.blit src.s_wait 0 dst.s_wait 0 n;
+    Array.blit src.s_len 0 dst.s_len 0 n;
+    Array.blit src.s_regs 0 dst.s_regs 0 (n * regs);
+    Array.blit src.s_buf 0 dst.s_buf 0 (3 * total_cap)
+  in
+  (* [a_ws]: the parent being expanded; [b_ws]: the parent aged by one
+     tick, shared by every action branch; [c_ws]: the child under
+     construction (copied from [b_ws], mutated, canonicalized in place,
+     encoded, interned). *)
+  let a_ws = make_ws () in
+  let b_ws = make_ws () in
+  let c_ws = make_ws () in
+  let b_ok = ref false in
+  let kbuf = Array.make (max key_max 1) 0 in
+  let encode_ws c =
+    let p = ref 0 in
+    for a = 0 to addrs - 1 do
+      Array.unsafe_set kbuf !p (Array.unsafe_get c.s_mem a);
+      incr p
+    done;
+    for i = 0 to n - 1 do
+      Array.unsafe_set kbuf !p c.s_pc.(i);
+      incr p;
+      Array.unsafe_set kbuf !p c.s_wait.(i);
+      incr p;
+      let l = c.s_len.(i) in
+      Array.unsafe_set kbuf !p l;
+      incr p;
+      let rb = i * regs in
+      for r = 0 to regs - 1 do
+        Array.unsafe_set kbuf !p (Array.unsafe_get c.s_regs (rb + r));
+        incr p
+      done;
+      let b = 3 * boff.(i) in
+      for j = 0 to (3 * l) - 1 do
+        Array.unsafe_set kbuf !p (Array.unsafe_get c.s_buf (b + j));
+        incr p
+      done
+    done;
+    !p
+  in
+  let fnv len =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to len - 1 do
+      h := (!h lxor Array.unsafe_get kbuf i) * 0x01000193 land max_int
+    done;
+    !h
+  in
+  (* --- Hash-cons arena ---
+
+     Canonical states are interned at push time into a dense id space:
+     the packed key words live back to back in the growable [arena],
+     the open-addressed [table] (power-of-two capacity, linear probing,
+     slots hold id + 1 with 0 = empty, ≤ 0.5 load) maps key to id via
+     the cached FNV hash, and [sleeps.(id)]/[slclss.(id)] hold the
+     sleep set the state was (last) expanded with (-1 = not yet
+     expanded). The worklist carries plain ids, the hot dedup path
+     compares ids instead of re-hashing keys, re-arrivals at an
+     interned state count as [canon_hits], and the intern hit path
+     allocates nothing. *)
+  let round_pow2 x =
+    let c = ref 16 in
+    while !c < x do
+      c := 2 * !c
+    done;
+    !c
+  in
+  let arena = ref (Array.make (max arena_words 16) 0) in
+  let arena_used = ref 0 in
+  let arena_growths = ref 0 in
+  let table = ref (Array.make (round_pow2 table_slots) 0) in
+  let key_off = ref (Array.make 1024 0) in
+  let key_len = ref (Array.make 1024 0) in
+  let key_hash = ref (Array.make 1024 0) in
+  let sleeps = ref (Array.make 1024 (-1)) in
+  let slclss = ref (Array.make 1024 0) in
+  let nstates = ref 0 in
+  let rehash () =
+    let cap = 2 * Array.length !table in
+    let t = Array.make cap 0 in
+    let mask = cap - 1 in
+    let kh = !key_hash in
+    for id = 0 to !nstates - 1 do
+      let slot = ref (kh.(id) land mask) in
+      while t.(!slot) <> 0 do
+        slot := (!slot + 1) land mask
+      done;
+      t.(!slot) <- id + 1
+    done;
+    table := t
+  in
+  (* Intern the packed key in [kbuf.(0..klen-1)]: the id of the state,
+     existing or fresh. *)
+  let intern_packed klen h =
+    let tbl = !table in
+    let mask = Array.length tbl - 1 in
+    let ar = !arena in
+    let ko = !key_off and kl = !key_len and kh = !key_hash in
+    let slot = ref (h land mask) in
+    let found = ref (-1) in
+    let probing = ref true in
+    while !probing do
+      let v = Array.unsafe_get tbl !slot in
+      if v = 0 then probing := false
+      else begin
+        let cand = v - 1 in
+        if Array.unsafe_get kh cand = h && Array.unsafe_get kl cand = klen
+        then begin
+          let off = Array.unsafe_get ko cand in
+          let i = ref 0 in
+          while
+            !i < klen
+            && Array.unsafe_get ar (off + !i) = Array.unsafe_get kbuf !i
+          do
+            incr i
+          done;
+          if !i = klen then begin
+            found := cand;
+            probing := false
+          end
+          else slot := (!slot + 1) land mask
+        end
+        else slot := (!slot + 1) land mask
+      end
+    done;
+    if !found >= 0 then begin
+      incr canon_hits;
+      !found
+    end
+    else begin
+      let id = !nstates in
+      let idcap = Array.length !key_off in
+      if id >= idcap then begin
+        let grow a fill =
+          let a' = Array.make (2 * idcap) fill in
+          Array.blit !a 0 a' 0 idcap;
+          a := a'
+        in
+        grow key_off 0;
+        grow key_len 0;
+        grow key_hash 0;
+        grow sleeps (-1);
+        grow slclss 0
+      end;
+      (if !arena_used + klen > Array.length !arena then begin
+         let newcap = ref (2 * Array.length !arena) in
+         while !arena_used + klen > !newcap do
+           newcap := 2 * !newcap
+         done;
+         let a' = Array.make !newcap 0 in
+         Array.blit !arena 0 a' 0 !arena_used;
+         arena := a';
+         incr arena_growths
+       end);
+      let off = !arena_used in
+      Array.blit kbuf 0 !arena off klen;
+      arena_used := off + klen;
+      !key_off.(id) <- off;
+      !key_len.(id) <- klen;
+      !key_hash.(id) <- h;
+      !sleeps.(id) <- -1;
+      !slclss.(id) <- 0;
+      !table.(!slot) <- id + 1;
+      incr nstates;
+      if 2 * !nstates >= Array.length !table then rehash ();
+      id
+    end
+  in
+  let intern c =
+    Span.start ph_intern;
+    let klen = encode_ws c in
+    let id = intern_packed klen (fnv klen) in
+    Span.stop ph_intern;
+    Span.items ph_intern 1;
+    (match on_intern with
+    | None -> ()
+    | Some f -> f (Array.sub kbuf 0 klen) id);
+    id
+  in
+  let decode_ws off dst =
+    let ar = !arena in
+    let p = ref off in
+    for a = 0 to addrs - 1 do
+      dst.s_mem.(a) <- Array.unsafe_get ar !p;
+      incr p
+    done;
+    for i = 0 to n - 1 do
+      dst.s_pc.(i) <- Array.unsafe_get ar !p;
+      incr p;
+      dst.s_wait.(i) <- Array.unsafe_get ar !p;
+      incr p;
+      let l = Array.unsafe_get ar !p in
+      incr p;
+      dst.s_len.(i) <- l;
+      let rb = i * regs in
+      for r = 0 to regs - 1 do
+        dst.s_regs.(rb + r) <- Array.unsafe_get ar !p;
+        incr p
+      done;
+      let b = 3 * boff.(i) in
+      for j = 0 to (3 * l) - 1 do
+        dst.s_buf.(b + j) <- Array.unsafe_get ar !p;
+        incr p
+      done
+    done
+  in
+  (* Upper bound on the number of aging steps any continuation of the
+     state can take before the whole program terminates (or dead-ends). *)
+  let horizon_ws c =
     let h = ref 0 in
-    Array.iteri
-      (fun i t ->
-        h := !h + t.wait + List.length t.buf + suffix.(i).(clamp_pc i t.pc))
-      st.threads;
+    for i = 0 to n - 1 do
+      h := !h + c.s_wait.(i) + c.s_len.(i) + suffix.(i).(clamp_pc i c.s_pc.(i))
+    done;
     !h
   in
   (* Observability caps for the zone abstraction (see [Zone] for the
@@ -242,17 +457,20 @@ let enumerate_core ~mode ~addrs ~regs ~max_states ~profiler programs0 =
      {e every} TBTSO state, which kept the wake concrete through the
      whole wait — the linear-in-Δ blow-up this replaces.) *)
   let max_slack = match mode with M_tbtso d -> d | M_sc | M_tso | M_tsos _ -> 0 in
-  let zone_caps st =
+  let cap_base = ref 0 in
+  let cap_gap = ref 0 in
+  let zone_caps_ws c =
     let r = ref 0 and w = ref 0 and s = ref 0 in
-    Array.iteri
-      (fun i t ->
-        let pc = clamp_pc i t.pc in
-        r := !r + List.length t.buf + actions.(i).(pc);
-        w := !w + wsum.(i).(pc);
-        s := !s + sfut.(i).(pc))
-      st.threads;
+    for i = 0 to n - 1 do
+      let pc = clamp_pc i c.s_pc.(i) in
+      r := !r + c.s_len.(i) + actions.(i).(pc);
+      w := !w + wsum.(i).(pc);
+      s := !s + sfut.(i).(pc)
+    done;
     match mode with
-    | M_sc | M_tso | M_tsos _ -> (2 + !r, 2 + !r)
+    | M_sc | M_tso | M_tsos _ ->
+        cap_base := 2 + !r;
+        cap_gap := 2 + !r
     | M_tbtso _ ->
         let dwin =
           (* Saturate instead of overflowing for absurd Δ: a cap this
@@ -260,9 +478,9 @@ let enumerate_core ~mode ~addrs ~regs ~max_states ~profiler programs0 =
           if !s > 0 && max_slack >= max_int / (4 * (!s + 1)) then max_int / 4
           else max_slack * !s
         in
-        (2 + !r + !w, 2 + !r + !w + dwin)
+        cap_base := 2 + !r + !w;
+        cap_gap := 2 + !r + !w + dwin
   in
-  let zones_merged = ref 0 in
   (* Time-leap aging, part 2: map the state's live timers (wake timers
      from waits, deadline timers from slacks) to their canonical zone
      representative — ∞-saturate deadlines beyond the horizon, then
@@ -270,147 +488,81 @@ let enumerate_core ~mode ~addrs ~regs ~max_states ~profiler programs0 =
      clamping waits shrinks the horizon, which can unlock further
      saturation. Each pass is outcome-preserving for the concrete state
      it is applied to, so the iteration order never affects
-     correctness, only how small the canonical form gets. *)
-  let canon_zone st =
-    let pass st =
+     correctness, only how small the canonical form gets.
+
+     Runs entirely in place on the scratch child: timers are gathered
+     into the preallocated [z_kinds]/[z_vals] vectors, normalized by
+     {!Zone.normalize_into} with the reusable [z_scratch], and written
+     back — no allocation on any path. *)
+  let max_timers = n + total_cap in
+  let z_kinds = Array.make (max max_timers 1) Zone.Wake in
+  let z_vals = Array.make (max max_timers 1) 0 in
+  let z_scratch = Array.make (max (2 * max_timers) 1) 0 in
+  let canon_ws c =
+    Span.start ph_canon;
+    let rewrote = ref false in
+    let fixing = ref true in
+    while !fixing do
       let nt = ref 0 in
-      Array.iter
-        (fun t ->
-          if t.wait > 0 then incr nt;
-          nt := !nt + List.length t.buf)
-        st.threads;
-      if !nt = 0 then st
+      for i = 0 to n - 1 do
+        if c.s_wait.(i) > 0 then begin
+          z_kinds.(!nt) <- Zone.Wake;
+          z_vals.(!nt) <- c.s_wait.(i);
+          incr nt
+        end;
+        let b = 3 * boff.(i) in
+        for j = 0 to c.s_len.(i) - 1 do
+          z_kinds.(!nt) <- Zone.Deadline;
+          z_vals.(!nt) <- c.s_buf.(b + (3 * j) + 2);
+          incr nt
+        done
+      done;
+      if !nt = 0 then fixing := false
       else begin
-        let kinds = Array.make !nt Zone.Wake in
-        let values = Array.make !nt 0 in
-        let j = ref 0 in
-        Array.iter
-          (fun t ->
-            if t.wait > 0 then begin
-              values.(!j) <- t.wait;
+        zone_caps_ws c;
+        let changed =
+          Zone.normalize_into ~horizon:(horizon_ws c) ~base_cap:!cap_base
+            ~gap_cap:!cap_gap z_kinds z_vals ~len:!nt ~scratch:z_scratch
+        in
+        if changed then begin
+          rewrote := true;
+          let j = ref 0 in
+          for i = 0 to n - 1 do
+            if c.s_wait.(i) > 0 then begin
+              c.s_wait.(i) <- z_vals.(!j);
               incr j
             end;
-            List.iter
-              (fun e ->
-                kinds.(!j) <- Zone.Deadline;
-                values.(!j) <- e.slack;
-                incr j)
-              t.buf)
-          st.threads;
-        let base_cap, gap_cap = zone_caps st in
-        let values' =
-          Zone.normalize ~horizon:(horizon st) ~base_cap ~gap_cap kinds values
-        in
-        if values' = values then st
-        else begin
-          let j = ref 0 in
-          let threads =
-            Array.map
-              (fun t ->
-                let wait =
-                  if t.wait > 0 then begin
-                    let w = values'.(!j) in
-                    incr j;
-                    w
-                  end
-                  else 0
-                in
-                let buf =
-                  List.map
-                    (fun e ->
-                      let s = values'.(!j) in
-                      incr j;
-                      if s = e.slack then e else { e with slack = s })
-                    t.buf
-                in
-                if wait = t.wait && buf = t.buf then t else { t with wait; buf })
-              st.threads
-          in
-          { st with threads }
+            let b = 3 * boff.(i) in
+            for k = 0 to c.s_len.(i) - 1 do
+              c.s_buf.(b + (3 * k) + 2) <- z_vals.(!j);
+              incr j
+            done
+          done
         end
+        else fixing := false
       end
-    in
-    let rec fix st n_rewrites =
-      let st' = pass st in
-      if st' == st then (st, n_rewrites) else fix st' (n_rewrites + 1)
-    in
-    let st', n_rewrites = fix st 0 in
-    if n_rewrites > 0 then incr zones_merged;
-    st'
-  in
-  let canon st =
-    Span.start ph_canon;
-    let st' = canon_zone st in
+    done;
+    if !rewrote then incr zones_merged;
     Span.stop ph_canon;
-    Span.items ph_canon 1;
-    st'
+    Span.items ph_canon 1
   in
-  let init =
-    {
-      mem_v = Array.make addrs 0;
-      threads =
-        Array.init n (fun _ ->
-            { pc = 0; regs_v = Array.make regs 0; wait = 0; buf = [] });
-    }
-  in
-  let outcomes = Hashtbl.create 64 in
-  let visited = ref 0 in
-  let dedup_hits = ref 0 in
-  let canon_hits = ref 0 in
-  let max_frontier = ref 0 in
-  let frontier = ref 0 in
-  let time_leaps = ref 0 in
-  let sleep_skips = ref 0 in
-  let dd_skips = ref 0 in
-  let di_skips = ref 0 in
-  let ii_skips = ref 0 in
-  let exhausted = ref false in
-  (* --- Hash-consed zone-state store ---
-
-     Canonical states are interned at push time into a dense id space:
-     [seen] maps the encoded key to an id, [states.(id)] holds the
-     state, and [sleeps.(id)]/[slclss.(id)] hold the sleep set the
-     state was (last) expanded with (-1 = not yet expanded). The
-     worklist then carries plain ids, the hot dedup path compares ids
-     instead of re-hashing keys, and re-arrivals at an interned state
-     are counted as [canon_hits]. *)
-  let seen : int Ktbl.t = Ktbl.create 4096 in
-  let states = ref (Array.make 1024 init) in
-  let sleeps = ref (Array.make 1024 (-1)) in
-  let slclss = ref (Array.make 1024 0) in
-  let nstates = ref 0 in
-  let intern_state st =
-    let key = encode_state st in
-    match Ktbl.find_opt seen key with
-    | Some id ->
-        incr canon_hits;
-        id
-    | None ->
-        let id = !nstates in
-        incr nstates;
-        let cap = Array.length !states in
-        if id >= cap then begin
-          let grow a fill =
-            let a' = Array.make (2 * cap) fill in
-            Array.blit !a 0 a' 0 cap;
-            a := a'
-          in
-          grow states init;
-          grow sleeps (-1);
-          grow slclss 0
-        end;
-        !states.(id) <- st;
-        !sleeps.(id) <- -1;
-        !slclss.(id) <- 0;
-        Ktbl.add seen key id;
-        id
-  in
-  let intern st =
-    Span.start ph_intern;
-    let id = intern_state st in
-    Span.stop ph_intern;
-    Span.items ph_intern 1;
-    id
+  (* In-place [age_by k] on a scratch state: false when some buffered
+     store can no longer meet its deadline (the caller then discards
+     the clobbered scratch — exactly the reference semantics' pruned
+     dead end). *)
+  let age_ws c k =
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      c.s_wait.(i) <- (if c.s_wait.(i) > k then c.s_wait.(i) - k else 0);
+      let b = 3 * boff.(i) in
+      for j = 0 to c.s_len.(i) - 1 do
+        let idx = b + (3 * j) + 2 in
+        let s = c.s_buf.(idx) in
+        if s <> max_int then
+          if s < k then ok := false else c.s_buf.(idx) <- s - k
+      done
+    done;
+    !ok
   in
   (* Worklist items: an interned state id plus a sleep set — a bitmask
      over the 2n actions (bit [i] = drain by thread [i], bit [n + i] =
@@ -418,19 +570,39 @@ let enumerate_core ~mode ~addrs ~regs ~max_states ~profiler programs0 =
      because an equivalent (commuted) interleaving was already
      explored — and a class mask (2 bits per action: 0 = drain/drain,
      1 = drain/instr, 2 = instr/instr) recording which independence
-     rule justified each slept action, for the per-class skip stats. *)
-  let stack = ref [] in
-  let push st sleep slcls =
-    stack := (intern st, sleep, slcls) :: !stack;
+     rule justified each slept action, for the per-class skip stats.
+     Stored as three parallel int stacks (same LIFO order as the old
+     list-of-tuples worklist, no per-push allocation). *)
+  let wl_id = ref (Array.make 1024 0) in
+  let wl_sleep = ref (Array.make 1024 0) in
+  let wl_cls = ref (Array.make 1024 0) in
+  let wl_sp = ref 0 in
+  let wl_push id sleep cls =
+    let cap = Array.length !wl_id in
+    if !wl_sp >= cap then begin
+      let grow a =
+        let a' = Array.make (2 * cap) 0 in
+        Array.blit !a 0 a' 0 cap;
+        a := a'
+      in
+      grow wl_id;
+      grow wl_sleep;
+      grow wl_cls
+    end;
+    !wl_id.(!wl_sp) <- id;
+    !wl_sleep.(!wl_sp) <- sleep;
+    !wl_cls.(!wl_sp) <- cls;
+    incr wl_sp;
     incr frontier;
     if !frontier > !max_frontier then max_frontier := !frontier
   in
-  push (canon init) 0 0;
-  let with_thread st i t =
-    let threads = Array.copy st.threads in
-    threads.(i) <- t;
-    { st with threads }
+  (* Canonicalize the scratch child, intern it, push its id. *)
+  let push_child sl cls =
+    canon_ws c_ws;
+    wl_push (intern c_ws) sl cls
   in
+  (* Initial state: fresh scratch is all zeros already. *)
+  push_child 0 0;
   let drain_mask = (1 lsl n) - 1 in
   (* Counter-creating instructions start a fresh timer whose value would
      differ by one aging step across the two orders of any commuted
@@ -438,88 +610,116 @@ let enumerate_core ~mode ~addrs ~regs ~max_states ~profiler programs0 =
      a TBTSO store buffers slack Δ likewise), so they commute
      on-the-nose with nothing: their children get an empty sleep set
      and they are never inserted into a sibling's sleep set. *)
-  let cc_instr i (t : tstate) =
-    match programs.(i).(t.pc) with
+  let cc_instr_ws i c =
+    match programs.(i).(c.s_pc.(i)) with
     | Store _ -> ( match mode with M_tbtso _ -> true | M_sc | M_tso | M_tsos _ -> false)
     | Wait d -> d > 0
     | Load _ | Loadeq _ | Fence | Cas _ -> false
   in
-  (* Memory footprint (read addr, write addr; -1 = none) of thread
-     [i]'s next instruction, refined by forwarding: a load served from
-     the thread's own buffer does not read memory, and a TSO/TSOS store
-     only appends to the thread's own buffer (the memory write is the
-     later drain action). *)
-  let footprint i (t : tstate) =
-    match programs.(i).(t.pc) with
-    | Store (a, _) -> if mode = M_sc then (-1, a) else (-1, -1)
-    | Load (a, _) | Loadeq (a, _, _) ->
-        if forward t.buf a <> None then (-1, -1) else (a, -1)
-    | Fence | Wait _ -> (-1, -1)
-    | Cas (a, _, _, _) -> (a, a)
+  (* Buffer forwarding on a scratch state: newest matching entry wins.
+     On a hit the forwarded value is left in [fwd_hit]. *)
+  let fwd_hit = ref 0 in
+  let forwarded_ws c i a =
+    let b = 3 * boff.(i) in
+    let j = ref (c.s_len.(i) - 1) in
+    let hit = ref false in
+    while (not !hit) && !j >= 0 do
+      if c.s_buf.(b + (3 * !j)) = a then begin
+        hit := true;
+        fwd_hit := c.s_buf.(b + (3 * !j) + 1)
+      end
+      else decr j
+    done;
+    !hit
   in
-  let instr_enabled i (t : tstate) =
-    t.wait = 0
-    && t.pc < Array.length programs.(i)
-    && (match programs.(i).(t.pc) with
-       | Store _ -> List.length t.buf < buffer_capacity
-       | Fence | Cas _ -> t.buf = []
+  (* Memory footprints as fixed-width bitsets: bit [a] of the read and
+     write masks (addresses ≥ 61 share the top bit — conservative, so
+     only ever {e fewer} sleeps; corpus addresses are single digits).
+     An empty footprint is the zero mask and conflict checks are single
+     [land]s. Refined by forwarding exactly as before: a load served
+     from the thread's own buffer does not read memory, and a TSO/TSOS
+     store only appends to the thread's own buffer (the memory write is
+     the later drain action). Results in [fp_r]/[fp_w]. *)
+  let addr_bit a = 1 lsl (if a < 61 then a else 61) in
+  let fp_r = ref 0 in
+  let fp_w = ref 0 in
+  let footprint_ws i c =
+    match programs.(i).(c.s_pc.(i)) with
+    | Store (a, _) ->
+        fp_r := 0;
+        fp_w := (if mode = M_sc then addr_bit a else 0)
+    | Load (a, _) | Loadeq (a, _, _) ->
+        fp_w := 0;
+        fp_r := (if forwarded_ws c i a then 0 else addr_bit a)
+    | Fence | Wait _ ->
+        fp_r := 0;
+        fp_w := 0
+    | Cas (a, _, _, _) ->
+        let m = addr_bit a in
+        fp_r := m;
+        fp_w := m
+  in
+  let instr_enabled_ws i c =
+    c.s_wait.(i) = 0
+    && c.s_pc.(i) < Array.length programs.(i)
+    && (match programs.(i).(c.s_pc.(i)) with
+       | Store _ -> c.s_len.(i) < buffer_capacity
+       | Fence | Cas _ -> c.s_len.(i) = 0
        | Load _ | Loadeq _ | Wait _ -> true)
   in
-  let conflict x y = x >= 0 && x = y in
   let cls_dd = 0 and cls_di = 1 and cls_ii = 2 in
   (* Sleep set for the child of the current action: every
      already-explored (or inherited-slept) sibling action that provably
      commutes with it on the nose, including feasibility of the
      reversed order. [drain] says whether the current action is a drain
-     by thread [i]; for a drain, [addr] is the committed address and
-     [guard] is [slack ≥ 2] at the parent — the reversed order drains
-     this entry one aging step later, so skipping the explored-first
-     order is only sound when the entry survives that extra step. For
-     an instruction, [fp] is its footprint; a prior drain needs no
-     slack guard (the reversed order drains {e earlier}). *)
-  let child_sleep_core st explored ~acting:i ~drain ~addr ~guard ~fp:(ri, wi) =
-    let sl = ref 0 and cls = ref 0 in
-    let keep bit c =
-      sl := !sl lor (1 lsl bit);
-      cls := !cls lor (c lsl (2 * bit))
+     by thread [i]; for a drain, [addr_mask] is the committed address's
+     bit and [guard] is [slack ≥ 2] at the parent — the reversed order
+     drains this entry one aging step later, so skipping the
+     explored-first order is only sound when the entry survives that
+     extra step. For an instruction, the footprint masks must already
+     be in [fp_r]/[fp_w]; a prior drain needs no slack guard (the
+     reversed order drains {e earlier}). Results in
+     [sl_out]/[cls_out]. *)
+  let sl_out = ref 0 in
+  let cls_out = ref 0 in
+  let child_sleep_core c explored ~acting:i ~drain ~addr_mask ~guard =
+    let ri = if drain then 0 else !fp_r in
+    let wi = if drain then 0 else !fp_w in
+    sl_out := 0;
+    cls_out := 0;
+    let keep bit cl =
+      sl_out := !sl_out lor (1 lsl bit);
+      cls_out := !cls_out lor (cl lsl (2 * bit))
     in
     for m = 0 to n - 1 do
       if m <> i then begin
-        (if explored land (1 lsl m) <> 0 then
-           match st.threads.(m).buf with
-           | em :: _ ->
-               if drain then begin
-                 if guard && em.addr <> addr then keep m cls_dd
-               end
-               else if
-                 not (conflict ri em.addr) && not (conflict wi em.addr)
-               then keep m cls_di
-           | [] -> ());
-        if explored land (1 lsl (n + m)) <> 0 then begin
-          let tm = st.threads.(m) in
-          if instr_enabled m tm && not (cc_instr m tm) then begin
-            let rm, wm = footprint m tm in
+        (if explored land (1 lsl m) <> 0 && c.s_len.(m) > 0 then begin
+           let em_mask = addr_bit c.s_buf.(3 * boff.(m)) in
+           if drain then begin
+             if guard && em_mask land addr_mask = 0 then keep m cls_dd
+           end
+           else if ri land em_mask = 0 && wi land em_mask = 0 then
+             keep m cls_di
+         end);
+        if explored land (1 lsl (n + m)) <> 0 then
+          if instr_enabled_ws m c && not (cc_instr_ws m c) then begin
+            footprint_ws m c;
+            let rm = !fp_r and wm = !fp_w in
             if drain then begin
-              if guard && (not (conflict rm addr)) && not (conflict wm addr)
-              then keep (n + m) cls_di
+              if guard && rm land addr_mask = 0 && wm land addr_mask = 0 then
+                keep (n + m) cls_di
             end
-            else if
-              (not (conflict wi rm))
-              && (not (conflict wi wm))
-              && not (conflict wm ri)
-            then keep (n + m) cls_ii
+            else if wi land rm = 0 && wi land wm = 0 && wm land ri = 0 then
+              keep (n + m) cls_ii
           end
-        end
       end
-    done;
-    (!sl, !cls)
+    done
   in
-  let child_sleep st explored ~acting ~drain ~addr ~guard ~fp =
+  let child_sleep c explored ~acting ~drain ~addr_mask ~guard =
     Span.start ph_sleep;
-    let r = child_sleep_core st explored ~acting ~drain ~addr ~guard ~fp in
+    child_sleep_core c explored ~acting ~drain ~addr_mask ~guard;
     Span.stop ph_sleep;
-    Span.items ph_sleep 1;
-    r
+    Span.items ph_sleep 1
   in
   let count_skip slcls bit =
     incr sleep_skips;
@@ -528,26 +728,35 @@ let enumerate_core ~mode ~addrs ~regs ~max_states ~profiler programs0 =
     | 1 -> incr di_skips
     | _ -> incr ii_skips
   in
-  let expand_state st sleep slcls =
+  (* Expand the parent in [a_ws]. Children are built by blitting the
+     shared aged copy [b_ws] into [c_ws], mutating [c_ws] in place and
+     pushing it — each action branch fully consumes [c_ws] before the
+     next begins. *)
+  let expand_ws sleep slcls =
     (* Terminal state: all threads completed, all buffers empty. *)
-    if
-      Array.for_all (fun (t : tstate) -> t.buf = [] && t.wait = 0) st.threads
-      && Array.for_all2
-           (fun (t : tstate) prog -> t.pc >= Array.length prog)
-           st.threads programs
-    then
+    let terminal = ref true in
+    for i = 0 to n - 1 do
+      if
+        a_ws.s_len.(i) > 0
+        || a_ws.s_wait.(i) > 0
+        || a_ws.s_pc.(i) < Array.length programs.(i)
+      then terminal := false
+    done;
+    if !terminal then
       let o =
         {
-          regs = Array.map (fun t -> Array.copy t.regs_v) st.threads;
-          mem = Array.copy st.mem_v;
+          regs = Array.init n (fun i -> Array.sub a_ws.s_regs (i * regs) regs);
+          mem = Array.copy a_ws.s_mem;
         }
       in
       Hashtbl.replace outcomes o ()
     else begin
       (* Aging is identical for every action branch from this state, so
-         compute it once. [None] means some deadline already expired:
-         no action (and no idle) is possible — a pruned dead end. *)
-      let aged_opt = age st in
+         compute it once into [b_ws]. [false] means some deadline
+         already expired: no action (and no idle) is possible — a
+         pruned dead end. *)
+      copy_ws b_ws a_ws;
+      b_ok := age_ws b_ws 1;
       (* Drain actions, in thread order, with the sleep-set reduction:
          after exploring an action we add it to [explored]; later
          siblings' children inherit every explored action that provably
@@ -556,104 +765,88 @@ let enumerate_core ~mode ~addrs ~regs ~max_states ~profiler programs0 =
          count as explored for this purpose. *)
       let explored = ref sleep in
       for i = 0 to n - 1 do
-        match st.threads.(i).buf with
-        | [] -> ()
-        | e :: _ ->
-            if sleep land (1 lsl i) <> 0 then count_skip slcls i
-            else begin
-              (match aged_opt with
-              | None -> ()
-              | Some aged ->
-                  let t = aged.threads.(i) in
-                  let e', rest' =
-                    match t.buf with e' :: r -> (e', r) | [] -> assert false
-                  in
-                  let mem_v = Array.copy aged.mem_v in
-                  mem_v.(e'.addr) <- e'.value;
-                  let child =
-                    { (with_thread aged i { t with buf = rest' }) with mem_v }
-                  in
-                  let sl, cls =
-                    child_sleep st !explored ~acting:i ~drain:true ~addr:e.addr
-                      ~guard:(e.slack >= 2) ~fp:(-1, -1)
-                  in
-                  push (canon child) sl cls);
-              explored := !explored lor (1 lsl i)
-            end
+        if a_ws.s_len.(i) > 0 then begin
+          if sleep land (1 lsl i) <> 0 then count_skip slcls i
+          else begin
+            (if !b_ok then begin
+               let eb = 3 * boff.(i) in
+               let e_addr = a_ws.s_buf.(eb) in
+               let e_slack = a_ws.s_buf.(eb + 2) in
+               copy_ws c_ws b_ws;
+               (* Commit thread [i]'s oldest entry (addr/value survive
+                  aging) and shift the rest down one slot. *)
+               c_ws.s_mem.(e_addr) <- c_ws.s_buf.(eb + 1);
+               let l = c_ws.s_len.(i) in
+               Array.blit c_ws.s_buf (eb + 3) c_ws.s_buf eb (3 * (l - 1));
+               c_ws.s_len.(i) <- l - 1;
+               child_sleep a_ws !explored ~acting:i ~drain:true
+                 ~addr_mask:(addr_bit e_addr) ~guard:(e_slack >= 2);
+               push_child !sl_out !cls_out
+             end);
+            explored := !explored lor (1 lsl i)
+          end
+        end
       done;
       (* Instruction actions. *)
       for i = 0 to n - 1 do
-        let t = st.threads.(i) in
-        if instr_enabled i t then begin
+        if instr_enabled_ws i a_ws then begin
           if sleep land (1 lsl (n + i)) <> 0 then count_skip slcls (n + i)
           else begin
-            let cc = cc_instr i t in
+            let cc = cc_instr_ws i a_ws in
             let sl, cls =
               if cc then (0, 0)
-              else
-                child_sleep st !explored ~acting:i ~drain:false ~addr:(-1)
-                  ~guard:false ~fp:(footprint i t)
+              else begin
+                footprint_ws i a_ws;
+                child_sleep a_ws !explored ~acting:i ~drain:false ~addr_mask:0
+                  ~guard:false;
+                (!sl_out, !cls_out)
+              end
             in
-            let step f =
-              match aged_opt with
-              | None -> ()
-              | Some aged -> push (canon (f aged)) sl cls
-            in
-            (match programs.(i).(t.pc) with
-            | Store (a, v) ->
-                step (fun st ->
-                    let t = st.threads.(i) in
-                    if mode = M_sc then begin
-                      let mem_v = Array.copy st.mem_v in
-                      mem_v.(a) <- v;
-                      { (with_thread st i { t with pc = t.pc + 1 }) with mem_v }
-                    end
-                    else
-                      let buf =
-                        t.buf @ [ { addr = a; value = v; slack = slack_of_store } ]
-                      in
-                      with_thread st i { t with pc = t.pc + 1; buf })
-            | Load (a, r) ->
-                step (fun st ->
-                    let t = st.threads.(i) in
-                    let v =
-                      match forward t.buf a with Some v -> v | None -> st.mem_v.(a)
-                    in
-                    let regs_v = Array.copy t.regs_v in
-                    regs_v.(r) <- v;
-                    with_thread st i { t with pc = t.pc + 1; regs_v })
-            | Loadeq (a, v0, skip) ->
-                step (fun st ->
-                    let t = st.threads.(i) in
-                    let v =
-                      match forward t.buf a with Some v -> v | None -> st.mem_v.(a)
-                    in
-                    let pc = if v = v0 then t.pc + 1 + skip else t.pc + 1 in
-                    with_thread st i { t with pc })
-            | Fence ->
-                step (fun st ->
-                    let t = st.threads.(i) in
-                    with_thread st i { t with pc = t.pc + 1 })
-            | Cas (a, expected, desired, r) ->
-                (* x86 locked RMW: requires an empty store buffer (it is
-                   drained first) and acts directly on memory. *)
-                step (fun st ->
-                    let t = st.threads.(i) in
-                    let cur = st.mem_v.(a) in
-                    let regs_v = Array.copy t.regs_v in
-                    let mem_v = Array.copy st.mem_v in
-                    if cur = expected then begin
-                      mem_v.(a) <- desired;
-                      regs_v.(r) <- 1
-                    end
-                    else regs_v.(r) <- 0;
-                    { (with_thread st i { t with pc = t.pc + 1; regs_v }) with
-                      mem_v
-                    })
-            | Wait d ->
-                step (fun st ->
-                    let t = st.threads.(i) in
-                    with_thread st i { t with pc = t.pc + 1; wait = d }));
+            (if !b_ok then begin
+               copy_ws c_ws b_ws;
+               let pc = c_ws.s_pc.(i) in
+               (match programs.(i).(pc) with
+               | Store (a, v) ->
+                   if mode = M_sc then begin
+                     c_ws.s_mem.(a) <- v;
+                     c_ws.s_pc.(i) <- pc + 1
+                   end
+                   else begin
+                     let l = c_ws.s_len.(i) in
+                     let eb = 3 * (boff.(i) + l) in
+                     c_ws.s_buf.(eb) <- a;
+                     c_ws.s_buf.(eb + 1) <- v;
+                     c_ws.s_buf.(eb + 2) <- slack_of_store;
+                     c_ws.s_len.(i) <- l + 1;
+                     c_ws.s_pc.(i) <- pc + 1
+                   end
+               | Load (a, r) ->
+                   let v =
+                     if forwarded_ws c_ws i a then !fwd_hit else c_ws.s_mem.(a)
+                   in
+                   c_ws.s_regs.((i * regs) + r) <- v;
+                   c_ws.s_pc.(i) <- pc + 1
+               | Loadeq (a, v0, skip) ->
+                   let v =
+                     if forwarded_ws c_ws i a then !fwd_hit else c_ws.s_mem.(a)
+                   in
+                   c_ws.s_pc.(i) <- (if v = v0 then pc + 1 + skip else pc + 1)
+               | Fence -> c_ws.s_pc.(i) <- pc + 1
+               | Cas (a, expected, desired, r) ->
+                   (* x86 locked RMW: requires an empty store buffer (it
+                      is drained first) and acts directly on memory. *)
+                   let cur = c_ws.s_mem.(a) in
+                   if cur = expected then begin
+                     c_ws.s_mem.(a) <- desired;
+                     c_ws.s_regs.((i * regs) + r) <- 1
+                   end
+                   else c_ws.s_regs.((i * regs) + r) <- 0;
+                   c_ws.s_pc.(i) <- pc + 1
+               | Wait d ->
+                   c_ws.s_pc.(i) <- pc + 1;
+                   c_ws.s_wait.(i) <- d);
+               push_child sl cls
+             end);
             if not cc then explored := !explored lor (1 lsl (n + i))
           end
         end
@@ -670,104 +863,119 @@ let enumerate_core ~mode ~addrs ~regs ~max_states ~profiler programs0 =
          stretch we leap straight to the next wakeup, pruning the branch
          if a deadline would expire strictly inside the leap (exactly
          what tick-by-tick idling would conclude). *)
-      if Array.exists (fun t -> t.wait > 0) st.threads then begin
+      let any_wait = ref false in
+      for i = 0 to n - 1 do
+        if a_ws.s_wait.(i) > 0 then any_wait := true
+      done;
+      if !any_wait then begin
         let can_instr = ref false in
         for i = 0 to n - 1 do
-          let t = st.threads.(i) in
-          if t.wait = 0 && t.pc < Array.length programs.(i) then can_instr := true
+          if a_ws.s_wait.(i) = 0 && a_ws.s_pc.(i) < Array.length programs.(i)
+          then can_instr := true
         done;
         let k =
           if !can_instr then 1
-          else
-            Array.fold_left
-              (fun acc t -> if t.wait > 0 && t.wait < acc then t.wait else acc)
-              max_int st.threads
+          else begin
+            let m = ref max_int in
+            for i = 0 to n - 1 do
+              if a_ws.s_wait.(i) > 0 && a_ws.s_wait.(i) < !m then
+                m := a_ws.s_wait.(i)
+            done;
+            !m
+          end
         in
-        match age_by k st with
-        | None -> ()
-        | Some aged ->
-            if k > 1 then incr time_leaps;
-            (* Idling commutes with every drain (draining first is the
-               weaker feasibility requirement), so the drain bits of
-               the accumulated sleep set survive the idle step.
-               Instruction bits do not: idling can expire a wait and
-               change which instructions are enabled. *)
-            push (canon aged) (!explored land drain_mask) 0
+        copy_ws c_ws a_ws;
+        if age_ws c_ws k then begin
+          if k > 1 then incr time_leaps;
+          (* Idling commutes with every drain (draining first is the
+             weaker feasibility requirement), so the drain bits of
+             the accumulated sleep set survive the idle step.
+             Instruction bits do not: idling can expire a wait and
+             change which instructions are enabled. *)
+          push_child (!explored land drain_mask) 0
+        end
       end
     end
   in
-  let expand st sleep slcls =
+  let expand sleep slcls =
     Span.start ph_expand;
-    expand_state st sleep slcls;
+    expand_ws sleep slcls;
     Span.stop ph_expand;
     Span.items ph_expand 1
   in
-  let continue = ref true in
-  while !continue do
-    match !stack with
-    | [] -> continue := false
-    | (id, sleep, slcls) :: rest ->
-        stack := rest;
-        decr frontier;
-        let prev = !sleeps.(id) in
-        if prev < 0 then
-          if !visited >= max_states then begin
-            (* Budget exhausted: report a typed partial result instead
-               of failing from deep inside the exploration. *)
-            exhausted := true;
-            continue := false;
-            stack := []
-          end
-          else begin
-            incr visited;
-            !sleeps.(id) <- sleep;
-            !slclss.(id) <- slcls;
-            expand !states.(id) sleep slcls
-          end
-        else if
-          (* Already expanded. If the previous visit slept on a subset
-             of our sleep set it explored everything we would;
-             otherwise re-expand with the intersection (the standard
-             sleep-set state-matching rule). *)
-          prev land lnot sleep = 0
-        then incr dedup_hits
-        else begin
-          let merged = prev land sleep in
-          !sleeps.(id) <- merged;
-          !slclss.(id) <- slcls;
-          expand !states.(id) merged slcls
+  let looping = ref true in
+  while !looping do
+    if !wl_sp = 0 then looping := false
+    else begin
+      decr wl_sp;
+      let id = !wl_id.(!wl_sp) in
+      let sleep = !wl_sleep.(!wl_sp) in
+      let slcls = !wl_cls.(!wl_sp) in
+      decr frontier;
+      let prev = !sleeps.(id) in
+      if prev < 0 then
+        if !visited >= max_states then begin
+          (* Budget exhausted: report a typed partial result instead
+             of failing from deep inside the exploration. *)
+          exhausted := true;
+          looping := false;
+          wl_sp := 0
         end
+        else begin
+          incr visited;
+          !sleeps.(id) <- sleep;
+          !slclss.(id) <- slcls;
+          decode_ws !key_off.(id) a_ws;
+          expand sleep slcls
+        end
+      else if
+        (* Already expanded. If the previous visit slept on a subset
+           of our sleep set it explored everything we would;
+           otherwise re-expand with the intersection (the standard
+           sleep-set state-matching rule). *)
+        prev land lnot sleep = 0
+      then incr dedup_hits
+      else begin
+        let merged = prev land sleep in
+        !sleeps.(id) <- merged;
+        !slclss.(id) <- slcls;
+        decode_ws !key_off.(id) a_ws;
+        expand merged slcls
+      end
+    end
   done;
   let all = Hashtbl.fold (fun o () acc -> o :: acc) outcomes [] in
   let outcomes = List.sort compare all in
-  {
-    outcomes;
-    complete = not !exhausted;
-    stats =
-      {
-        visited = !visited;
-        dedup_hits = !dedup_hits;
-        canon_hits = !canon_hits;
-        zones_merged = !zones_merged;
-        max_frontier = !max_frontier;
-        time_leaps = !time_leaps;
-        sleep_skips = !sleep_skips;
-        dd_skips = !dd_skips;
-        di_skips = !di_skips;
-        ii_skips = !ii_skips;
-        elapsed = Sys.time () -. t0;
-      };
-  }
+  ( {
+      outcomes;
+      complete = not !exhausted;
+      stats =
+        {
+          visited = !visited;
+          dedup_hits = !dedup_hits;
+          canon_hits = !canon_hits;
+          zones_merged = !zones_merged;
+          max_frontier = !max_frontier;
+          time_leaps = !time_leaps;
+          sleep_skips = !sleep_skips;
+          dd_skips = !dd_skips;
+          di_skips = !di_skips;
+          ii_skips = !ii_skips;
+          elapsed = Sys.time () -. t0;
+        };
+    },
+    (!nstates, !arena_growths, !arena_used) )
 
 let explore ~mode ?(addrs = 4) ?(regs = 4) ?(max_states = default_max_states)
     ?(profiler = Span.disabled) programs =
-  enumerate_core ~mode ~addrs ~regs ~max_states ~profiler programs
+  fst (enumerate_core ~mode ~addrs ~regs ~max_states ~profiler programs)
 
 let enumerate ~mode ?(addrs = 4) ?(regs = 4) ?(max_states = default_max_states)
     programs =
   let r =
-    enumerate_core ~mode ~addrs ~regs ~max_states ~profiler:Span.disabled
-      programs
+    fst
+      (enumerate_core ~mode ~addrs ~regs ~max_states ~profiler:Span.disabled
+         programs)
   in
   if not r.complete then
     failwith
@@ -1026,3 +1234,16 @@ let record_stats registry s =
     (states_per_sec s);
   let elapsed = Metrics.gauge registry "litmus.elapsed_s" in
   Metrics.set elapsed (Metrics.gauge_value elapsed +. s.elapsed)
+
+module For_tests = struct
+  type debug = { interned : int; arena_growths : int; arena_words : int }
+
+  let explore_instrumented ~mode ?(addrs = 4) ?(regs = 4)
+      ?(max_states = default_max_states) ?arena_words ?table_slots ?on_intern
+      programs =
+    let r, (interned, arena_growths, arena_words) =
+      enumerate_core ~mode ~addrs ~regs ~max_states ~profiler:Span.disabled
+        ?arena_words ?table_slots ?on_intern programs
+    in
+    (r, { interned; arena_growths; arena_words })
+end

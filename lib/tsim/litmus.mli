@@ -176,6 +176,36 @@ val states_per_sec : stats -> float
 val stats_json : stats -> Tbtso_obs.Json.t
 (** Flat object with every {!stats} field plus [states_per_sec]. *)
 
+module For_tests : sig
+  (** White-box hooks into the hash-cons arena, for the differential and
+      stress suites only. Nothing here affects exploration results. *)
+
+  type debug = {
+    interned : int;  (** Distinct canonical states interned. *)
+    arena_growths : int;
+        (** Times the packed-key arena had to reallocate (doubling). *)
+    arena_words : int;  (** Words of packed keys stored in the arena. *)
+  }
+
+  val explore_instrumented :
+    mode:mode ->
+    ?addrs:int ->
+    ?regs:int ->
+    ?max_states:int ->
+    ?arena_words:int ->
+    ?table_slots:int ->
+    ?on_intern:(int array -> int -> unit) ->
+    instr list list ->
+    result * debug
+  (** {!explore} with the arena exposed: [arena_words] / [table_slots]
+      set the {e initial} capacities (words / open-addressing slots;
+      deliberately tiny values force mid-exploration growth),
+      [on_intern key id] is called on every intern — hit or miss — with
+      a fresh copy of the packed key and the dense id it mapped to. The
+      (key, id) stream defines the interning partition: two calls carry
+      equal keys iff they carry equal ids. *)
+end
+
 val record_stats : Tbtso_obs.Metrics.t -> stats -> unit
 (** Accumulate one exploration into a registry: counters
     [litmus.states_visited], [litmus.dedup_hits], [litmus.canon_hits],

@@ -45,11 +45,14 @@ let sat_of test (r : Axiomatic.result) =
     sat_stats = r.stats;
   }
 
-(* SC-robustness of the task's mode, decided by one incremental
-   containment query against a fresh session's SC baseline. *)
-let robust_of ?profiler task =
-  let sess = Axiomatic.session ?profiler task.test.Litmus_parse.program in
-  match Axiomatic.robust sess task.mode with
+(* SC-robustness of a mode, decided by one incremental containment
+   query against the session's SC baseline. The session is built once
+   per file and shared across all of the file's modes (see [check]):
+   the encode and the SC baseline are mode-independent, so each further
+   mode costs one containment query on the retained clause database —
+   learned clauses included — instead of a full re-encode. *)
+let robust_of sess mode =
+  match Axiomatic.robust sess mode with
   | `Robust -> { robust_holds = true; robust_witness = None }
   | `Witness w -> { robust_holds = false; robust_witness = Some w }
 
@@ -58,13 +61,13 @@ let check ?pool ?max_states ?(oracle = Explorer)
   (* Each task runs inside one span labelled [file:mode] on whichever
      domain the pool hands it to, so a profiled [-j N] check shows the
      per-task schedule across domain tracks. *)
-  let one task =
+  let one ?robust_query task =
     Tbtso_obs.Span.with_span profiler
       (Printf.sprintf "%s:%s"
          (Filename.basename task.path)
          (Litmus_parse.mode_id task.mode))
     @@ fun () ->
-    let robustness = if robust then Some (robust_of ~profiler task) else None in
+    let robustness = Option.map (fun q -> q ()) robust_query in
     match oracle with
     | Explorer ->
         {
@@ -123,9 +126,63 @@ let check ?pool ?max_states ?(oracle = Explorer)
           robustness;
         }
   in
-  match pool with
-  | None -> List.map one tasks
-  | Some pool -> Tbtso_par.Pool.map_list pool one tasks
+  if not robust then
+    match pool with
+    | None -> List.map (fun t -> one t) tasks
+    | Some pool -> Tbtso_par.Pool.map_list pool (fun t -> one t) tasks
+  else begin
+    (* Robustness shares one SAT session per FILE: [load] fans each
+       file out into one task per mode, and the session's encode + SC
+       baseline are mode-independent, so the unit of work becomes the
+       file, not the task.  Group tasks by path in first-occurrence
+       order, run each group on one session, and scatter the verdicts
+       back to their original positions — the result list is identical
+       (order included) to the per-task dispatch, and seq vs [-j N]
+       stays byte-identical because [Pool.map_list] preserves order. *)
+    let groups : (string, (int * task) list ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let order = ref [] in
+    List.iteri
+      (fun i t ->
+        match Hashtbl.find_opt groups t.path with
+        | Some cell -> cell := (i, t) :: !cell
+        | None ->
+            Hashtbl.add groups t.path (ref [ (i, t) ]);
+            order := t.path :: !order)
+      tasks;
+    let files =
+      List.rev_map
+        (fun path -> List.rev !(Hashtbl.find groups path))
+        !order
+      |> List.rev
+    in
+    let run_file = function
+      | [] -> []
+      | (_, t0) :: _ as its ->
+          let sess =
+            Axiomatic.session ~profiler t0.test.Litmus_parse.program
+          in
+          List.map
+            (fun (i, t) ->
+              (i, one ~robust_query:(fun () -> robust_of sess t.mode) t))
+            its
+    in
+    let scattered =
+      match pool with
+      | None -> List.map run_file files
+      | Some pool -> Tbtso_par.Pool.map_list pool run_file files
+    in
+    let n = List.length tasks in
+    let out = Array.make n None in
+    List.iter
+      (List.iter (fun (i, v) -> out.(i) <- Some v))
+      scattered;
+    Array.to_list out
+    |> List.map (function
+         | Some v -> v
+         | None -> assert false (* every index scattered exactly once *))
+  end
 
 let disagreement_witness v =
   match v.disagree with None -> None | Some ws -> Some (List.hd ws)

@@ -394,22 +394,22 @@ let drain_one t th ~kind =
    makes unfenced hazard-pointer publication cheap. Returns true if this
    call made progress (committed or issued the RFO). *)
 let try_drain t th ~respect_ready =
-  match Store_buffer.peek_oldest th.buf with
-  | None -> false
-  | Some e ->
-      (* The scheduler's willingness to drain comes first: an RFO is only
-         issued for an entry that would otherwise commit now. *)
-      if respect_ready && e.ready_at > t.clock && e.rfo_until = 0 then false
-      else if e.rfo_until > t.clock then false
-      else if e.rfo_until = 0 && Memory.foreign_reader t.mem e.addr ~tid:th.tid then begin
-        e.rfo_until <- t.clock + t.cfg.Config.costs.cache_miss;
-        Memory.clear_reader t.mem e.addr;
-        true
-      end
-      else begin
-        drain_one t th ~kind:D_voluntary;
-        true
-      end
+  let e = Store_buffer.oldest th.buf in
+  if e == Store_buffer.sentinel then false
+    (* The scheduler's willingness to drain comes first: an RFO is only
+       issued for an entry that would otherwise commit now. *)
+  else if respect_ready && e.ready_at > t.clock && e.rfo_until = 0 then false
+  else if e.rfo_until > t.clock then false
+  else if e.rfo_until = 0 && Memory.foreign_reader t.mem e.addr ~tid:th.tid
+  then begin
+    e.rfo_until <- t.clock + t.cfg.Config.costs.cache_miss;
+    Memory.clear_reader t.mem e.addr;
+    true
+  end
+  else begin
+    drain_one t th ~kind:D_voluntary;
+    true
+  end
 
 let drain_delay t th =
   match t.cfg.Config.drain with
@@ -430,11 +430,12 @@ let resume_thread t th v =
 (* Read as the thread would: forwarding from the store buffer first. *)
 let tso_read t th addr ~charge =
   check_poison t th addr ~write:false;
-  match Store_buffer.newest_value th.buf addr with
-  | Some v ->
-      if charge then th.ready_at <- t.clock + t.cfg.Config.costs.load;
-      v
-  | None ->
+  let fwd = Store_buffer.newest_for th.buf addr in
+  if fwd != Store_buffer.sentinel then begin
+    if charge then th.ready_at <- t.clock + t.cfg.Config.costs.load;
+    fwd.Store_buffer.value
+  end
+  else begin
       let v = Memory.read t.mem addr in
       Memory.note_reader t.mem addr ~tid:th.tid;
       let line = Memory.line_of addr in
@@ -445,6 +446,7 @@ let tso_read t th addr ~charge =
           t.clock + t.cfg.Config.costs.load
           + (if hit then 0 else t.cfg.Config.costs.cache_miss);
       v
+  end
 
 (* Atomic RMW against memory; the store buffer is already empty. *)
 let rmw_write t th addr v =
@@ -594,15 +596,15 @@ let next_event_time t =
   for i = 0 to t.nthreads - 1 do
     let th = t.threads.(i) in
     if not th.finished then note th.ready_at;
-    (match Store_buffer.peek_oldest th.buf with
-    | Some e ->
-        note e.ready_at;
-        note e.rfo_until;
-        (match t.cfg.Config.consistency with
-        | Config.Tbtso delta -> note (e.enqueued_at + delta)
-        | Config.Tbtso_hw { tau; _ } -> note (e.enqueued_at + tau)
-        | Config.Sc | Config.Tso | Config.Tso_spatial _ -> ())
-    | None -> ());
+    (let e = Store_buffer.oldest th.buf in
+     if e != Store_buffer.sentinel then begin
+       note e.ready_at;
+       note e.rfo_until;
+       match t.cfg.Config.consistency with
+       | Config.Tbtso delta -> note (e.enqueued_at + delta)
+       | Config.Tbtso_hw { tau; _ } -> note (e.enqueued_at + tau)
+       | Config.Sc | Config.Tso | Config.Tso_spatial _ -> ()
+     end);
     if (not th.finished) || not (Store_buffer.is_empty th.buf) then begin
       match t.cfg.Config.interrupt_period with
       | Some p ->
@@ -662,12 +664,13 @@ let tick ?(deadline = max_int) t =
       for i = 0 to t.nthreads - 1 do
         let th = t.threads.(i) in
         let rec force () =
-          match Store_buffer.peek_oldest th.buf with
-          | Some e when e.enqueued_at + delta <= t.clock ->
-              drain_one t th ~kind:D_delta;
-              acted := true;
-              force ()
-          | Some _ | None -> ()
+          let e = Store_buffer.oldest th.buf in
+          if e != Store_buffer.sentinel && e.enqueued_at + delta <= t.clock
+          then begin
+            drain_one t th ~kind:D_delta;
+            acted := true;
+            force ()
+          end
         in
         force ()
       done
@@ -690,9 +693,9 @@ let tick ?(deadline = max_int) t =
       else if t.quiesce_until < t.clock then begin
         let expired = ref false in
         for i = 0 to t.nthreads - 1 do
-          match Store_buffer.peek_oldest (t.threads.(i)).buf with
-          | Some e when e.enqueued_at + tau <= t.clock -> expired := true
-          | Some _ | None -> ()
+          let e = Store_buffer.oldest (t.threads.(i)).buf in
+          if e != Store_buffer.sentinel && e.enqueued_at + tau <= t.clock then
+            expired := true
         done;
         if !expired then begin
           t.quiesce_until <- t.clock + quiesce;

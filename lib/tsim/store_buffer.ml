@@ -16,7 +16,12 @@ type t = {
   mutable len : int;
 }
 
-let dummy = { addr = -1; value = 0; enqueued_at = 0; ready_at = 0; rfo_until = 0 }
+(* Doubles as the empty-result sentinel of the allocation-free
+   accessors: addresses are non-negative, so no real entry aliases it. *)
+let sentinel =
+  { addr = -1; value = 0; enqueued_at = 0; ready_at = 0; rfo_until = 0 }
+
+let dummy = sentinel
 
 let create () = { slots = Array.make 8 dummy; head = 0; len = 0 }
 
@@ -39,6 +44,8 @@ let enqueue t e =
   t.slots.((t.head + t.len) mod cap) <- e;
   t.len <- t.len + 1
 
+let oldest t = if t.len = 0 then sentinel else t.slots.(t.head)
+
 let peek_oldest t = if t.len = 0 then None else Some t.slots.(t.head)
 
 let dequeue_oldest t =
@@ -49,16 +56,20 @@ let dequeue_oldest t =
   t.len <- t.len - 1;
   e
 
-let newest_value t addr =
-  (* Scan from newest to oldest; first hit is the forwarding value. *)
+let newest_for t addr =
+  (* Scan from newest to oldest; first hit is the forwarding entry. *)
   let cap = Array.length t.slots in
   let rec go i =
-    if i < 0 then None
+    if i < 0 then sentinel
     else
       let e = t.slots.((t.head + i) mod cap) in
-      if e.addr = addr then Some e.value else go (i - 1)
+      if e.addr = addr then e else go (i - 1)
   in
   go (t.len - 1)
+
+let newest_value t addr =
+  let e = newest_for t addr in
+  if e == sentinel then None else Some e.value
 
 let oldest_enqueue_time t =
   if t.len = 0 then None else Some t.slots.(t.head).enqueued_at

@@ -25,10 +25,26 @@ val length : t -> int
 
 val enqueue : t -> entry -> unit
 
+val sentinel : entry
+(** Distinguished empty-result entry ([addr = -1]; real addresses are
+    non-negative, so no buffered entry ever aliases it). Returned by
+    {!oldest} and {!newest_for} — test with physical equality. *)
+
+val oldest : t -> entry
+(** Head (oldest) entry, or {!sentinel} when the buffer is empty. The
+    allocation-free counterpart of {!peek_oldest}: the simulator probes
+    the head on every drain, read and deadline check, and this accessor
+    never boxes the result. *)
+
 val peek_oldest : t -> entry option
 
 val dequeue_oldest : t -> entry
 (** @raise Invalid_argument if empty. *)
+
+val newest_for : t -> int -> entry
+(** [newest_for t addr] is the newest buffered store to [addr], or
+    {!sentinel} when none is buffered. The allocation-free counterpart
+    of {!newest_value} for the store-to-load forwarding path. *)
 
 val newest_value : t -> int -> int option
 (** [newest_value t addr] is the value of the newest buffered store to

@@ -57,10 +57,24 @@ val floors : t -> (string * float) list
 (** The gated throughput floors, derived:
     [explorer.states_per_sec] and [solver.propagations_per_sec]. *)
 
+val ceilings : t -> (string * float) list
+(** The gated must-not-grow quantities, derived:
+    [explorer.minor_words_per_state]. Ceilings are deterministic
+    (allocation per state does not depend on machine load), so a
+    ceiling breach is a real regression, never noise. *)
+
+val throughput_repeats : int
+(** 3 — each timed corpus pass inside {!measure} runs this many times
+    and keeps the fastest. The full corpus takes ~10ms, so one
+    descheduling or unlucky GC slice can halve a single sample;
+    best-of-N approximates unloaded-machine throughput stably enough
+    to gate on. *)
+
 val measure : ?quick:bool -> label:string -> unit -> t
 (** Run the pinned corpus (SB / MP / flag / flag3 over SC, TSO and
     TBTSO Δ ∈ {4, 100}; [quick] drops Δ = 100) twice: once unprofiled
-    for the throughput and GC numbers, once profiled for the phase
+    for the throughput and GC numbers (best wall time of
+    {!throughput_repeats} passes), once profiled for the phase
     breakdown. Also runs one SAT session per case (encode + enumerate)
     for the solver numbers. Single-domain by construction — throughput
     floors must not depend on the pool. *)
@@ -69,17 +83,24 @@ val to_json : t -> Tbtso_obs.Json.t
 (** The [tbtso-trajectory/1] document: [schema], [label], [host],
     [corpus], [explorer] (with derived [states_per_sec] and
     [minor_words_per_state]), [solver] (with derived rates), [phases],
-    [floors], [complete]. *)
+    [floors], [ceilings], [complete]. *)
 
 val of_json : Tbtso_obs.Json.t -> (t, string) result
 (** Inverse of {!to_json} (derived fields are recomputed, not read).
-    [Error] names the missing or ill-typed field. *)
+    [Error] names the missing or ill-typed field. Documents written
+    before the [ceilings] section parse fine — ceilings derive from
+    [explorer.minor_words_per_state], which was always present. *)
+
+type direction = Floor | Ceiling
 
 type check = {
   key : string;
+  direction : direction;
   baseline : float;
   fresh : float;
-  floor : float;  (** [tolerance × baseline] — the pass threshold. *)
+  bound : float;
+      (** The pass threshold: [tolerance × baseline] for a floor,
+          [baseline / tolerance] for a ceiling. *)
   pass : bool;
 }
 
@@ -98,10 +119,11 @@ val default_tolerance : float
 
 val compare_floors :
   ?tolerance:float -> baseline:t -> fresh:t -> unit -> comparison
-(** Check every floor of [baseline] against [fresh]:
-    [fresh ≥ tolerance × baseline] must hold for each. A floor missing
-    from [fresh] fails; extra floors in [fresh] are ignored (forward
-    compatibility). *)
+(** Check every floor and ceiling of [baseline] against [fresh]:
+    [fresh ≥ tolerance × baseline] must hold for each floor and
+    [fresh ≤ baseline / tolerance] for each ceiling. A floor or
+    ceiling missing from [fresh] fails; extra entries in [fresh] are
+    ignored (forward compatibility). *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable summary: throughput lines then the phase table. *)

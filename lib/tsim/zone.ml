@@ -8,37 +8,73 @@ let no_deadline = max_int
    [base_cap] and whose adjacent gaps agree up to [gap_cap] (a value or
    gap ≥ its cap is indistinguishable from the cap, so both are pinned
    exactly at it). See the .mli for why this preserves the outcome
-   set. *)
+   set.
+
+   [normalize_into] is the allocation-free form on the explorer's hot
+   path: it rewrites [values.(0..len-1)] in place using the caller's
+   [scratch] (≥ 2·len words: distinct originals in the first half,
+   their canonical images in the second). Timer vectors are tiny (one
+   word per waiting thread or buffered store), so the distinct-value
+   set is built by insertion sort and looked up linearly. *)
+let normalize_into ~horizon ~base_cap ~gap_cap kinds values ~len ~scratch =
+  let changed = ref false in
+  for i = 0 to len - 1 do
+    if kinds.(i) = Deadline && values.(i) <> no_deadline && values.(i) >= horizon
+    then begin
+      values.(i) <- no_deadline;
+      changed := true
+    end
+  done;
+  (* Distinct finite values, ascending, in scratch.(0..d-1). *)
+  let d = ref 0 in
+  for i = 0 to len - 1 do
+    let x = values.(i) in
+    if x <> no_deadline then begin
+      (* Insertion point (and duplicate check) by backwards scan. *)
+      let j = ref !d in
+      while !j > 0 && scratch.(!j - 1) > x do
+        decr j
+      done;
+      if not (!j > 0 && scratch.(!j - 1) = x) then begin
+        for k = !d downto !j + 1 do
+          scratch.(k) <- scratch.(k - 1)
+        done;
+        scratch.(!j) <- x;
+        incr d
+      end
+    end
+  done;
+  let d = !d in
+  if d > 0 then begin
+    scratch.(len) <- min scratch.(0) base_cap;
+    for j = 1 to d - 1 do
+      scratch.(len + j) <-
+        scratch.(len + j - 1) + min (scratch.(j) - scratch.(j - 1)) gap_cap
+    done;
+    for i = 0 to len - 1 do
+      if values.(i) <> no_deadline then begin
+        let j = ref 0 in
+        while scratch.(!j) <> values.(i) do
+          incr j
+        done;
+        let c = scratch.(len + !j) in
+        if c <> values.(i) then begin
+          values.(i) <- c;
+          changed := true
+        end
+      end
+    done
+  end;
+  !changed
+
 let normalize ~horizon ~base_cap ~gap_cap kinds values =
   let n = Array.length values in
   if Array.length kinds <> n then
     invalid_arg "Zone.normalize: kinds/values length mismatch";
   let v = Array.copy values in
-  for i = 0 to n - 1 do
-    if kinds.(i) = Deadline && v.(i) <> no_deadline && v.(i) >= horizon then
-      v.(i) <- no_deadline
-  done;
-  (* Distinct finite values, ascending. *)
-  let finite = ref [] in
-  for i = n - 1 downto 0 do
-    if v.(i) <> no_deadline then finite := v.(i) :: !finite
-  done;
-  (match List.sort_uniq compare !finite with
-  | [] -> ()
-  | u0 :: rest ->
-      let remap = Hashtbl.create 8 in
-      Hashtbl.replace remap u0 (min u0 base_cap);
-      let prev_orig = ref u0 and prev_canon = ref (min u0 base_cap) in
-      List.iter
-        (fun u ->
-          let c = !prev_canon + min (u - !prev_orig) gap_cap in
-          Hashtbl.replace remap u c;
-          prev_orig := u;
-          prev_canon := c)
-        rest;
-      for i = 0 to n - 1 do
-        if v.(i) <> no_deadline then v.(i) <- Hashtbl.find remap v.(i)
-      done);
+  ignore
+    (normalize_into ~horizon ~base_cap ~gap_cap kinds v ~len:n
+       ~scratch:(Array.make (2 * n) 0));
   v
 
 type t = { kinds : kind array; values : int array }

@@ -98,6 +98,23 @@ val normalize :
     [gap_cap ≥ 1] (so wake timers stay ≥ 1).
     @raise Invalid_argument on a length mismatch. *)
 
+val normalize_into :
+  horizon:int ->
+  base_cap:int ->
+  gap_cap:int ->
+  kind array ->
+  int array ->
+  len:int ->
+  scratch:int array ->
+  bool
+(** Allocation-free {!normalize} for the explorer's hot path: rewrites
+    [values.(0..len-1)] {e in place} (only the first [len] entries of
+    [kinds]/[values] are read) and returns whether any value changed.
+    [scratch] is caller-provided working storage of at least [2·len]
+    words whose contents are clobbered; nothing is allocated. Semantics
+    are exactly {!normalize}'s — the public function is implemented on
+    top of this one. *)
+
 type t
 (** A canonical zone: timer kinds plus normalized values. *)
 

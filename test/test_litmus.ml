@@ -890,6 +890,81 @@ let prop_pooled_differential =
           Tbtso_par.Pool.map_list pool (fun mode -> enumerate ~mode p) diff_modes
           = List.map (fun mode -> enumerate ~mode p) diff_modes))
 
+(* The hash-cons arena packs canonical states into one flat int array and
+   interns them by (hash, length, word-compare) against the packed bytes.
+   These checks pin the arena against a reference interner and against
+   its own growth path. *)
+
+let prop_packed_key_partition =
+  (* The packed-key interner must induce the same partition as a plain
+     structural interner: replay the (key, id) stream through a Hashtbl
+     keyed by full key copies, assigning dense ids in arrival order, and
+     demand the ids agree call by call. Catches hash truncation, missed
+     length checks and stale-offset bugs in the open-addressing table. *)
+  QCheck.Test.make ~name:"packed-key intern ≡ structural interning" ~count:40
+    program_arb3 (fun p ->
+      List.for_all
+        (fun mode ->
+          let reference : (int array, int) Hashtbl.t = Hashtbl.create 64 in
+          let next = ref 0 in
+          let ok = ref true in
+          let on_intern key id =
+            let rid =
+              match Hashtbl.find_opt reference key with
+              | Some rid -> rid
+              | None ->
+                  let rid = !next in
+                  incr next;
+                  Hashtbl.add reference key rid;
+                  rid
+            in
+            if rid <> id then ok := false
+          in
+          let _r, dbg = For_tests.explore_instrumented ~mode ~on_intern p in
+          !ok && dbg.For_tests.interned = !next)
+        [ M_sc; M_tso; M_tbtso 3 ])
+
+let test_arena_growth_stress () =
+  (* Start the arena and the intern table deliberately tiny so both must
+     reallocate mid-exploration (the arena at least twice), and check
+     growth relocates nothing observable: outcomes and every stats
+     counter match a run that started at the default capacities. *)
+  let same_stats (a : stats) (b : stats) =
+    a.visited = b.visited && a.dedup_hits = b.dedup_hits
+    && a.canon_hits = b.canon_hits && a.zones_merged = b.zones_merged
+    && a.max_frontier = b.max_frontier && a.time_leaps = b.time_leaps
+    && a.sleep_skips = b.sleep_skips && a.dd_skips = b.dd_skips
+    && a.di_skips = b.di_skips && a.ii_skips = b.ii_skips
+  in
+  List.iter
+    (fun (name, mode, p) ->
+      let big, dbg_big = For_tests.explore_instrumented ~mode p in
+      let small, dbg_small =
+        For_tests.explore_instrumented ~mode ~arena_words:64 ~table_slots:8 p
+      in
+      check_bool
+        (Printf.sprintf "%s: arena grew at least twice" name)
+        true
+        (dbg_small.For_tests.arena_growths >= 2);
+      check_bool
+        (Printf.sprintf "%s: same packed words either way" name)
+        true
+        (dbg_small.For_tests.arena_words = dbg_big.For_tests.arena_words
+        && dbg_small.For_tests.interned = dbg_big.For_tests.interned);
+      check_bool
+        (Printf.sprintf "%s: outcomes unchanged by growth" name)
+        true
+        (small.outcomes = big.outcomes && small.complete = big.complete);
+      check_bool
+        (Printf.sprintf "%s: stats unchanged by growth" name)
+        true
+        (same_stats small.stats big.stats))
+    [
+      ("SB tso", M_tso, sb);
+      ("MP tbtso:4", M_tbtso 4, mp);
+      ("flag tbtso:6", M_tbtso 6, tbtso_flag 6);
+    ]
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -939,6 +1014,8 @@ let () =
           Alcotest.test_case "flag states flat in Δ" `Quick test_flag_flat_in_delta;
           Alcotest.test_case "zone stats exposed" `Quick test_zone_stats_exposed;
           Alcotest.test_case "partial result on budget" `Quick test_explore_partial_result;
+          Alcotest.test_case "arena growth is invisible" `Quick
+            test_arena_growth_stress;
         ] );
       ( "parser",
         [
@@ -970,6 +1047,7 @@ let () =
           prop_pooled_differential;
           prop_sat_equals_explorer;
           prop_pooled_sat_differential;
+          prop_packed_key_partition;
         ];
       qsuite "properties"
         [

@@ -303,7 +303,8 @@ let test_trajectory_compare () =
     Trajectory.compare_floors ?tolerance ~baseline:base ~fresh ()
   in
   (match cmp base with
-  | Trajectory.Pass checks -> check_int "two floors" 2 (List.length checks)
+  | Trajectory.Pass checks ->
+      check_int "two floors and one ceiling" 3 (List.length checks)
   | _ -> Alcotest.fail "identical measurement must pass");
   (* Explorer throughput halves: passes at the default 0.5 tolerance,
      fails at 0.9. *)
@@ -326,6 +327,29 @@ let test_trajectory_compare () =
              && c.Trajectory.pass)
            checks)
   | _ -> Alcotest.fail "0.5x must fail a 0.9 tolerance");
+  (* GC ceiling: allocation per state may double at the default 0.5
+     tolerance (bound = baseline / tolerance) but not more; throughput
+     floors are unaffected by an allocation-only change. *)
+  let leaky = { base with Trajectory.minor_words_per_state = 19.9 } in
+  (match cmp leaky with
+  | Trajectory.Pass _ -> ()
+  | _ -> Alcotest.fail "2x allocation must pass the default tolerance");
+  let leakier = { base with Trajectory.minor_words_per_state = 20.1 } in
+  (match cmp leakier with
+  | Trajectory.Fail checks ->
+      check_bool "gc ceiling failed" true
+        (List.exists
+           (fun (c : Trajectory.check) ->
+             c.Trajectory.key = "explorer.minor_words_per_state"
+             && c.Trajectory.direction = Trajectory.Ceiling
+             && not c.Trajectory.pass)
+           checks);
+      check_bool "floors still ok" true
+        (List.for_all
+           (fun (c : Trajectory.check) ->
+             c.Trajectory.direction <> Trajectory.Floor || c.Trajectory.pass)
+           checks)
+  | _ -> Alcotest.fail ">2x allocation must fail the default tolerance");
   (* No verdict across corpora or from budget-cut measurements. *)
   (match cmp { base with Trajectory.corpus_fingerprint = "g" } with
   | Trajectory.Inconclusive _ -> ()

@@ -67,6 +67,15 @@ val add_lits : t -> lit array -> int -> unit
     clause. Entries at [len] and beyond are ignored. Same semantics as
     {!add_clause}, including the stored literal order. *)
 
+val reserve_watch : t -> lit -> int -> unit
+(** [reserve_watch s l n] pre-grows the watch list of [l] to hold [n]
+    more watched clauses, so an encoder about to attach a known burst
+    of clauses watching [l] (e.g. the [2·H] ladder clauses of one
+    reified order comparison) pays one allocation instead of repeated
+    doubling. Purely a capacity hint: stored clauses, propagation and
+    search are byte-identical with or without it. Ignored for literals
+    whose variable does not exist yet. *)
+
 val ok : t -> bool
 (** [false] once root-level unsatisfiability has been established; every
     further [solve] returns [false] immediately. *)

@@ -322,6 +322,12 @@ let session ?(addrs = 4) ?(regs = 4) ?(profiler = Span.disabled) programs =
           let p = S.pos (S.new_var s) in
           Hashtbl.add ltc (u, v) p;
           let pp = L p and np = L (S.negate p) in
+          (* Each polarity of [p] is slot-1 watch of one clause per
+             ladder rung: bulk-reserve both watch lists so the 2·H
+             attaches below cost one allocation each instead of
+             doubling through the distinctness ladder. *)
+          S.reserve_watch s p h;
+          S.reserve_watch s (S.negate p) h;
           for t = 1 to h do
             cpush np;
             cpush (no v t);

@@ -57,10 +57,30 @@ let robust_of sess mode =
   | `Witness w -> { robust_holds = false; robust_witness = Some w }
 
 let check ?pool ?max_states ?(oracle = Explorer)
-    ?(profiler = Tbtso_obs.Span.disabled) ?(robust = false) tasks =
+    ?(profiler = Tbtso_obs.Span.disabled) ?(robust = false)
+    ?(dpor = false) tasks =
   (* Each task runs inside one span labelled [file:mode] on whichever
      domain the pool hands it to, so a profiled [-j N] check shows the
-     per-task schedule across domain tracks. *)
+     per-task schedule across domain tracks.
+
+     When there are fewer tasks than domains, task-level fan-out would
+     leave domains idle, so the pool is instead routed {e inside} each
+     exploration: tasks run sequentially in the caller and the explorer
+     splits its own frontier across the pool (outcome sets are
+     byte-identical either way — see [Litmus.explore ?pool]). The SAT
+     oracle has no intra-task split, so [Sat] keeps task-level
+     fan-out. *)
+  let intra =
+    match pool with
+    | Some p
+      when oracle <> Sat
+           && (not robust)
+           && List.compare_length_with tasks (Tbtso_par.Pool.domains p) < 0
+      ->
+        Some p
+    | _ -> None
+  in
+  let task_pool = if intra = None then pool else None in
   let one ?robust_query task =
     Tbtso_obs.Span.with_span profiler
       (Printf.sprintf "%s:%s"
@@ -74,8 +94,8 @@ let check ?pool ?max_states ?(oracle = Explorer)
           task;
           result =
             Some
-              (Litmus_parse.check ?max_states ~profiler task.test
-                 ~mode:task.mode);
+              (Litmus_parse.check ?max_states ~profiler ~dpor
+                 ?pool:intra task.test ~mode:task.mode);
           sat = None;
           disagree = None;
           robustness;
@@ -94,8 +114,8 @@ let check ?pool ?max_states ?(oracle = Explorer)
         }
     | Both ->
         let op =
-          Litmus.explore ~mode:task.mode ?max_states ~profiler
-            task.test.Litmus_parse.program
+          Litmus.explore ~mode:task.mode ?max_states ~profiler ~dpor
+            ?pool:intra task.test.Litmus_parse.program
         in
         let sx =
           Axiomatic.explore ~mode:task.mode ~profiler
@@ -127,7 +147,7 @@ let check ?pool ?max_states ?(oracle = Explorer)
         }
   in
   if not robust then
-    match pool with
+    match task_pool with
     | None -> List.map (fun t -> one t) tasks
     | Some pool -> Tbtso_par.Pool.map_list pool (fun t -> one t) tasks
   else begin
@@ -169,7 +189,7 @@ let check ?pool ?max_states ?(oracle = Explorer)
             its
     in
     let scattered =
-      match pool with
+      match task_pool with
       | None -> List.map run_file files
       | Some pool -> Tbtso_par.Pool.map_list pool run_file files
     in
@@ -309,8 +329,8 @@ let record v =
 
 let json_doc ~registry verdicts =
   let schema =
-    if List.exists (fun v -> v.sat <> None) verdicts then "tbtso-sat/1"
-    else "tbtso-litmus/2"
+    if List.exists (fun v -> v.sat <> None) verdicts then "tbtso-sat/2"
+    else "tbtso-litmus/3"
   in
   Json.obj
     [

@@ -199,8 +199,11 @@ let check_explored t (r : Litmus.result) =
     stats = r.stats;
   }
 
-let check ?(max_states = Litmus.default_max_states) ?profiler t ~mode =
-  check_explored t (Litmus.explore ~mode ~max_states ?profiler t.program)
+let check ?(max_states = Litmus.default_max_states) ?profiler ?dpor ?pool
+    ?task_budget t ~mode =
+  check_explored t
+    (Litmus.explore ~mode ~max_states ?profiler ?dpor ?pool ?task_budget
+       t.program)
 
 let check_result_json r =
   let open Tbtso_obs in

@@ -86,13 +86,21 @@ type check_result = {
 }
 
 val check :
-  ?max_states:int -> ?profiler:Tbtso_obs.Span.t -> t -> mode:Litmus.mode ->
+  ?max_states:int ->
+  ?profiler:Tbtso_obs.Span.t ->
+  ?dpor:bool ->
+  ?pool:Tbtso_par.Pool.t ->
+  ?task_budget:int ->
+  t ->
+  mode:Litmus.mode ->
   check_result
 (** [check t ~mode] exhaustively enumerates outcomes under [mode] (up to
     [max_states] distinct states, default
     {!Litmus.default_max_states}) and evaluates the file's condition.
-    Never raises on budget exhaustion — see [complete]. [profiler] as
-    in {!Litmus.explore}. *)
+    Never raises on budget exhaustion — see [complete]. [profiler],
+    [dpor], [pool] and [task_budget] as in {!Litmus.explore}: [dpor]
+    switches on source-DPOR reduction, [pool] splits the frontier of
+    this single exploration across domains. *)
 
 val check_explored : t -> Litmus.result -> check_result
 (** Evaluate the condition over an explorer result the caller already

@@ -6,6 +6,7 @@ open Tsim
 open Litmus
 
 let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
 
 (* Addresses and registers used by the classic tests. *)
 let x = 0
@@ -466,6 +467,74 @@ let prop_new_equals_reference =
       List.for_all
         (fun mode -> enumerate ~mode p = enumerate_reference ~mode p)
         diff_modes)
+
+let prop_dpor_equals_reference =
+  (* The DPOR soundness property: source-DPOR prunes first-visit
+     branching but must keep the exact outcome set of both the
+     sleep-set-only explorer and the naive reference enumerator, under
+     every mode and the full Δ ∈ {1..8} sweep of [diff_modes]. *)
+  QCheck.Test.make
+    ~name:"DPOR ≡ sleep-set-only ≡ reference on random programs" ~count:40
+    program_arb3 (fun p ->
+      List.for_all
+        (fun mode ->
+          let d = (explore ~mode ~dpor:true p).outcomes in
+          d = enumerate ~mode p && d = enumerate_reference ~mode p)
+        diff_modes)
+
+let test_dpor_reduces_iriw () =
+  (* The acceptance bar from the issue: on 4-thread IRIW the DPOR
+     engine must visit at most half the states of the sleep-set-only
+     explorer in at least one mode, with an identical outcome set. *)
+  let iriw =
+    [
+      [ Store (x, 1) ];
+      [ Store (y, 1) ];
+      [ Load (x, r0); Load (y, r1) ];
+      [ Load (y, r0); Load (x, r1) ];
+    ]
+  in
+  let base = explore ~mode:M_tso iriw in
+  let dpor = explore ~mode:M_tso ~dpor:true iriw in
+  check_bool "outcome sets identical" true (base.outcomes = dpor.outcomes);
+  check_bool
+    (Printf.sprintf "DPOR visited ≤ 50%% of sleep-set-only (%d vs %d)"
+       dpor.stats.visited base.stats.visited)
+    true
+    (2 * dpor.stats.visited <= base.stats.visited);
+  check_bool "races detected" true (dpor.stats.races_detected > 0);
+  check_bool "wakeup nodes recorded" true (dpor.stats.wut_nodes > 0);
+  check_bool "source-set hits recorded" true (dpor.stats.source_set_hits > 0)
+
+let test_wut_insert_subsume () =
+  let module W = For_tests.Wut in
+  let t = W.create () in
+  check_bool "fresh tree has nothing pending" false (W.pending t);
+  check_bool "first insert added" true
+    (W.insert t ~initials:0b001 ~scheduled:0b000 [| 0; 2 |] = `Added);
+  check_bool "pending after insert" true (W.pending t);
+  check_int "nodes counts sequence length" 2 (W.nodes t);
+  (* Source-set condition: a weak initial already scheduled at the
+     frame means some scheduled branch reverses the race — subsumed. *)
+  check_bool "scheduled initial subsumes" true
+    (W.insert t ~initials:0b010 ~scheduled:0b110 [| 1; 2 |] = `Subsumed);
+  (* A stored sequence that is a prefix of [v] already forces the same
+     reversal. *)
+  check_bool "stored prefix subsumes" true
+    (W.insert t ~initials:0b001 ~scheduled:0b000 [| 0; 2; 1 |] = `Subsumed);
+  check_bool "empty sequence subsumed" true
+    (W.insert t ~initials:0b001 ~scheduled:0b000 [||] = `Subsumed);
+  check_bool "distinct sequence added" true
+    (W.insert t ~initials:0b100 ~scheduled:0b000 [| 2; 0 |] = `Added);
+  check_int "nodes accumulate" 4 (W.nodes t);
+  (match W.take t with
+  | Some v -> check_bool "FIFO pop returns oldest" true (v = [| 0; 2 |])
+  | None -> Alcotest.fail "expected a pending sequence");
+  (match W.take t with
+  | Some v -> check_bool "second pop in order" true (v = [| 2; 0 |])
+  | None -> Alcotest.fail "expected a second sequence");
+  check_bool "drained" false (W.pending t);
+  check_bool "take on empty" true (W.take t = None)
 
 let test_diff_boundary_grid () =
   (* Wait-vs-Δ boundary sweep on the flag protocol (with and without the
@@ -1017,6 +1086,13 @@ let () =
           Alcotest.test_case "arena growth is invisible" `Quick
             test_arena_growth_stress;
         ] );
+      ( "dpor",
+        [
+          Alcotest.test_case "IRIW reduction ≤ 50% with same outcomes" `Quick
+            test_dpor_reduces_iriw;
+          Alcotest.test_case "wakeup-tree insert/subsume/take" `Quick
+            test_wut_insert_subsume;
+        ] );
       ( "parser",
         [
           Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
@@ -1044,6 +1120,7 @@ let () =
       qsuite "differential"
         [
           prop_new_equals_reference;
+          prop_dpor_equals_reference;
           prop_pooled_differential;
           prop_sat_equals_explorer;
           prop_pooled_sat_differential;

@@ -232,13 +232,94 @@ let test_oracle_both_corpus () =
         (Litmus_fanout.exit_code seq_verdicts);
       (match seq_doc with
       | Json.Obj fields ->
-          check_bool "sat runs use schema tbtso-sat/1" true
-            (List.assoc_opt "schema" fields = Some (Json.String "tbtso-sat/1"))
+          check_bool "sat runs use schema tbtso-sat/2" true
+            (List.assoc_opt "schema" fields = Some (Json.String "tbtso-sat/2"))
       | _ -> Alcotest.fail "json_doc not an object");
       Alcotest.(check string)
         "both-oracle JSON byte-identical seq vs par"
         (Json.to_string (scrub seq_doc))
         (Json.to_string (scrub par_doc))
+
+(* --- Intra-exploration frontier stealing: -j 2 on a single task --- *)
+
+let iriw_prog =
+  [
+    [ Litmus.Store (0, 1) ];
+    [ Litmus.Store (1, 1) ];
+    [ Litmus.Load (0, 0); Litmus.Load (1, 1) ];
+    [ Litmus.Load (1, 0); Litmus.Load (0, 1) ];
+  ]
+
+(* Forcing a tiny per-task budget makes the parallel path actually
+   hand frontier segments between domains (IRIW under TBTSO[4] visits
+   hundreds of states); the outcome list must stay byte-identical to
+   the sequential exploration, with or without DPOR. *)
+let test_forced_steal_outcomes () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      List.iter
+        (fun (mn, mode) ->
+          List.iter
+            (fun dpor ->
+              let seq = Litmus.explore ~mode iriw_prog in
+              let par =
+                Litmus.explore ~mode ~dpor ~pool ~task_budget:64 iriw_prog
+              in
+              check_bool
+                (Printf.sprintf "%s dpor=%b outcomes byte-identical" mn dpor)
+                true
+                (par.Litmus.outcomes = seq.Litmus.outcomes);
+              check_bool
+                (Printf.sprintf "%s dpor=%b complete" mn dpor)
+                true par.Litmus.complete;
+              if mode = Litmus.M_tbtso 4 then
+                check_bool
+                  (Printf.sprintf "%s dpor=%b steals exercised" mn dpor)
+                  true
+                  (par.Litmus.stats.Litmus.frontier_steals > 0))
+            [ false; true ])
+        [
+          ("sc", Litmus.M_sc);
+          ("tso", Litmus.M_tso);
+          ("tbtso4", Litmus.M_tbtso 4);
+          ("tsos2", Litmus.M_tsos 2);
+        ])
+
+(* With fewer tasks than pool domains, Litmus_fanout routes the pool
+   inside the one exploration instead of fanning tasks out; verdicts
+   must be indistinguishable from the sequential run. *)
+let test_intra_exploration_routing () =
+  match corpus () with
+  | [] -> Alcotest.fail "litmus corpus not found (missing dune deps?)"
+  | paths ->
+      let heavy =
+        match
+          List.filter (fun p -> Filename.basename p = "iriw.litmus") paths
+        with
+        | [] -> [ List.hd paths ]
+        | l -> l
+      in
+      let tasks = Litmus_fanout.load ~modes:[ Litmus.M_tbtso 8 ] heavy in
+      let seq = Litmus_fanout.check tasks in
+      let par =
+        Pool.with_pool ~domains:2 (fun pool ->
+            Litmus_fanout.check ~pool tasks)
+      in
+      List.iter2
+        (fun (s : Litmus_fanout.verdict) (p : Litmus_fanout.verdict) ->
+          Alcotest.(check string)
+            "same verdict"
+            (Litmus_fanout.verdict_string s)
+            (Litmus_fanout.verdict_string p);
+          match (s.result, p.result) with
+          | Some rs, Some rp ->
+              check_int "same outcome count" rs.Litmus_parse.outcome_count
+                rp.Litmus_parse.outcome_count;
+              check_bool "same holds" true
+                (rs.Litmus_parse.holds = rp.Litmus_parse.holds);
+              check_bool "same complete" true
+                (rs.Litmus_parse.complete = rp.Litmus_parse.complete)
+          | _ -> Alcotest.fail "explorer did not run on both sides")
+        seq par
 
 let test_disagreement_exits_3 () =
   (* Fabricate a disagreement verdict (the real oracles agree — that is
@@ -301,5 +382,9 @@ let () =
             test_oracle_both_corpus;
           Alcotest.test_case "oracle disagreement exits 3" `Quick
             test_disagreement_exits_3;
+          Alcotest.test_case "forced frontier steals keep outcomes" `Quick
+            test_forced_steal_outcomes;
+          Alcotest.test_case "intra-exploration routing (1 task, -j 2)" `Quick
+            test_intra_exploration_routing;
         ] );
     ]

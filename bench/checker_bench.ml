@@ -48,6 +48,13 @@
    identical and the session's total conflicts are strictly fewer
    than the sum over the from-scratch solves.
 
+   --scenario-sweep times both oracles over the generated algorithm
+   scenarios (Tsim.Scenario.registry), one point per declared polarity
+   expectation (the EXPERIMENTS.md "Algorithm scenarios" table; --json
+   emits a tbtso-scenario-sweep/1 document). Reporting only — no
+   --gate; polarity verdicts are gated by `tbtso-litmus scenarios
+   check` in CI.
+
    --trajectory [--label L] measures the performance trajectory — the
    EXPERIMENTS.md "Performance trajectory" table: explorer states/s,
    solver propagations/s, GC pressure and the per-phase wall-time
@@ -631,6 +638,99 @@ let run_dpor_sweep ~gate ~json_path ~domains =
            mode";
         exit 1)
 
+(* --- algorithm-scenario sweep (--scenario-sweep) --- *)
+
+(* Times both oracles over the generated scenario registry, one point
+   per declared polarity expectation. Reporting only, no gate — the
+   polarity verdicts are gated by `tbtso-litmus scenarios check` in CI;
+   this sweep tracks how expensive those verdicts are and still flags
+   an outcome-set disagreement should one appear. *)
+let run_scenario_sweep ~json_path ~domains =
+  pf "Algorithm-scenario sweep: both oracles over the generated registry\n";
+  pf "(timing only; polarity gating lives in `tbtso-litmus scenarios \
+      check`)\n\n";
+  let cases =
+    List.concat_map
+      (fun (s : Scenario.t) ->
+        List.map (fun (mode, exp) -> (s, mode, exp)) s.Scenario.expect)
+      Scenario.registry
+  in
+  let results =
+    Pool.with_pool ~domains (fun pool ->
+        Pool.map_list pool
+          (fun ((s : Scenario.t), mode, _) ->
+            let p = Scenario.program s in
+            let op, op_dt = time (fun () -> explore ~mode p) in
+            let sat, sat_dt = time (fun () -> Axiomatic.explore ~mode p) in
+            (op, op_dt, sat, sat_dt))
+          cases)
+  in
+  let rows = List.combine cases results in
+  let agree_all = ref true in
+  let scenario_records =
+    List.map
+      (fun (s : Scenario.t) ->
+        pf "%s (%s)\n" s.Scenario.name s.Scenario.algorithm;
+        let points =
+          List.map
+            (fun (mode, expected) ->
+              let _, ((op : Litmus.result), op_dt, sat, sat_dt) =
+                List.find
+                  (fun (((s' : Scenario.t), m, _), _) ->
+                    s'.Scenario.name = s.Scenario.name && m = mode)
+                  rows
+              in
+              let agree =
+                op.complete && sat.Axiomatic.complete
+                && op.outcomes = sat.Axiomatic.outcomes
+              in
+              if not agree then agree_all := false;
+              pf
+                "  %-9s expect %-11s  %6d states  explorer %7.3fs  sat \
+                 %7.3fs  %s\n"
+                (Litmus_parse.mode_id mode)
+                (Scenario.polarity_name expected)
+                op.stats.visited op_dt sat_dt
+                (if agree then "agree" else "ORACLE DISAGREEMENT!");
+              Json.obj
+                [
+                  ("mode", Json.String (Litmus_parse.mode_id mode));
+                  ( "expected",
+                    Json.String (Scenario.polarity_name expected) );
+                  ("agree", Json.Bool agree);
+                  ("states", Json.Int op.stats.visited);
+                  ("outcomes", Json.Int (List.length op.outcomes));
+                  ("explorer_wall_seconds", Json.Float op_dt);
+                  ("sat_wall_seconds", Json.Float sat_dt);
+                  ("explorer_stats", stats_json op.stats);
+                  ("sat_stats", Axiomatic.stats_json sat.Axiomatic.stats);
+                ])
+            s.Scenario.expect
+        in
+        pf "\n";
+        Json.obj
+          [
+            ("scenario", Json.String s.Scenario.name);
+            ("algorithm", Json.String s.Scenario.algorithm);
+            ("points", Json.List points);
+          ])
+      Scenario.registry
+  in
+  pf "oracles %s over the whole sweep\n"
+    (if !agree_all then "AGREE" else "DISAGREE");
+  match json_path with
+  | None -> ()
+  | Some path ->
+      Json.write_file path
+        (Json.obj
+           [
+             ("schema", Json.String "tbtso-scenario-sweep/1");
+             ("domains", Json.Int domains);
+             ("agree", Json.Bool !agree_all);
+             ("scenarios", Json.List scenario_records);
+           ]);
+      pf "(wrote %s)\n" path
+
 (* --- performance trajectory (--trajectory) --- *)
 
 let run_trajectory ~quick ~label ~compare_path ~gate ~tolerance ~json_path =
@@ -723,6 +823,9 @@ let () =
     exit 0);
   if List.mem "--dpor-sweep" args then (
     run_dpor_sweep ~gate:(List.mem "--gate" args) ~json_path ~domains;
+    exit 0);
+  if List.mem "--scenario-sweep" args then (
+    run_scenario_sweep ~json_path ~domains;
     exit 0);
   if List.mem "--trajectory" args then (
     let tolerance =

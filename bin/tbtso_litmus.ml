@@ -445,6 +445,226 @@ let advise_cmd =
       const run $ fences_arg $ verify_arg $ max_states_arg $ json_arg
       $ jobs_arg $ profile_arg $ files_arg)
 
+(* --- scenarios: the lib/core client-window registry ------------------ *)
+
+let pass_cell (m : Scenario.mode_report) =
+  if m.Scenario.verdict.Litmus_fanout.disagree <> None then "DISAGREE"
+  else
+    match m.Scenario.pass with
+    | Some true -> "ok"
+    | Some false -> "MISMATCH"
+    | None -> "INCONCLUSIVE"
+
+let report_scenario (r : Scenario.report) =
+  Printf.printf "%s (lib/core/%s):\n" r.Scenario.scenario.Scenario.name
+    r.Scenario.scenario.Scenario.algorithm;
+  List.iter
+    (fun (m : Scenario.mode_report) ->
+      let v = m.Scenario.verdict in
+      let work =
+        match (v.Litmus_fanout.result, v.Litmus_fanout.sat) with
+        | Some cr, _ ->
+            Printf.sprintf "%d states" cr.Litmus_parse.stats.Litmus.visited
+        | None, Some sc ->
+            Printf.sprintf "%d sat outcomes" sc.Litmus_fanout.sat_outcome_count
+        | None, None -> "no oracle"
+      in
+      Printf.printf "  %-12s expected %-11s  found %-11s  %-12s (%s)\n"
+        (mode_name v.Litmus_fanout.task.Litmus_fanout.mode)
+        (Scenario.polarity_name m.Scenario.expected)
+        (match m.Scenario.reachable with
+        | Some true -> "reachable"
+        | Some false -> "unreachable"
+        | None -> "undecided")
+        (pass_cell m) work;
+      match Litmus_fanout.disagreement_witness v with
+      | Some o -> Format.printf "  %-12s witness %a@." "" Litmus.pp_outcome o
+      | None -> ())
+    r.Scenario.modes;
+  print_newline ()
+
+let scenario_oracle_arg =
+  let doc =
+    "Which oracle answers each (scenario, mode) check: $(b,explorer), \
+     $(b,sat), or $(b,both) (default — the registry's polarity claims are \
+     only machine-checked end to end when the two independent oracles \
+     cross-check each point)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("explorer", Litmus_fanout.Explorer);
+             ("sat", Litmus_fanout.Sat);
+             ("both", Litmus_fanout.Both);
+           ])
+        Litmus_fanout.Both
+    & info [ "oracle" ] ~docv:"ORACLE" ~doc)
+
+let scenario_action_arg =
+  let doc =
+    "$(b,list) the curated registry; $(b,emit) the scenarios as litmus \
+     files into $(b,--dir); or $(b,check) every scenario's per-mode \
+     polarity expectations with the chosen oracle(s)."
+  in
+  Arg.(
+    required
+    & pos 0 (some (enum [ ("list", `List); ("emit", `Emit); ("check", `Check) ])) None
+    & info [] ~docv:"ACTION" ~doc)
+
+let scenario_names_arg =
+  let doc = "Restrict to these curated scenario names (default: all)." in
+  Arg.(value & pos_right 0 string [] & info [] ~docv:"NAME" ~doc)
+
+let scenario_dir_arg =
+  let doc = "Directory $(b,emit) writes the generated litmus files into." in
+  Arg.(value & opt string "litmus/gen" & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let scenarios_exits =
+  Cmd.Exit.info 1
+    ~doc:
+      "some machine-checked polarity expectation FAILED: a definitive \
+       verdict contradicted the registry (a fence-freedom claim is wrong, \
+       or the model changed)."
+  :: Cmd.Exit.info 2
+       ~doc:
+         "some (scenario, mode) check was INCONCLUSIVE under the state \
+          budget (raise $(b,--max-states)). A mismatch anywhere dominates \
+          and exits 1."
+  :: Cmd.Exit.info 3
+       ~doc:
+         "the two oracles of $(b,--oracle both) DISAGREED on some exact \
+          outcome set (one of them is provably wrong), or a scenario name \
+          was unknown, or an option value was invalid."
+  :: Cmd.Exit.defaults
+
+let scenarios_cmd =
+  let run action names dir max_states json jobs oracle dpor profile =
+    let selected =
+      match names with
+      | [] -> Ok Scenario.registry
+      | names ->
+          List.fold_right
+            (fun n acc ->
+              match (Scenario.find n, acc) with
+              | _, (Error _ as e) -> e
+              | Some s, Ok l -> Ok (s :: l)
+              | None, Ok _ -> Error n)
+            names (Ok [])
+    in
+    match selected with
+    | Error n ->
+        Printf.eprintf "unknown scenario %S (see `scenarios list`)\n" n;
+        3
+    | Ok scenarios -> (
+        match action with
+        | `List ->
+            List.iter
+              (fun (s : Scenario.t) ->
+                Printf.printf "%-24s %-18s %d threads   %s\n"
+                  s.Scenario.name
+                  ("lib/core/" ^ s.Scenario.algorithm)
+                  (List.length s.Scenario.threads)
+                  (String.concat " "
+                     (List.map
+                        (fun (m, p) ->
+                          Printf.sprintf "%s=%s" (Litmus_parse.mode_id m)
+                            (Scenario.polarity_name p))
+                        s.Scenario.expect)))
+              scenarios;
+            0
+        | `Emit ->
+            let paths = Scenario.emit ~dir scenarios in
+            List.iter (fun p -> Printf.printf "wrote %s\n" p) paths;
+            0
+        | `Check ->
+            if max_states < 1 then begin
+              Printf.eprintf "--max-states must be at least 1\n";
+              3
+            end
+            else if jobs < 0 then begin
+              Printf.eprintf "-j must be non-negative (0 = auto)\n";
+              3
+            end
+            else begin
+              let quiet = json = Some "-" in
+              let registry = Tbtso_obs.Metrics.create () in
+              let profiler = profiler_of profile in
+              let check () =
+                Scenario.check ~max_states ~oracle ~dpor ~profiler scenarios
+              in
+              let domains = if jobs = 0 then Pool.default_domains () else jobs in
+              let reports =
+                if domains <= 1 then check ()
+                else
+                  Pool.with_pool ~domains ~profiler (fun pool ->
+                      let rs =
+                        Scenario.check ~pool ~max_states ~oracle ~dpor
+                          ~profiler scenarios
+                      in
+                      Pool.record_metrics pool registry;
+                      rs)
+              in
+              List.iter
+                (fun (r : Scenario.report) ->
+                  List.iter
+                    (fun (m : Scenario.mode_report) ->
+                      let v = m.Scenario.verdict in
+                      (match v.Litmus_fanout.result with
+                      | Some cr ->
+                          Litmus.record_stats registry cr.Litmus_parse.stats
+                      | None -> ());
+                      match v.Litmus_fanout.sat with
+                      | Some sc ->
+                          Axiomatic.record_stats registry
+                            sc.Litmus_fanout.sat_stats
+                      | None -> ())
+                    r.Scenario.modes)
+                reports;
+              if not quiet then List.iter report_scenario reports;
+              write_profile ~quiet profile profiler;
+              (match json with
+              | None -> ()
+              | Some "-" ->
+                  Json.write_line stdout (Scenario.json_doc ~registry reports)
+              | Some path ->
+                  Json.write_file path (Scenario.json_doc ~registry reports));
+              Scenario.exit_code reports
+            end)
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "The curated scenario registry (Tsim.Scenario) compiles bounded \
+         client windows of the lib/core algorithms — FFHP protect/validate \
+         vs retire/scan, FFBL revoke/acquire and the echo cut, the flag \
+         principle, an RCU grace period, safepoint-style bias revocation — \
+         into litmus programs whose exists condition is the algorithm's \
+         safety violation.";
+      `P
+        "Each scenario carries per-mode polarity expectations: the paper's \
+         claim that the fence-free window is safe under SC and TBTSO[Δ] up \
+         to its wait bound while the violation IS reachable under unbounded \
+         TSO. $(b,check) verifies the whole grid and exits non-zero on any \
+         failure; $(b,emit) regenerates litmus/gen/ so the ordinary corpus \
+         machinery (check, advise, CI) picks the same programs up.";
+      `P
+        "With $(b,--json), results are written as a tbtso-scenario/1 \
+         document: per scenario and mode the expectation, the oracles' \
+         combined reachability answer, pass/fail, and the full per-task \
+         check record (explorer stats, SAT stats, oracle agreement).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "scenarios" ~exits:scenarios_exits ~man
+       ~doc:"List, emit or check the lib/core algorithm scenario registry")
+    Term.(
+      const run $ scenario_action_arg $ scenario_names_arg $ scenario_dir_arg
+      $ max_states_arg $ json_arg $ jobs_arg $ scenario_oracle_arg $ dpor_arg
+      $ profile_arg)
+
 let demo_cmd =
   let run () =
     print_string demo_text;
@@ -468,4 +688,6 @@ let () =
     Cmd.info "tbtso-litmus" ~version:"1.0"
       ~doc:"Exhaustive litmus-test checking under SC, TSO and TBTSO[Δ]"
   in
-  exit (Cmd.eval' (Cmd.group info [ check_cmd; advise_cmd; demo_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ check_cmd; advise_cmd; scenarios_cmd; demo_cmd ]))

@@ -1842,7 +1842,25 @@ let enumerate_core ~mode ~addrs ~regs ~max_states ~profiler ?(dpor = false)
                 are slept out (their subtrees are done here), and its
                 in-flight action is slept too — the refused child (or
                 the next collected frame) is the seed covering that
-                subtree. *)
+                subtree.
+
+                Deliberately, a seed carries ONLY the sleep and class
+                masks — no wakeup-tree or pending-race state crosses
+                the hand-off.  That is sound because source-DPOR
+                completeness is a per-tree argument: for any root
+                whose slept actions each have a fully completed (or
+                separately seeded) subtree, exploring the remaining
+                enabled actions with fresh race detection plants
+                every wakeup sequence the subtree needs, so every
+                Mazurkiewicz class not already owned by a slept
+                action is still reached.  The parent's outstanding
+                wakeup demands only direct traces into subtrees that
+                some emitted seed owns outright, so dropping them
+                loses nothing.  The cost is conservatism rather than
+                unsoundness: sibling seeds re-intern shared suffixes
+                (states are deduplicated globally, so outcome sets
+                stay exact — pinned by the forced-steal differentials
+                in test_par.ml and test_scenario.ml). *)
              for k = 0 to !sp do
                let inflight =
                  if !f_act.(k) >= 0 then 1 lsl !f_act.(k) else 0

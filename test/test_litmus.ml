@@ -683,6 +683,99 @@ let test_corpus_matches_sat () =
             sat_corpus_modes)
         paths
 
+(* --- Generated-corpus differential: litmus/gen (Tsim.Scenario) --- *)
+
+(* The scenario compiler emits bounded client windows of the lib/core
+   algorithms into litmus/gen (see `tbtso-litmus scenarios emit`); the
+   committed files get the same three-way oracle treatment as the
+   hand-written classics. *)
+let gen_corpus_paths () =
+  match
+    List.find_opt
+      (fun dir -> Sys.file_exists dir && Sys.is_directory dir)
+      [ "../litmus/gen"; "litmus/gen" ]
+  with
+  | None -> []
+  | Some dir ->
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".litmus")
+      |> List.sort compare
+      |> List.map (Filename.concat dir)
+
+let test_gen_corpus_matches_oracles () =
+  (* Explorer ≡ source-DPOR ≡ reference enumerator ≡ SAT oracle on every
+     generated file, across the mode grid. *)
+  match gen_corpus_paths () with
+  | [] -> Alcotest.fail "litmus/gen corpus not found (missing dune deps?)"
+  | paths ->
+      check_bool "one file per registry scenario" true
+        (List.length paths = List.length Scenario.registry);
+      List.iter
+        (fun path ->
+          let test = Litmus_parse.parse (read_file path) in
+          List.iter
+            (fun mode ->
+              let name suffix =
+                Printf.sprintf "%s %s under %s" (Filename.basename path) suffix
+                  (Litmus_parse.mode_id mode)
+              in
+              let base = enumerate ~mode test.program in
+              check_bool (name "explorer ≡ reference") true
+                (base = enumerate_reference ~mode test.program);
+              check_bool (name "explorer ≡ DPOR") true
+                (base = (explore ~mode ~dpor:true test.program).outcomes);
+              let sat = Axiomatic.explore ~mode test.program in
+              check_bool (name "SAT complete") true sat.Axiomatic.complete;
+              check_bool (name "explorer ≡ SAT") true
+                (base = sat.Axiomatic.outcomes))
+            [ M_sc; M_tso; M_tsos 2; M_tbtso 1; M_tbtso 4; M_tbtso 8 ])
+        paths
+
+let test_gen_corpus_fanout_parallel_dpor () =
+  (* The fanout driver over litmus/gen: sequential ≡ -j 2 and
+     sleep-set-only ≡ --dpor, verdict for verdict. *)
+  match gen_corpus_paths () with
+  | [] -> Alcotest.fail "litmus/gen corpus not found (missing dune deps?)"
+  | paths ->
+      let tasks = Litmus_fanout.load ~modes:sat_corpus_modes paths in
+      let signature vs =
+        List.map
+          (fun (v : Litmus_fanout.verdict) ->
+            ( v.Litmus_fanout.task.Litmus_fanout.path,
+              Litmus_parse.mode_id v.Litmus_fanout.task.Litmus_fanout.mode,
+              Litmus_fanout.verdict_string v,
+              (match v.Litmus_fanout.result with
+              | Some r ->
+                  Some
+                    ( r.Litmus_parse.holds,
+                      r.Litmus_parse.outcome_count,
+                      r.Litmus_parse.complete )
+              | None -> None),
+              v.Litmus_fanout.disagree = None ))
+          vs
+      in
+      let seq = Litmus_fanout.check ~oracle:Litmus_fanout.Both tasks in
+      let par =
+        Tbtso_par.Pool.with_pool ~domains:2 (fun pool ->
+            Litmus_fanout.check ~pool ~oracle:Litmus_fanout.Both tasks)
+      in
+      check_bool "-j 2 ≡ sequential (both oracles)" true
+        (signature seq = signature par);
+      check_bool "no oracle disagreement over litmus/gen" true
+        (List.for_all
+           (fun (v : Litmus_fanout.verdict) -> v.Litmus_fanout.disagree = None)
+           seq);
+      let plain = Litmus_fanout.check tasks in
+      let dpor = Litmus_fanout.check ~dpor:true tasks in
+      let dpor_par =
+        Tbtso_par.Pool.with_pool ~domains:2 (fun pool ->
+            Litmus_fanout.check ~pool ~dpor:true tasks)
+      in
+      check_bool "--dpor ≡ sleep-set-only verdicts" true
+        (signature plain = signature dpor);
+      check_bool "--dpor -j 2 ≡ --dpor sequential" true
+        (signature dpor = signature dpor_par)
+
 let test_sat_stats_exposed () =
   let r = Axiomatic.explore ~mode:(M_tbtso 4) sb in
   check_bool "some variables" true (r.Axiomatic.stats.Axiomatic.vars > 0);
@@ -1104,6 +1197,13 @@ let () =
           Alcotest.test_case "budget exceeded is a verdict" `Quick
             test_check_budget_exceeded;
           Alcotest.test_case "mode_of_string" `Quick test_mode_of_string;
+        ] );
+      ( "gen-corpus",
+        [
+          Alcotest.test_case "litmus/gen ≡ all oracles, every mode" `Quick
+            test_gen_corpus_matches_oracles;
+          Alcotest.test_case "litmus/gen fanout: -j 2 and --dpor" `Quick
+            test_gen_corpus_fanout_parallel_dpor;
         ] );
       ( "sat-oracle",
         [
